@@ -1,0 +1,55 @@
+// Ablation: SSTA propagation semantics. Block-based SSTA maintains
+// each model's parametric form at every node (refit after each
+// convolution; DESIGN.md decision 9). The alternative — propagating
+// exact numeric grids of the per-stage fits — gradually erases the
+// representational differences between the families. This bench runs
+// the adder critical path both ways and prints the per-stage LVF^2
+// binning error reduction side by side.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "circuits/adder.h"
+#include "ssta/path_analysis.h"
+
+using namespace lvf2;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::size_t samples = args.pick_samples(10000, 50000);
+
+  const ssta::TimingPath path = circuits::build_adder_critical_path(
+      {}, spice::ProcessCorner{});
+
+  ssta::PathAssessmentOptions refit_options;
+  refit_options.mc.samples = samples;
+  refit_options.mc.seed = args.seed;
+  refit_options.refit_at_each_stage = true;
+  const ssta::PathAssessment refit =
+      ssta::assess_path(path, spice::ProcessCorner{}, refit_options);
+
+  ssta::PathAssessmentOptions numeric_options = refit_options;
+  numeric_options.refit_at_each_stage = false;
+  const ssta::PathAssessment numeric =
+      ssta::assess_path(path, spice::ProcessCorner{}, numeric_options);
+
+  std::printf(
+      "Propagation-semantics ablation on the %zu-stage adder path\n"
+      "(%zu samples/stage). LVF2 binning error reduction per stage:\n\n",
+      path.depth(), samples);
+  std::printf("%-5s %8s | %14s %14s\n", "stage", "FO4", "node-refit",
+              "numeric-grid");
+  bench::print_rule(48);
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    std::printf("%-5zu %8.1f | %14.2f %14.2f\n", i, refit.fo4_position[i],
+                refit.binning_reduction[i][0],
+                numeric.binning_reduction[i][0]);
+  }
+  bench::print_rule(48);
+  std::printf(
+      "Node-refit (the paper's block-based SSTA semantics) preserves the\n"
+      "LVF2 advantage along the path; pure numeric propagation converges\n"
+      "to the golden convolution for every family and the advantage\n"
+      "becomes fit noise.\n");
+  return 0;
+}

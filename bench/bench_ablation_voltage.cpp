@@ -1,0 +1,58 @@
+// Ablation: supply-voltage scaling. The paper's introduction
+// motivates LVF^2 with the non-linear variation effects that appear
+// "as the technology node and supply voltage scale down". The
+// alpha-power-law device model reproduces this: lowering VDD shrinks
+// the overdrive (VDD - Vth), amplifying the delay sensitivity to
+// threshold variation and the distribution's skewness/kurtosis. The
+// bench sweeps VDD and reports distribution shape and per-model
+// binning error reduction at a fixed arc condition.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "spice/montecarlo.h"
+#include "stats/descriptive.h"
+
+using namespace lvf2;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::size_t samples = args.pick_samples(20000, 50000);
+
+  spice::StageElectrical stage;
+  stage.pull.stack = 2;
+  stage.mechanism_gain = 1.2;
+  const spice::ArcCondition cond{0.05, 0.05};
+
+  std::printf(
+      "Supply-voltage ablation (NAND2-class arc, %zu samples per point).\n"
+      "Lower VDD -> smaller overdrive -> stronger nonlinearity.\n\n",
+      samples);
+  std::printf("%5s %10s %8s %8s %8s | %8s %8s %8s\n", "VDD", "mean[ns]",
+              "cv", "skew", "kurt", "LVF2", "Norm2", "LESN");
+  bench::print_rule(78);
+
+  for (double vdd : {1.0, 0.9, 0.8, 0.7, 0.6, 0.55}) {
+    spice::ProcessCorner corner;
+    corner.vdd = vdd;
+    spice::McConfig cfg;
+    cfg.samples = samples;
+    cfg.seed = args.seed;
+    const spice::McResult mc =
+        spice::run_monte_carlo(stage, cond, corner, cfg);
+    const stats::Moments m = stats::compute_moments(mc.delay_ns);
+    const core::ModelEvaluation eval = core::evaluate_models(mc.delay_ns);
+    std::printf("%5.2f %10.4f %8.3f %+8.3f %8.2f | %8.2f %8.2f %8.2f\n",
+                vdd, m.mean, m.stddev / m.mean, m.skewness, m.kurtosis,
+                eval.reduction_of(core::ModelKind::kLvf2).binning,
+                eval.reduction_of(core::ModelKind::kNorm2).binning,
+                eval.reduction_of(core::ModelKind::kLesn).binning);
+  }
+  bench::print_rule(78);
+  std::printf(
+      "Skewness and kurtosis grow as VDD approaches the threshold —\n"
+      "exactly the regime where single-skew-normal LVF loses accuracy\n"
+      "and mixture / kurtosis-matching models pay off.\n");
+  return 0;
+}

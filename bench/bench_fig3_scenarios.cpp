@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 3: fitting results of LVF, LESN, Norm^2 and
+// LVF^2 on the five representative scenarios (top row), and the
+// decomposition of the LVF^2 mixture into its two weighted
+// skew-normal components (bottom row).
+//
+// Output: per scenario, an ASCII density plot of the golden histogram
+// and each model's fitted PDF, the fitted LVF^2 parameters
+// (lambda, theta1, theta2), and the CDF RMSE of every model.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lvf2_model.h"
+#include "core/metrics.h"
+#include "spice/montecarlo.h"
+
+using namespace lvf2;
+
+namespace {
+
+std::vector<double> sample_pdf(const core::TimingModel& model, double lo,
+                               double hi, std::size_t points) {
+  std::vector<double> out(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    out[i] = model.pdf(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::size_t samples = args.pick_samples(20000, 50000);
+
+  std::printf("Figure 3. Fitting results of LVF, LESN, Norm2, LVF2 and the\n");
+  std::printf("LVF2 decomposition for the five typical scenarios.\n");
+
+  for (const bench::Scenario& scenario : bench::paper_scenarios()) {
+    spice::McConfig cfg;
+    cfg.samples = samples;
+    cfg.seed = args.seed;
+    const spice::McResult mc = spice::run_monte_carlo(
+        scenario.stage, scenario.condition, spice::ProcessCorner{}, cfg);
+    const core::ModelEvaluation eval = core::evaluate_models(mc.delay_ns);
+    const stats::EmpiricalCdf golden(mc.delay_ns);
+    const double lo = golden.quantile(0.0005);
+    const double hi = golden.quantile(0.9995);
+
+    std::printf("\n=== %s ===\n", scenario.name);
+    // Golden histogram.
+    const stats::BinnedSamples bins = stats::bin_samples(mc.delay_ns, 64);
+    std::vector<double> golden_density(bins.centers.size());
+    for (std::size_t i = 0; i < bins.centers.size(); ++i) {
+      golden_density[i] = bins.density(i);
+    }
+    std::printf("  %-7s |%s|\n", "golden",
+                bench::ascii_pdf(golden_density).c_str());
+    for (const auto& model : eval.models) {
+      if (!model) continue;
+      std::printf("  %-7s |%s|  cdf-rmse %.5f\n", model->name().c_str(),
+                  bench::ascii_pdf(sample_pdf(*model, lo, hi, 64)).c_str(),
+                  eval.errors_of(model->kind()).cdf_rmse);
+    }
+    // LVF^2 decomposition (paper Fig. 3 bottom row).
+    const auto* lvf2 = dynamic_cast<const core::Lvf2Model*>(
+        eval.model(core::ModelKind::kLvf2));
+    if (lvf2 != nullptr) {
+      const core::Lvf2Parameters p = lvf2->parameters();
+      std::printf(
+          "  decomposition: lambda=%.3f\n"
+          "    (1-l)*SN1: mean=%.5f sigma=%.5f skew=%+.3f\n"
+          "       l *SN2: mean=%.5f sigma=%.5f skew=%+.3f\n",
+          p.lambda, p.theta1.mean, p.theta1.stddev, p.theta1.skewness,
+          p.theta2.mean, p.theta2.stddev, p.theta2.skewness);
+      const core::Lvf2Model c1 = core::Lvf2Model::from_lvf(
+          lvf2->component1());
+      const core::Lvf2Model c2 = core::Lvf2Model::from_lvf(
+          lvf2->component2());
+      std::printf("  %-7s |%s|\n", "SN1",
+                  bench::ascii_pdf(sample_pdf(c1, lo, hi, 64)).c_str());
+      std::printf("  %-7s |%s|\n", "SN2",
+                  bench::ascii_pdf(sample_pdf(c2, lo, hi, 64)).c_str());
+    }
+  }
+  return 0;
+}

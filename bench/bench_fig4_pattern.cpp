@@ -1,0 +1,125 @@
+// Reproduces paper Fig. 4: the accuracy pattern of LVF^2 across the
+// 8x8 slew/load table of a NAND2 cell — the per-entry CDF RMSE
+// reduction of LVF^2 vs LVF for (a) delay and (b) transition. The
+// paper observes the multi-Gaussian phenomenon (large reductions)
+// clustering along table diagonals; our regime model reproduces the
+// same structure (the analytic mixture weight is printed alongside).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cells/characterize.h"
+#include "core/metrics.h"
+
+using namespace lvf2;
+
+namespace {
+
+void print_heatmap(const char* title, const double values[8][8],
+                   const cells::SlewLoadGrid& grid) {
+  std::printf("\n%s (LVF2 CDF-RMSE reduction, x)\n", title);
+  std::printf("%-10s", "load \\ slew");
+  for (std::size_t si = 0; si < grid.cols(); ++si) {
+    std::printf(" %6.4f", grid.slews_ns[si]);
+  }
+  std::printf("\n");
+  for (std::size_t li = 0; li < grid.rows(); ++li) {
+    std::printf("%-10.5f", grid.loads_pf[li]);
+    for (std::size_t si = 0; si < grid.cols(); ++si) {
+      std::printf(" %6.1f", values[li][si]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::size_t samples = args.pick_samples(6000, 50000);
+
+  const cells::Cell nand2 =
+      cells::build_cell(cells::CellFamily::kNand, 2, 1.0);
+  // The A -> Y falling arc (through the NMOS stack), as a typical
+  // NAND2 table.
+  const cells::TimingArc* arc = nullptr;
+  for (const cells::TimingArc& a : nand2.arcs) {
+    if (a.input_pin == "A" && !a.rise_output) arc = &a;
+  }
+  if (arc == nullptr) return 1;
+
+  cells::CharacterizeOptions options;
+  options.grid = cells::SlewLoadGrid::paper_grid();
+  options.mc_samples = samples;
+  options.seed_base = args.seed;
+  const cells::Characterizer characterizer(spice::ProcessCorner{}, options);
+
+  std::printf(
+      "Figure 4. Accuracy pattern of LVF2 over the NAND2 8x8 slew/load "
+      "table\n(%zu MC samples per entry).\n",
+      samples);
+
+  double delay_map[8][8];
+  double tran_map[8][8];
+  double lambda_map[8][8];
+  for (std::size_t li = 0; li < 8; ++li) {
+    for (std::size_t si = 0; si < 8; ++si) {
+      const spice::McResult mc =
+          characterizer.golden_samples(nand2, *arc, li, si);
+      core::FitOptions fit;
+      fit.likelihood_bins = 384;
+      const core::ModelEvaluation delay_eval =
+          core::evaluate_models(mc.delay_ns, fit);
+      const core::ModelEvaluation tran_eval =
+          core::evaluate_models(mc.transition_ns, fit);
+      delay_map[li][si] =
+          delay_eval.reduction_of(core::ModelKind::kLvf2).cdf_rmse;
+      tran_map[li][si] =
+          tran_eval.reduction_of(core::ModelKind::kLvf2).cdf_rmse;
+      lambda_map[li][si] = spice::mechanism_b_probability(
+          arc->stage,
+          {options.grid.slews_ns[si], options.grid.loads_pf[li]},
+          spice::ProcessCorner{});
+    }
+  }
+
+  print_heatmap("(a) NAND2 Delay Timing", delay_map, options.grid);
+  print_heatmap("(b) NAND2 Transition Timing", tran_map, options.grid);
+
+  std::printf("\nUnderlying mechanism mixture weight lambda = P(B):\n");
+  for (std::size_t li = 0; li < 8; ++li) {
+    std::printf("  ");
+    for (std::size_t si = 0; si < 8; ++si) {
+      std::printf(" %4.2f", lambda_map[li][si]);
+    }
+    std::printf("\n");
+  }
+
+  // Quantify the diagonal pattern: mixture strength lambda(1-lambda)
+  // is maximal along a diagonal band; verify the strongest
+  // reductions sit at mid-lambda entries.
+  double strong_mid = 0.0, strong_corner = 0.0;
+  int n_mid = 0, n_corner = 0;
+  for (std::size_t li = 0; li < 8; ++li) {
+    for (std::size_t si = 0; si < 8; ++si) {
+      const double mix = lambda_map[li][si] * (1.0 - lambda_map[li][si]);
+      if (mix > 0.15) {
+        strong_mid += delay_map[li][si];
+        ++n_mid;
+      } else if (mix < 0.02) {
+        strong_corner += delay_map[li][si];
+        ++n_corner;
+      }
+    }
+  }
+  if (n_mid > 0 && n_corner > 0) {
+    std::printf(
+        "\nDiagonal check: mean delay reduction %.2fx on the "
+        "confrontation band (lambda(1-lambda) > 0.15, %d entries)\n"
+        "vs %.2fx off the band (%d entries) — the paper's diagonal "
+        "multi-Gaussian pattern.\n",
+        strong_mid / n_mid, n_mid, strong_corner / n_corner, n_corner);
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// google-benchmark microbenchmarks: cost of the statistical kernels
+// and the fitting pipeline, including the binned-vs-raw likelihood
+// ablation called out in DESIGN.md (decision 1).
+
+#include <benchmark/benchmark.h>
+
+#include "core/lvf2_model.h"
+#include "core/mixture_ops.h"
+#include "core/model_factory.h"
+#include "spice/montecarlo.h"
+#include "stats/grid_pdf.h"
+#include "stats/lhs.h"
+#include "stats/skew_normal.h"
+#include "stats/special_functions.h"
+
+using namespace lvf2;
+
+namespace {
+
+std::vector<double> bimodal_samples(std::size_t n) {
+  spice::StageElectrical stage;
+  stage.mechanism_gain = 2.0;
+  spice::McConfig cfg;
+  cfg.samples = n;
+  cfg.seed = 42;
+  return spice::run_monte_carlo(stage, {0.05, 0.02},
+                                spice::ProcessCorner{}, cfg)
+      .delay_ns;
+}
+
+void BM_NormalCdf(benchmark::State& state) {
+  double x = -4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::normal_cdf(x));
+    x += 1e-6;
+  }
+}
+BENCHMARK(BM_NormalCdf);
+
+void BM_OwensT(benchmark::State& state) {
+  double h = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::owens_t(h, 2.3));
+    h += 1e-6;
+  }
+}
+BENCHMARK(BM_OwensT);
+
+void BM_SkewNormalLogPdf(benchmark::State& state) {
+  const stats::SkewNormal sn(0.1, 0.01, 2.0);
+  double x = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sn.log_pdf(x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_SkewNormalLogPdf);
+
+void BM_SkewNormalCdf(benchmark::State& state) {
+  const stats::SkewNormal sn(0.1, 0.01, 2.0);
+  double x = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sn.cdf(x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_SkewNormalCdf);
+
+void BM_McSampleThroughput(benchmark::State& state) {
+  const spice::StageElectrical stage;
+  const spice::ProcessCorner corner;
+  const spice::VariationSampler sampler(corner);
+  stats::Rng rng(1);
+  const auto draws = sampler.sample_lhs(1024, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::simulate_stage(
+        stage, {0.05, 0.05}, corner, draws[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_McSampleThroughput);
+
+void BM_LhsDesign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::lhs_normal(n, 7, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LhsDesign)->Arg(1024)->Arg(16384);
+
+// Fit-cost ablation: LVF^2 EM with binned likelihood at different
+// resolutions vs raw samples (bins = 0). DESIGN.md decision 1.
+void BM_Lvf2FitBinned(benchmark::State& state) {
+  const auto samples = bimodal_samples(20000);
+  core::FitOptions options;
+  options.likelihood_bins = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Lvf2Model::fit(samples, options));
+  }
+}
+BENCHMARK(BM_Lvf2FitBinned)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(0)  // raw samples
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitModel(benchmark::State& state) {
+  const auto samples = bimodal_samples(20000);
+  const auto kind = static_cast<core::ModelKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model(kind, samples));
+  }
+  state.SetLabel(core::to_string(kind));
+}
+BENCHMARK(BM_FitModel)
+    ->Arg(static_cast<int>(core::ModelKind::kLvf))
+    ->Arg(static_cast<int>(core::ModelKind::kNorm2))
+    ->Arg(static_cast<int>(core::ModelKind::kLesn))
+    ->Arg(static_cast<int>(core::ModelKind::kLvf2))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridConvolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const stats::SkewNormal sn(0.1, 0.01, 2.0);
+  const auto g = stats::GridPdf::from_function(
+      [&sn](double x) { return sn.pdf(x); }, 0.0, 0.2, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::GridPdf::convolve(g, g, 4 * n));
+  }
+}
+BENCHMARK(BM_GridConvolve)->Arg(512)->Arg(1024)->Arg(2048)->Unit(
+    benchmark::kMillisecond);
+
+// Analytic mixture convolution (grid-free SSTA sum) vs the grid
+// convolution above: the moment-space operation is O(K*L) closed
+// forms instead of O(n^2) grid work.
+void BM_AnalyticMixtureConvolve(benchmark::State& state) {
+  const core::Lvf2Model x(
+      0.4, stats::SkewNormal::from_moments(0.10, 0.01, 0.4),
+      stats::SkewNormal::from_moments(0.13, 0.012, 0.0));
+  const core::Lvf2Model y(
+      0.2, stats::SkewNormal::from_moments(0.05, 0.006, 0.1),
+      stats::SkewNormal::from_moments(0.06, 0.007, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::convolve_lvf2(x, y));
+  }
+}
+BENCHMARK(BM_AnalyticMixtureConvolve);
+
+void BM_StatisticalMax(benchmark::State& state) {
+  const stats::SkewNormal sn(0.1, 0.01, 2.0);
+  const auto g = stats::GridPdf::from_function(
+      [&sn](double x) { return sn.pdf(x); }, 0.0, 0.2, 2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::GridPdf::statistical_max(g, g));
+  }
+}
+BENCHMARK(BM_StatisticalMax)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

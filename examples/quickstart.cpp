@@ -1,0 +1,90 @@
+// Quickstart: the 60-second tour of the library (paper Fig. 1).
+//
+// 1. Generate a "golden" timing distribution with the Monte-Carlo
+//    engine (the SPICE substitute) for one NAND2 arc condition.
+// 2. Fit the industry-standard LVF model and the proposed LVF^2
+//    model to it.
+// 3. Compare speed-binning probabilities (Eq. 1) and the 3-sigma
+//    yield of both models against the golden samples.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cells/cell_types.h"
+#include "core/binning.h"
+#include "core/lvf2_model.h"
+#include "core/lvf_model.h"
+#include "core/metrics.h"
+#include "core/yield.h"
+#include "spice/montecarlo.h"
+
+using namespace lvf2;
+
+int main() {
+  // --- 1. Golden data: 20k Latin-Hypercube Monte-Carlo samples of
+  // the first NAND2 A->Y arc. ---
+  const cells::Cell nand2 =
+      cells::build_cell(cells::CellFamily::kNand, 2, 1.0);
+  const cells::TimingArc& arc = nand2.arcs.front();
+  // A condition on the multi-Gaussian diagonal of the 8x8 table
+  // (see bench_fig4_pattern).
+  const spice::ArcCondition condition{0.0502, 0.00722};
+  spice::McConfig mc_config;
+  mc_config.samples = 20000;
+  mc_config.seed = 1;
+  const spice::McResult mc = spice::run_monte_carlo(
+      arc.stage, condition, spice::ProcessCorner::tt_global_local_mc(),
+      mc_config);
+  std::printf("Golden data: %zu MC samples of %s %s at slew=%.3f ns, "
+              "load=%.3f pF\n",
+              mc.delay_ns.size(), nand2.name.c_str(), arc.label().c_str(),
+              condition.slew_ns, condition.load_pf);
+
+  // --- 2. Fit LVF (single skew-normal) and LVF^2 (skew-normal
+  // mixture, EM). ---
+  const auto lvf = core::LvfModel::fit(mc.delay_ns);
+  const auto lvf2 = core::Lvf2Model::fit(mc.delay_ns);
+  if (!lvf || !lvf2) {
+    std::printf("fit failed\n");
+    return 1;
+  }
+  const core::Lvf2Parameters p = lvf2->parameters();
+  std::printf("\nLVF  : mean=%.5f sigma=%.5f skew=%+.3f\n",
+              lvf->mean(), lvf->stddev(), lvf->moments().skewness);
+  std::printf("LVF2 : lambda=%.3f\n", p.lambda);
+  std::printf("  SN1: mean=%.5f sigma=%.5f skew=%+.3f\n", p.theta1.mean,
+              p.theta1.stddev, p.theta1.skewness);
+  std::printf("  SN2: mean=%.5f sigma=%.5f skew=%+.3f\n", p.theta2.mean,
+              p.theta2.stddev, p.theta2.skewness);
+
+  // --- 3. Binning probabilities and yield. ---
+  const stats::EmpiricalCdf golden(mc.delay_ns);
+  const stats::Moments gm = stats::compute_moments(mc.delay_ns);
+  const std::vector<double> boundaries =
+      core::sigma_bin_boundaries(gm.mean, gm.stddev);
+  const std::vector<double> golden_bins =
+      core::bin_probabilities(golden, boundaries);
+  const std::vector<double> lvf_bins = core::bin_probabilities(
+      [&](double x) { return lvf->cdf(x); }, boundaries);
+  const std::vector<double> lvf2_bins = core::bin_probabilities(
+      [&](double x) { return lvf2->cdf(x); }, boundaries);
+
+  std::printf("\n%-8s %9s %9s %9s\n", "Bin", "golden", "LVF", "LVF2");
+  static const char* kBinNames[] = {"<-3s", "-3..-2s", "-2..-1s", "-1..0s",
+                                    "0..1s",  "1..2s",  "2..3s",  ">3s"};
+  for (std::size_t i = 0; i < golden_bins.size(); ++i) {
+    std::printf("%-8s %9.4f %9.4f %9.4f\n", kBinNames[i], golden_bins[i],
+                lvf_bins[i], lvf2_bins[i]);
+  }
+
+  const double err_lvf = core::binning_error(lvf_bins, golden_bins);
+  const double err_lvf2 = core::binning_error(lvf2_bins, golden_bins);
+  std::printf("\nbinning error: LVF %.5f, LVF2 %.5f -> error reduction %.2fx\n",
+              err_lvf, err_lvf2, core::error_reduction(err_lvf, err_lvf2));
+  std::printf("3-sigma yield: golden %.5f, LVF %.5f, LVF2 %.5f\n",
+              core::three_sigma_yield(golden),
+              core::three_sigma_yield(*lvf, golden),
+              core::three_sigma_yield(*lvf2, golden));
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+// The 25 combinational standard-cell types of the paper's benchmark
+// (Table 2): INV, BUFF, NAND2-4, AND2-4, NOR2-4, OR2-4, XOR2-4,
+// XNOR2-4, MUX2-4, FA, HA — each with multiple drive strengths and
+// per-input-pin rise/fall timing arcs. Every arc carries a resolved
+// electrical template (spice::StageElectrical) plus a deterministic
+// "personality" (mechanism gain/offset derived from the arc name
+// hash) so the library exhibits the same diversity of non-Gaussian
+// shapes the paper reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/cellsim.h"
+
+namespace lvf2::cells {
+
+/// Logical family of a cell type.
+enum class CellFamily {
+  kInv,
+  kBuf,
+  kNand,
+  kNor,
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kMux,
+  kFullAdder,
+  kHalfAdder,
+};
+
+/// Family display name ("INV", "NAND", ...).
+std::string to_string(CellFamily family);
+
+/// One timing arc: input pin -> output pin, one output direction.
+struct TimingArc {
+  std::string input_pin;
+  std::string output_pin = "Y";
+  bool rise_output = true;  ///< output rises (PMOS pull) vs falls
+  spice::StageElectrical stage;
+
+  /// "A->Y (rise)" style label.
+  std::string label() const;
+};
+
+/// A concrete standard cell (type + drive strength) with its arcs.
+struct Cell {
+  std::string name;    ///< e.g. "NAND2_X2"
+  CellFamily family = CellFamily::kInv;
+  int inputs = 1;      ///< number of data inputs
+  double drive = 1.0;  ///< drive strength multiple
+  std::vector<TimingArc> arcs;
+
+  /// Cell-type display name as used in Table 2 ("NAND2", "FA", ...).
+  std::string type_name() const;
+};
+
+/// Builds one cell of the given family / input count / drive
+/// strength, resolving every timing arc's electrical template.
+Cell build_cell(CellFamily family, int inputs, double drive);
+
+/// Input-pin name for index i ("A", "B", "C", "D", or "S0"/"D0" style
+/// for muxes).
+std::string input_pin_name(CellFamily family, int index);
+
+}  // namespace lvf2::cells

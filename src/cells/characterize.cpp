@@ -1,0 +1,115 @@
+#include "cells/characterize.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace lvf2::cells {
+
+SlewLoadGrid SlewLoadGrid::paper_grid() {
+  SlewLoadGrid g;
+  g.slews_ns = {0.0023, 0.0091, 0.0228, 0.0502,
+                0.1005, 0.2145, 0.4535, 0.8715};
+  g.loads_pf = {0.00015, 0.00722, 0.02136, 0.04965,
+                0.10623, 0.21938, 0.44569, 0.89830};
+  return g;
+}
+
+SlewLoadGrid SlewLoadGrid::reduced(std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("reduced: stride must be > 0");
+  const SlewLoadGrid full = paper_grid();
+  SlewLoadGrid g;
+  for (std::size_t i = 0; i < full.slews_ns.size(); i += stride) {
+    g.slews_ns.push_back(full.slews_ns[i]);
+  }
+  for (std::size_t i = 0; i < full.loads_pf.size(); i += stride) {
+    g.loads_pf.push_back(full.loads_pf[i]);
+  }
+  return g;
+}
+
+std::uint64_t Characterizer::condition_seed(const std::string& cell_name,
+                                            const std::string& arc_label,
+                                            std::size_t load_idx,
+                                            std::size_t slew_idx) const {
+  std::uint64_t seed =
+      stats::combine_seed(options_.seed_base,
+                          stats::hash_name(cell_name + "/" + arc_label));
+  seed = stats::combine_seed(seed, load_idx * 131 + slew_idx);
+  return seed;
+}
+
+spice::McResult Characterizer::golden_samples(const Cell& cell,
+                                              const TimingArc& arc,
+                                              std::size_t load_idx,
+                                              std::size_t slew_idx) const {
+  spice::ArcCondition cond{options_.grid.slews_ns.at(slew_idx),
+                           options_.grid.loads_pf.at(load_idx)};
+  spice::McConfig mc;
+  mc.samples = options_.mc_samples;
+  mc.use_lhs = options_.use_lhs;
+  mc.seed = condition_seed(cell.name, arc.label(), load_idx, slew_idx);
+  return spice::run_monte_carlo(arc.stage, cond, corner_, mc);
+}
+
+ArcCharacterization Characterizer::characterize_arc(
+    const Cell& cell, const TimingArc& arc) const {
+  ArcCharacterization out;
+  out.cell_name = cell.name;
+  out.arc_label = arc.label();
+  out.grid = options_.grid;
+  out.entries.reserve(out.grid.rows() * out.grid.cols());
+
+  for (std::size_t li = 0; li < out.grid.rows(); ++li) {
+    for (std::size_t si = 0; si < out.grid.cols(); ++si) {
+      ConditionCharacterization cc;
+      cc.condition = spice::ArcCondition{out.grid.slews_ns[si],
+                                         out.grid.loads_pf[li]};
+      const spice::StageTimes nominal =
+          spice::nominal_stage_times(arc.stage, cc.condition, corner_);
+      cc.nominal_delay_ns = nominal.delay_ns;
+      cc.nominal_transition_ns = nominal.transition_ns;
+
+      const spice::McResult mc = golden_samples(cell, arc, li, si);
+      core::FitOptions fit = options_.fit;
+      fit.seed = stats::combine_seed(fit.seed, li * 17 + si);
+
+      if (auto lvf = stats::SkewNormal::fit_moments(mc.delay_ns)) {
+        cc.lvf_delay = lvf->to_moments();
+      }
+      if (auto lvf = stats::SkewNormal::fit_moments(mc.transition_ns)) {
+        cc.lvf_transition = lvf->to_moments();
+      }
+      if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit)) {
+        cc.lvf2_delay = m->parameters();
+      }
+      if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit)) {
+        cc.lvf2_transition = m->parameters();
+      }
+      out.entries.push_back(std::move(cc));
+    }
+  }
+  return out;
+}
+
+CellCharacterization Characterizer::characterize_cell(const Cell& cell) const {
+  CellCharacterization out;
+  out.cell_name = cell.name;
+  out.arcs.reserve(cell.arcs.size());
+  for (const TimingArc& arc : cell.arcs) {
+    out.arcs.push_back(characterize_arc(cell, arc));
+  }
+  return out;
+}
+
+LibraryCharacterization Characterizer::characterize_library(
+    const StandardCellLibrary& library) const {
+  LibraryCharacterization out;
+  out.cells.reserve(library.size());
+  for (const Cell& cell : library.cells()) {
+    out.cells.push_back(characterize_cell(cell));
+  }
+  return out;
+}
+
+}  // namespace lvf2::cells

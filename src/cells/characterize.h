@@ -1,0 +1,117 @@
+#pragma once
+// Statistical library characterization: runs the (substitute-)SPICE
+// Monte Carlo for every cell arc over the 8x8 slew/load grid and fits
+// the LVF moments plus the LVF^2 mixture parameters per entry — the
+// data that populates the Liberty LUTs and feeds every Table/Figure
+// bench. Seeds are derived from cell/arc/condition names, so the
+// characterization is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cells/cell_types.h"
+#include "cells/library.h"
+#include "core/lvf2_model.h"
+#include "core/timing_model.h"
+#include "spice/montecarlo.h"
+#include "spice/process.h"
+#include "stats/skew_normal.h"
+
+namespace lvf2::cells {
+
+/// The slew/load index grid of a characterization table.
+struct SlewLoadGrid {
+  std::vector<double> slews_ns;
+  std::vector<double> loads_pf;
+
+  /// The paper's 8x8 grid (Fig. 4 axis labels): slews
+  /// 0.0023..0.8715 ns, loads 0.00015..0.8983 pF.
+  static SlewLoadGrid paper_grid();
+
+  /// Every `stride`-th entry of the paper grid (fast benches).
+  static SlewLoadGrid reduced(std::size_t stride);
+
+  std::size_t rows() const { return loads_pf.size(); }
+  std::size_t cols() const { return slews_ns.size(); }
+};
+
+/// Characterized data of one (slew, load) entry of one arc.
+struct ConditionCharacterization {
+  spice::ArcCondition condition;
+  // Nominal (variation-free) values — the base Liberty LUTs.
+  double nominal_delay_ns = 0.0;
+  double nominal_transition_ns = 0.0;
+  // LVF moment triples (single skew-normal).
+  stats::SnMoments lvf_delay;
+  stats::SnMoments lvf_transition;
+  // LVF^2 mixture parameters.
+  core::Lvf2Parameters lvf2_delay;
+  core::Lvf2Parameters lvf2_transition;
+};
+
+/// Characterized table of one timing arc (row-major: load x slew).
+struct ArcCharacterization {
+  std::string cell_name;
+  std::string arc_label;
+  SlewLoadGrid grid;
+  std::vector<ConditionCharacterization> entries;
+
+  const ConditionCharacterization& at(std::size_t load_idx,
+                                      std::size_t slew_idx) const {
+    return entries[load_idx * grid.cols() + slew_idx];
+  }
+};
+
+/// Characterization of a whole cell / library.
+struct CellCharacterization {
+  std::string cell_name;
+  std::vector<ArcCharacterization> arcs;
+};
+
+struct LibraryCharacterization {
+  std::vector<CellCharacterization> cells;
+};
+
+/// Options of a characterization run.
+struct CharacterizeOptions {
+  SlewLoadGrid grid = SlewLoadGrid::paper_grid();
+  std::size_t mc_samples = 10000;
+  bool use_lhs = true;
+  core::FitOptions fit;
+  std::uint64_t seed_base = 0xC0FFEE;
+};
+
+/// Runs Monte-Carlo characterization against a process corner.
+class Characterizer {
+ public:
+  Characterizer(const spice::ProcessCorner& corner,
+                const CharacterizeOptions& options)
+      : corner_(corner), options_(options) {}
+
+  /// Deterministic seed of one arc condition.
+  std::uint64_t condition_seed(const std::string& cell_name,
+                               const std::string& arc_label,
+                               std::size_t load_idx,
+                               std::size_t slew_idx) const;
+
+  /// Raw Monte-Carlo samples of one arc condition (golden data).
+  spice::McResult golden_samples(const Cell& cell, const TimingArc& arc,
+                                 std::size_t load_idx,
+                                 std::size_t slew_idx) const;
+
+  ArcCharacterization characterize_arc(const Cell& cell,
+                                       const TimingArc& arc) const;
+  CellCharacterization characterize_cell(const Cell& cell) const;
+  LibraryCharacterization characterize_library(
+      const StandardCellLibrary& library) const;
+
+  const CharacterizeOptions& options() const { return options_; }
+  const spice::ProcessCorner& corner() const { return corner_; }
+
+ private:
+  spice::ProcessCorner corner_;
+  CharacterizeOptions options_;
+};
+
+}  // namespace lvf2::cells

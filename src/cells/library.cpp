@@ -1,0 +1,72 @@
+#include "cells/library.h"
+
+#include <algorithm>
+
+namespace lvf2::cells {
+
+StandardCellLibrary::StandardCellLibrary(std::vector<Cell> cells)
+    : cells_(std::move(cells)) {}
+
+const Cell* StandardCellLibrary::find(const std::string& name) const {
+  const auto it = std::find_if(cells_.begin(), cells_.end(),
+                               [&](const Cell& c) { return c.name == name; });
+  return (it == cells_.end()) ? nullptr : &*it;
+}
+
+std::vector<std::string> StandardCellLibrary::type_names() const {
+  std::vector<std::string> names;
+  for (const Cell& c : cells_) {
+    const std::string t = c.type_name();
+    if (std::find(names.begin(), names.end(), t) == names.end()) {
+      names.push_back(t);
+    }
+  }
+  return names;
+}
+
+std::vector<const Cell*> StandardCellLibrary::cells_of_type(
+    const std::string& type_name) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (c.type_name() == type_name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::size_t StandardCellLibrary::total_arcs() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.arcs.size();
+  return n;
+}
+
+StandardCellLibrary build_paper_library(const LibraryOptions& options) {
+  struct TypeSpec {
+    CellFamily family;
+    int inputs;
+  };
+  // Paper Table 2 order.
+  const TypeSpec kTypes[] = {
+      {CellFamily::kInv, 1},       {CellFamily::kBuf, 1},
+      {CellFamily::kNand, 2},      {CellFamily::kNand, 3},
+      {CellFamily::kNand, 4},      {CellFamily::kAnd, 2},
+      {CellFamily::kAnd, 3},       {CellFamily::kAnd, 4},
+      {CellFamily::kNor, 2},       {CellFamily::kNor, 3},
+      {CellFamily::kNor, 4},       {CellFamily::kOr, 2},
+      {CellFamily::kOr, 3},        {CellFamily::kOr, 4},
+      {CellFamily::kXor, 2},       {CellFamily::kXor, 3},
+      {CellFamily::kXor, 4},       {CellFamily::kXnor, 2},
+      {CellFamily::kXnor, 3},      {CellFamily::kXnor, 4},
+      {CellFamily::kMux, 2},       {CellFamily::kMux, 3},
+      {CellFamily::kMux, 4},       {CellFamily::kFullAdder, 3},
+      {CellFamily::kHalfAdder, 2},
+  };
+  std::vector<Cell> cells;
+  for (const TypeSpec& spec : kTypes) {
+    for (double drive : options.drives) {
+      cells.push_back(build_cell(spec.family, spec.inputs, drive));
+    }
+  }
+  return StandardCellLibrary(std::move(cells));
+}
+
+}  // namespace lvf2::cells

@@ -1,0 +1,49 @@
+#pragma once
+// The paper's standard-cell benchmark library: 25 combinational cell
+// types (Table 2), each instantiated at one or more drive strengths.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell_types.h"
+
+namespace lvf2::cells {
+
+/// A collection of cells with name lookup.
+class StandardCellLibrary {
+ public:
+  StandardCellLibrary() = default;
+  explicit StandardCellLibrary(std::vector<Cell> cells);
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Finds a cell by exact name ("NAND2_X1"); nullptr if absent.
+  const Cell* find(const std::string& name) const;
+
+  /// All distinct cell-type names in library order ("INV", "BUFF", ...).
+  std::vector<std::string> type_names() const;
+
+  /// All cells of one type name.
+  std::vector<const Cell*> cells_of_type(const std::string& type_name) const;
+
+  /// Total timing arcs across the library.
+  std::size_t total_arcs() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// Options for building the benchmark library.
+struct LibraryOptions {
+  /// Drive strengths instantiated per cell type.
+  std::vector<double> drives = {1.0, 2.0};
+};
+
+/// Builds the 25-type benchmark library of paper Table 2:
+/// INV, BUFF, NAND2-4, AND2-4, NOR2-4, OR2-4, XOR2-4, XNOR2-4,
+/// MUX2-4, FA, HA.
+StandardCellLibrary build_paper_library(const LibraryOptions& options = {});
+
+}  // namespace lvf2::cells

@@ -1,0 +1,126 @@
+#include "circuits/adder.h"
+
+#include <stdexcept>
+
+namespace lvf2::circuits {
+
+namespace {
+
+// Finds the arc index for input pin -> output pin with the given
+// output direction.
+std::size_t find_arc(const cells::Cell& cell, const std::string& in,
+                     const std::string& out, bool rise) {
+  for (std::size_t i = 0; i < cell.arcs.size(); ++i) {
+    const cells::TimingArc& arc = cell.arcs[i];
+    if (arc.input_pin == in && arc.output_pin == out &&
+        arc.rise_output == rise) {
+      return i;
+    }
+  }
+  throw std::runtime_error("adder: arc not found: " + in + "->" + out);
+}
+
+double input_cap(const cells::Cell& cell, const std::string& pin) {
+  for (const cells::TimingArc& arc : cell.arcs) {
+    if (arc.input_pin == pin) return arc.stage.input_cap_pf;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ssta::TimingPath build_adder_critical_path(
+    const AdderOptions& options, const spice::ProcessCorner& corner) {
+  if (options.bits < 2) {
+    throw std::invalid_argument("adder: need at least 2 bits");
+  }
+  ssta::TimingPath path;
+  path.name = "rca" + std::to_string(options.bits) + "_carry_chain";
+
+  const cells::Cell buf =
+      cells::build_cell(cells::CellFamily::kBuf, 1, options.drive);
+  const cells::Cell fa =
+      cells::build_cell(cells::CellFamily::kFullAdder, 3, options.drive);
+
+  const double ci_cap = input_cap(fa, "CI");
+
+  // Stage 0: input driver feeding A of bit 0.
+  {
+    ssta::PathStage stage;
+    stage.instance_name = "drv";
+    stage.cell = buf;
+    stage.arc_index = find_arc(buf, "A", "Y", true);
+    stage.condition.slew_ns = 0.02;
+    stage.condition.load_pf = input_cap(fa, "A") + options.wire_cap_pf;
+    path.stages.push_back(std::move(stage));
+  }
+  // Stage 1: generate — A of bit 0 to CO (carry out alternates
+  // direction bit to bit as the carry ripples).
+  {
+    ssta::PathStage stage;
+    stage.instance_name = "fa0";
+    stage.cell = fa;
+    stage.arc_index = find_arc(fa, "A", "CO", false);
+    stage.condition.load_pf = ci_cap + options.wire_cap_pf;
+    path.stages.push_back(std::move(stage));
+  }
+  // Middle bits: CI -> CO propagate arcs.
+  for (int bit = 1; bit + 1 < options.bits; ++bit) {
+    ssta::PathStage stage;
+    stage.instance_name = "fa" + std::to_string(bit);
+    stage.cell = fa;
+    // fa0 produces a falling carry; the ripple alternates from there.
+    const bool rise = (bit % 2) == 1;
+    stage.arc_index = find_arc(fa, "CI", "CO", rise);
+    stage.condition.load_pf = ci_cap + options.wire_cap_pf;
+    path.stages.push_back(std::move(stage));
+  }
+  // Last bit: CI -> S (the sum XOR stage) into the capture load.
+  {
+    ssta::PathStage stage;
+    stage.instance_name = "fa" + std::to_string(options.bits - 1);
+    stage.cell = fa;
+    const bool rise = ((options.bits - 1) % 2) == 1;
+    stage.arc_index = find_arc(fa, "CI", "S", rise);
+    stage.condition.load_pf = options.final_load_pf;
+    path.stages.push_back(std::move(stage));
+  }
+
+  // Propagate nominal slews along the chain.
+  for (std::size_t i = 1; i < path.stages.size(); ++i) {
+    const ssta::PathStage& prev = path.stages[i - 1];
+    const spice::StageTimes t = spice::nominal_stage_times(
+        prev.arc().stage, prev.condition, corner);
+    path.stages[i].condition.slew_ns = t.transition_ns;
+  }
+  return path;
+}
+
+Netlist build_adder_netlist(const AdderOptions& options) {
+  Netlist netlist;
+  const cells::Cell fa =
+      cells::build_cell(cells::CellFamily::kFullAdder, 3, options.drive);
+
+  netlist.add_primary_input("ci0");
+  for (int bit = 0; bit < options.bits; ++bit) {
+    const std::string b = std::to_string(bit);
+    netlist.add_primary_input("a" + b);
+    netlist.add_primary_input("b" + b);
+
+    Instance inst;
+    inst.name = "fa" + b;
+    inst.cell = fa;
+    inst.input_nets["A"] = "a" + b;
+    inst.input_nets["B"] = "b" + b;
+    inst.input_nets["CI"] = "ci" + b;
+    inst.output_nets["S"] = "s" + b;
+    inst.output_nets["CO"] = "ci" + std::to_string(bit + 1);
+    netlist.add_instance(std::move(inst));
+
+    netlist.add_primary_output("s" + b);
+  }
+  netlist.add_primary_output("ci" + std::to_string(options.bits));
+  return netlist;
+}
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,31 @@
+#pragma once
+// 16-bit ripple-carry adder benchmark (paper Section 4.4): "a typical
+// structure with a critical path delay of 30-FO4". The critical path
+// is the carry chain: an input driver, the generate stage of bit 0,
+// the carry-propagate arcs of the middle bits, and the sum (XOR)
+// stage of the last bit.
+
+#include "circuits/netlist.h"
+#include "spice/process.h"
+#include "ssta/path.h"
+
+namespace lvf2::circuits {
+
+/// Adder construction options.
+struct AdderOptions {
+  int bits = 16;
+  double drive = 1.0;          ///< FA drive strength
+  double wire_cap_pf = 0.0006;  ///< stray wire cap per carry net
+  double final_load_pf = 0.004; ///< capture-flop load on the sum output
+};
+
+/// Builds the carry-chain critical path with slews propagated to
+/// their nominal fixed point.
+ssta::TimingPath build_adder_critical_path(const AdderOptions& options,
+                                           const spice::ProcessCorner& corner);
+
+/// Builds the full ripple-carry adder netlist (FA per bit, shared
+/// carry nets) for graph-based SSTA.
+Netlist build_adder_netlist(const AdderOptions& options);
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,70 @@
+#include "circuits/htree.h"
+
+#include <stdexcept>
+
+namespace lvf2::circuits {
+
+ssta::TimingPath build_htree_path(const HtreeOptions& options,
+                                  const spice::ProcessCorner& corner) {
+  if (options.levels < 1) {
+    throw std::invalid_argument("htree: need at least 1 level");
+  }
+  ssta::TimingPath path;
+  path.name = "htree" + std::to_string(options.levels);
+
+  cells::Cell buf =
+      cells::build_cell(cells::CellFamily::kBuf, 1, options.buffer_drive);
+  for (cells::TimingArc& arc : buf.arcs) {
+    arc.stage.mechanism_gain = options.buffer_mechanism_gain;
+    arc.stage.mechanism_gain_transition =
+        1.3 * options.buffer_mechanism_gain;
+    arc.stage.mechanism_offset = options.buffer_mechanism_offset;
+  }
+  std::size_t rise_arc = buf.arcs.size();
+  std::size_t fall_arc = buf.arcs.size();
+  for (std::size_t i = 0; i < buf.arcs.size(); ++i) {
+    (buf.arcs[i].rise_output ? rise_arc : fall_arc) = i;
+  }
+  const double buf_cap = buf.arcs.at(rise_arc).stage.input_cap_pf;
+
+  double res = options.wire_res_kohm;
+  double cap = options.wire_cap_pf;
+  bool rise = true;
+  for (int level = 0; level < options.levels; ++level) {
+    for (int half = 0; half < 2; ++half) {
+      const PiModel wire = PiModel::from_wire(res, cap);
+      const bool last =
+          (level == options.levels - 1) && (half == 1);
+      // Fanout: within a level the second buffer of the pair drives
+      // the two children of the H branch.
+      const double receivers =
+          last ? options.leaf_load_pf
+               : (half == 1 ? 2.0 * buf_cap : buf_cap);
+      ssta::PathStage stage;
+      stage.instance_name =
+          "buf_l" + std::to_string(level) + "_" + std::to_string(half);
+      stage.cell = buf;
+      stage.arc_index = rise ? rise_arc : fall_arc;
+      stage.condition.load_pf = wire.driver_load_pf(receivers);
+      stage.wire_delay_ns = wire.elmore_delay_ns(receivers);
+      path.stages.push_back(std::move(stage));
+      rise = !rise;
+    }
+    res *= options.wire_scale;
+    cap *= options.wire_scale;
+  }
+
+  // Propagate nominal slews (wire RC degrades the edge; approximate
+  // the receiver slew as the driver transition plus 2.2 * wire RC).
+  path.stages.front().condition.slew_ns = 0.03;
+  for (std::size_t i = 1; i < path.stages.size(); ++i) {
+    const ssta::PathStage& prev = path.stages[i - 1];
+    const spice::StageTimes t = spice::nominal_stage_times(
+        prev.arc().stage, prev.condition, corner);
+    path.stages[i].condition.slew_ns =
+        t.transition_ns + 2.2 * prev.wire_delay_ns * 0.5;
+  }
+  return path;
+}
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,36 @@
+#pragma once
+// 6-stage H-tree benchmark (paper Section 4.4): "each stage consists
+// of 2 buffer cells and metal wires described with the Pi-model",
+// total depth ~95 FO4. The analyzed path is one root-to-leaf branch;
+// at every level the driver sees the wire plus two receiving buffers
+// (the H-tree fanout).
+
+#include "circuits/wire.h"
+#include "spice/process.h"
+#include "ssta/path.h"
+
+namespace lvf2::circuits {
+
+/// H-tree construction options.
+struct HtreeOptions {
+  int levels = 6;
+  double buffer_drive = 2.0;
+  /// Root-level wire segment; deeper levels scale by `wire_scale`.
+  double wire_res_kohm = 0.35;
+  double wire_cap_pf = 0.085;
+  double wire_scale = 0.72;   ///< per-level geometric shrink
+  double leaf_load_pf = 0.006;  ///< clocked sink at the leaf
+  /// Clock buffers are sized for edge symmetry (input and output
+  /// transitions comparable), which keeps them near the mechanism
+  /// confrontation point; these fields pin the buffer arcs'
+  /// mechanism personality instead of the hashed library default.
+  double buffer_mechanism_gain = 1.8;
+  double buffer_mechanism_offset = -0.5;
+};
+
+/// Builds the root-to-leaf critical path (2 buffers + 2 wires per
+/// level) with nominal slews propagated along it.
+ssta::TimingPath build_htree_path(const HtreeOptions& options,
+                                  const spice::ProcessCorner& corner);
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,74 @@
+#include "circuits/netlist.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lvf2::circuits {
+
+void Netlist::add_primary_input(const std::string& net) {
+  inputs_.push_back(net);
+}
+
+void Netlist::add_primary_output(const std::string& net) {
+  outputs_.push_back(net);
+}
+
+void Netlist::add_instance(Instance instance) {
+  instances_.push_back(std::move(instance));
+}
+
+std::vector<std::string> Netlist::nets() const {
+  std::vector<std::string> out;
+  const auto push_unique = [&out](const std::string& n) {
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  };
+  for (const std::string& n : inputs_) push_unique(n);
+  for (const Instance& inst : instances_) {
+    for (const auto& [pin, net] : inst.input_nets) push_unique(net);
+    for (const auto& [pin, net] : inst.output_nets) push_unique(net);
+  }
+  for (const std::string& n : outputs_) push_unique(n);
+  return out;
+}
+
+double Netlist::net_load_pf(const std::string& net) const {
+  double load = 0.0;
+  for (const Instance& inst : instances_) {
+    for (const auto& [pin, pin_net] : inst.input_nets) {
+      if (pin_net != net) continue;
+      for (const cells::TimingArc& arc : inst.cell.arcs) {
+        if (arc.input_pin == pin) {
+          load += arc.stage.input_cap_pf;
+          break;
+        }
+      }
+    }
+  }
+  return load;
+}
+
+ssta::TimingGraph Netlist::to_timing_graph(
+    const DelayAnnotator& annotator) const {
+  ssta::TimingGraph graph;
+  std::map<std::string, ssta::TimingGraph::NodeId> node_of;
+  for (const std::string& net : nets()) {
+    node_of[net] = graph.add_node(net);
+  }
+  for (const Instance& inst : instances_) {
+    for (const cells::TimingArc& arc : inst.cell.arcs) {
+      const auto in_it = inst.input_nets.find(arc.input_pin);
+      const auto out_it = inst.output_nets.find(arc.output_pin);
+      if (in_it == inst.input_nets.end() ||
+          out_it == inst.output_nets.end()) {
+        continue;
+      }
+      std::optional<ssta::EdgeDelay> delay = annotator(inst, arc);
+      if (!delay) continue;
+      graph.add_edge(node_of.at(in_it->second), node_of.at(out_it->second),
+                     std::move(*delay));
+    }
+  }
+  return graph;
+}
+
+}  // namespace lvf2::circuits

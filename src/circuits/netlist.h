@@ -1,0 +1,66 @@
+#pragma once
+// Gate-level netlist: cell instances connected by named nets, with a
+// conversion to a block-based SSTA timing graph. Used by the adder
+// benchmark and available as a general substrate for building other
+// test circuits.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell_types.h"
+#include "ssta/timing_graph.h"
+
+namespace lvf2::circuits {
+
+/// One placed cell with its pin-to-net connections.
+struct Instance {
+  std::string name;
+  cells::Cell cell;
+  /// input pin name -> net name
+  std::map<std::string, std::string> input_nets;
+  /// output pin name -> net name
+  std::map<std::string, std::string> output_nets;
+};
+
+/// Delay annotation callback: given an instance and one of its arcs,
+/// return the edge delay (distribution and/or constant) for the
+/// timing graph. Returning nullopt skips the arc.
+using DelayAnnotator = std::function<std::optional<ssta::EdgeDelay>(
+    const Instance&, const cells::TimingArc&)>;
+
+/// A flat gate-level netlist.
+class Netlist {
+ public:
+  /// Declares a primary input net.
+  void add_primary_input(const std::string& net);
+  /// Declares a primary output net.
+  void add_primary_output(const std::string& net);
+  /// Adds an instance (nets are created on first use).
+  void add_instance(Instance instance);
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<std::string>& primary_inputs() const { return inputs_; }
+  const std::vector<std::string>& primary_outputs() const { return outputs_; }
+
+  /// Nets in creation order.
+  std::vector<std::string> nets() const;
+
+  /// Total capacitive load on a net: the sum of the input caps of all
+  /// instance pins connected to it (taking each cell's first arc from
+  /// that pin as the electrical reference).
+  double net_load_pf(const std::string& net) const;
+
+  /// Builds the SSTA timing graph: one node per net, one edge per
+  /// timing arc (as annotated).
+  ssta::TimingGraph to_timing_graph(const DelayAnnotator& annotator) const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+};
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,21 @@
+#include "circuits/wire.h"
+
+namespace lvf2::circuits {
+
+PiModel PiModel::from_wire(double total_res_kohm, double total_cap_pf) {
+  PiModel pi;
+  pi.resistance_kohm = total_res_kohm;
+  pi.c_near_pf = 0.5 * total_cap_pf;
+  pi.c_far_pf = 0.5 * total_cap_pf;
+  return pi;
+}
+
+double PiModel::elmore_delay_ns(double load_pf) const {
+  return resistance_kohm * (c_far_pf + load_pf);
+}
+
+double PiModel::driver_load_pf(double receiver_pf) const {
+  return c_near_pf + c_far_pf + receiver_pf;
+}
+
+}  // namespace lvf2::circuits

@@ -1,0 +1,34 @@
+#pragma once
+// Interconnect modeling: the Pi-model used by the paper's H-tree
+// benchmark ("each stage consists of 2 buffer cells and metal wires
+// described with the Pi-model") and the Elmore delay it induces.
+
+namespace lvf2::circuits {
+
+/// Lumped Pi model of a wire segment: series resistance with half the
+/// wire capacitance on each end.
+struct PiModel {
+  double resistance_kohm = 0.0;
+  double c_near_pf = 0.0;  ///< capacitance at the driver side
+  double c_far_pf = 0.0;   ///< capacitance at the receiver side
+
+  /// Builds the Pi model of a uniform wire: total R and C split with
+  /// C/2 on each side.
+  static PiModel from_wire(double total_res_kohm, double total_cap_pf);
+
+  /// Total wire capacitance.
+  double total_cap_pf() const { return c_near_pf + c_far_pf; }
+
+  /// Elmore delay of the wire driving `load_pf` at the far end [ns]:
+  /// R * (C_far + C_load). The near capacitance loads the driver and
+  /// is accounted for in the driver's output load instead.
+  double elmore_delay_ns(double load_pf) const;
+
+  /// The capacitive load the wire presents to its driver: with the
+  /// far end shielded by the wire resistance, drivers effectively see
+  /// the near cap plus the (unshielded approximation of the) far cap
+  /// and receiver load.
+  double driver_load_pf(double receiver_pf) const;
+};
+
+}  // namespace lvf2::circuits

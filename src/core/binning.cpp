@@ -1,0 +1,99 @@
+#include "core/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lvf2::core {
+
+std::vector<double> sigma_bin_boundaries(double mu, double sigma) {
+  std::vector<double> b;
+  b.reserve(7);
+  for (int k = -3; k <= 3; ++k) {
+    b.push_back(mu + static_cast<double>(k) * sigma);
+  }
+  return b;
+}
+
+namespace {
+
+std::vector<double> bins_from_cdf_values(std::span<const double> cdf_values) {
+  std::vector<double> bins;
+  bins.reserve(cdf_values.size() + 1);
+  double prev = 0.0;
+  for (double c : cdf_values) {
+    const double clamped = std::clamp(c, prev, 1.0);
+    bins.push_back(clamped - prev);
+    prev = clamped;
+  }
+  bins.push_back(1.0 - prev);
+  return bins;
+}
+
+}  // namespace
+
+std::vector<double> bin_probabilities(const CdfFn& cdf,
+                                      std::span<const double> boundaries) {
+  std::vector<double> cdf_values;
+  cdf_values.reserve(boundaries.size());
+  for (double t : boundaries) cdf_values.push_back(cdf(t));
+  return bins_from_cdf_values(cdf_values);
+}
+
+std::vector<double> bin_probabilities(const stats::EmpiricalCdf& golden,
+                                      std::span<const double> boundaries) {
+  std::vector<double> cdf_values;
+  cdf_values.reserve(boundaries.size());
+  for (double t : boundaries) cdf_values.push_back(golden(t));
+  return bins_from_cdf_values(cdf_values);
+}
+
+double binning_error(std::span<const double> model_bins,
+                     std::span<const double> golden_bins) {
+  if (model_bins.size() != golden_bins.size() || model_bins.empty()) {
+    throw std::invalid_argument("binning_error: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < model_bins.size(); ++i) {
+    sum += std::fabs(model_bins[i] - golden_bins[i]);
+  }
+  return sum / static_cast<double>(model_bins.size());
+}
+
+double binning_error(const TimingModel& model,
+                     const stats::EmpiricalCdf& golden) {
+  const stats::Moments m = stats::compute_moments(golden.sorted_samples());
+  const std::vector<double> boundaries =
+      sigma_bin_boundaries(m.mean, m.stddev);
+  const std::vector<double> model_bins = bin_probabilities(
+      [&model](double x) { return model.cdf(x); }, boundaries);
+  const std::vector<double> golden_bins =
+      bin_probabilities(golden, boundaries);
+  return binning_error(model_bins, golden_bins);
+}
+
+double error_reduction(double baseline_error, double model_error,
+                       double floor) {
+  floor = std::max(floor, 1e-300);
+  return std::max(std::fabs(baseline_error), floor) /
+         std::max(std::fabs(model_error), floor);
+}
+
+double binning_error_floor(std::size_t count) {
+  // Each bin probability resolves to ~1/count; the metric averages
+  // |delta P| over 8 bins.
+  return (count > 0) ? 0.125 / static_cast<double>(count) : 1e-12;
+}
+
+double yield_error_floor(std::size_t count) {
+  // A single CDF point resolves to about half a sample.
+  return (count > 0) ? 0.5 / static_cast<double>(count) : 1e-12;
+}
+
+double cdf_rmse_floor(std::size_t count) {
+  // Pointwise empirical-CDF noise is ~0.5/sqrt(count) at the center;
+  // averaging over the evaluation grid reduces it by roughly half.
+  return (count > 0) ? 0.2 / std::sqrt(static_cast<double>(count)) : 1e-12;
+}
+
+}  // namespace lvf2::core

@@ -1,0 +1,64 @@
+#pragma once
+// Speed binning (paper Section 2.1). Chips are sorted into bins by
+// their maximum operating frequency; with boundaries T_1 < ... < T_n
+// the probability of landing in bin i is Eq. 1:
+//
+//   P(Bin_i) = P(t < T_1)                      i = 1
+//            = P(t < T_i) - P(t <= T_{i-1})    2 <= i <= n
+//            = 1 - P(t <= T_n)                 i = n + 1
+//
+// The paper's evaluation uses boundaries mu +/- {3,2,1,0} sigma of the
+// golden distribution, i.e. 7 boundaries -> 8 bins.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/timing_model.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::core {
+
+/// Any CDF-like callable P(t <= x).
+using CdfFn = std::function<double(double)>;
+
+/// The paper's binning boundaries: mu + k sigma for
+/// k in {-3,-2,-1,0,1,2,3} (7 boundaries, 8 bins).
+std::vector<double> sigma_bin_boundaries(double mu, double sigma);
+
+/// Bin probabilities per Eq. 1 for arbitrary boundaries (must be
+/// sorted ascending). Returns boundaries.size() + 1 probabilities
+/// summing to 1 for any proper CDF.
+std::vector<double> bin_probabilities(const CdfFn& cdf,
+                                      std::span<const double> boundaries);
+
+/// Empirical bin probabilities of a golden sample set.
+std::vector<double> bin_probabilities(const stats::EmpiricalCdf& golden,
+                                      std::span<const double> boundaries);
+
+/// Binning error of a model against golden: the mean absolute
+/// difference of bin probabilities over all bins.
+double binning_error(std::span<const double> model_bins,
+                     std::span<const double> golden_bins);
+
+/// Convenience: golden-moment boundaries, both bin vectors, error.
+double binning_error(const TimingModel& model,
+                     const stats::EmpiricalCdf& golden);
+
+/// Error reduction (paper Eq. 12):
+///   |baseline - golden| / |result - golden|,
+/// expressed on already-computed error magnitudes. Both numerator
+/// and denominator are clamped below at `floor` — errors smaller than
+/// the golden data's Monte-Carlo resolution are indistinguishable
+/// from zero, and clamping both sides keeps sub-resolution matches at
+/// a ratio of ~1 instead of exploding.
+double error_reduction(double baseline_error, double model_error,
+                       double floor = 1e-12);
+
+/// Statistical resolution floors of the three metrics for a golden
+/// sample set of size `count`.
+double binning_error_floor(std::size_t count);
+double yield_error_floor(std::size_t count);
+double cdf_rmse_floor(std::size_t count);
+
+}  // namespace lvf2::core

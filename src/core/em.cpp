@@ -1,0 +1,47 @@
+#include "core/em.h"
+
+#include "stats/descriptive.h"
+#include "stats/grid_pdf.h"
+
+namespace lvf2::core {
+
+WeightedData make_weighted_data(std::span<const double> samples,
+                                const FitOptions& options) {
+  WeightedData data;
+  if (options.likelihood_bins == 0 ||
+      samples.size() <= options.likelihood_bins) {
+    data.x.assign(samples.begin(), samples.end());
+    data.w.assign(samples.size(), 1.0);
+    data.total_weight = static_cast<double>(samples.size());
+    return data;
+  }
+  const stats::BinnedSamples bins =
+      stats::bin_samples(samples, options.likelihood_bins);
+  data.x.reserve(bins.centers.size());
+  data.w.reserve(bins.centers.size());
+  for (std::size_t i = 0; i < bins.centers.size(); ++i) {
+    if (bins.counts[i] > 0.0) {
+      data.x.push_back(bins.centers[i]);
+      data.w.push_back(bins.counts[i]);
+      data.total_weight += bins.counts[i];
+    }
+  }
+  return data;
+}
+
+WeightedData make_weighted_data(const stats::GridPdf& pdf) {
+  WeightedData data;
+  if (pdf.empty()) return data;
+  data.x.reserve(pdf.size());
+  data.w.reserve(pdf.size());
+  for (std::size_t i = 0; i < pdf.size(); ++i) {
+    const double w = pdf.density()[i] * pdf.step();
+    if (w <= 0.0) continue;
+    data.x.push_back(pdf.x_at(i));
+    data.w.push_back(w);
+    data.total_weight += w;
+  }
+  return data;
+}
+
+}  // namespace lvf2::core

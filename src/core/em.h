@@ -1,0 +1,44 @@
+#pragma once
+// Shared infrastructure for the EM-based mixture fits (Norm^2 and
+// LVF^2): the binned-likelihood data compression and the EM iteration
+// report.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/timing_model.h"
+
+namespace lvf2::core {
+
+/// Weighted observation set. For raw fits, weights are all 1; for
+/// binned-likelihood fits, x are bin centers and w are occupancies.
+/// Binning is an O(n) compression that leaves the likelihood surface
+/// unchanged at the bin resolution — see DESIGN.md decision 1.
+struct WeightedData {
+  std::vector<double> x;
+  std::vector<double> w;
+  double total_weight = 0.0;
+
+  std::size_t size() const { return x.size(); }
+};
+
+/// Compresses `samples` per `options.likelihood_bins` (0 keeps raw
+/// samples with unit weights). Bins with zero occupancy are dropped.
+WeightedData make_weighted_data(std::span<const double> samples,
+                                const FitOptions& options);
+
+/// Weighted data from a tabulated density: grid points weighted by
+/// density * step. Used to refit a model family to a propagated
+/// (convolved) distribution in block-based SSTA.
+WeightedData make_weighted_data(const stats::GridPdf& pdf);
+
+/// Convergence report of an EM run.
+struct EmReport {
+  std::size_t iterations = 0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+  bool collapsed = false;  ///< a component degenerated; fit fell back
+};
+
+}  // namespace lvf2::core

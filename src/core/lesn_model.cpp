@@ -1,0 +1,73 @@
+#include "core/lesn_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace lvf2::core {
+
+LesnModel::LesnModel(const stats::LogExtendedSkewNormal& lesn)
+    : dist_(lesn) {}
+
+LesnModel::LesnModel(const stats::SkewNormal& fallback) : dist_(fallback) {}
+
+bool LesnModel::is_lesn() const {
+  return std::holds_alternative<stats::LogExtendedSkewNormal>(dist_);
+}
+
+const stats::LogExtendedSkewNormal* LesnModel::lesn() const {
+  return std::get_if<stats::LogExtendedSkewNormal>(&dist_);
+}
+
+std::optional<LesnModel> LesnModel::fit(std::span<const double> samples) {
+  const stats::Moments m = stats::compute_moments(samples);
+  if (m.count < 4 || !(m.stddev > 0.0)) return std::nullopt;
+  const double min_x = *std::min_element(samples.begin(), samples.end());
+  return fit_moments(m, min_x > 0.0);
+}
+
+std::optional<LesnModel> LesnModel::fit_moments(const stats::Moments& m,
+                                                bool positive_support) {
+  if (m.count < 4 || !(m.stddev > 0.0)) return std::nullopt;
+  if (positive_support && m.mean > 0.0) {
+    if (auto lesn = stats::LogExtendedSkewNormal::fit_moments(m)) {
+      // Accept only if the matched moments are sane.
+      const double fit_mean = lesn->mean();
+      const double fit_sd = lesn->stddev();
+      if (std::isfinite(fit_mean) && std::isfinite(fit_sd) &&
+          std::fabs(fit_mean - m.mean) < 0.05 * m.mean &&
+          fit_sd > 0.25 * m.stddev && fit_sd < 4.0 * m.stddev) {
+        return LesnModel(*lesn);
+      }
+    }
+  }
+  return LesnModel(
+      stats::SkewNormal::from_moments(m.mean, m.stddev, m.skewness));
+}
+
+double LesnModel::pdf(double x) const {
+  return std::visit([x](const auto& d) { return d.pdf(x); }, dist_);
+}
+
+double LesnModel::cdf(double x) const {
+  return std::visit([x](const auto& d) { return d.cdf(x); }, dist_);
+}
+
+double LesnModel::quantile(double p) const {
+  return std::visit([p](const auto& d) { return d.quantile(p); }, dist_);
+}
+
+double LesnModel::mean() const {
+  return std::visit([](const auto& d) { return d.mean(); }, dist_);
+}
+
+double LesnModel::stddev() const {
+  return std::visit([](const auto& d) { return d.stddev(); }, dist_);
+}
+
+double LesnModel::sample(stats::Rng& rng) const {
+  return std::visit([&rng](const auto& d) { return d.sample(rng); }, dist_);
+}
+
+}  // namespace lvf2::core

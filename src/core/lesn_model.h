@@ -1,0 +1,54 @@
+#pragma once
+// LESN baseline (paper ref. [7], Jin et al. TCAS-II'22): the
+// log-extended-skew-normal model fitted by matching the first four
+// moments (mean, sigma, skewness, kurtosis — "matching kurtosis").
+// The strongest published moments-based single-component model; it
+// excels at tail (3-sigma) estimation but cannot express multiple
+// Gaussian components.
+
+#include <optional>
+#include <variant>
+
+#include "core/timing_model.h"
+#include "stats/log_normal.h"
+#include "stats/skew_normal.h"
+
+namespace lvf2::core {
+
+/// Log-extended-skew-normal timing model.
+class LesnModel final : public TimingModel {
+ public:
+  explicit LesnModel(const stats::LogExtendedSkewNormal& lesn);
+  /// Fallback representation used when the four-moment match is
+  /// infeasible (e.g. non-positive support): a moment-fit skew-normal.
+  explicit LesnModel(const stats::SkewNormal& fallback);
+
+  /// Fits by four-moment matching; falls back to a skew-normal when
+  /// the data is non-positive or the shape search fails. Returns
+  /// nullopt for degenerate data.
+  static std::optional<LesnModel> fit(std::span<const double> samples);
+
+  /// Fits from a moment summary alone (the model is moments-based, so
+  /// no samples are needed). `positive_support` reports whether the
+  /// underlying data is strictly positive; a log-domain fit is only
+  /// attempted when it is.
+  static std::optional<LesnModel> fit_moments(const stats::Moments& moments,
+                                              bool positive_support = true);
+
+  /// True when the four-moment LESN match succeeded (no fallback).
+  bool is_lesn() const;
+  const stats::LogExtendedSkewNormal* lesn() const;
+
+  ModelKind kind() const override { return ModelKind::kLesn; }
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double stddev() const override;
+  double sample(stats::Rng& rng) const override;
+
+ private:
+  std::variant<stats::LogExtendedSkewNormal, stats::SkewNormal> dist_;
+};
+
+}  // namespace lvf2::core

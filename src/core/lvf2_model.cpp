@@ -1,0 +1,380 @@
+#include "core/lvf2_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/kmeans.h"
+#include "stats/optimize.h"
+#include "stats/special_functions.h"
+
+namespace lvf2::core {
+
+Lvf2Model::Lvf2Model(double lambda, const stats::SkewNormal& first,
+                     const stats::SkewNormal& second)
+    : lambda_(lambda), first_(first), second_(second) {
+  if (!(lambda >= 0.0 && lambda <= 1.0)) {
+    throw std::invalid_argument("Lvf2Model: lambda must be in [0,1]");
+  }
+}
+
+Lvf2Model Lvf2Model::from_lvf(const stats::SkewNormal& lvf) {
+  return Lvf2Model(0.0, lvf, lvf);
+}
+
+Lvf2Model Lvf2Model::from_parameters(const Lvf2Parameters& p) {
+  return Lvf2Model(p.lambda, stats::SkewNormal::from_moments(p.theta1),
+                   stats::SkewNormal::from_moments(p.theta2));
+}
+
+Lvf2Parameters Lvf2Model::parameters() const {
+  return Lvf2Parameters{lambda_, first_.to_moments(), second_.to_moments()};
+}
+
+double Lvf2Model::pdf(double x) const {
+  return (1.0 - lambda_) * first_.pdf(x) + lambda_ * second_.pdf(x);
+}
+
+double Lvf2Model::log_pdf(double x) const {
+  if (lambda_ <= 0.0) return first_.log_pdf(x);
+  if (lambda_ >= 1.0) return second_.log_pdf(x);
+  return stats::log_sum_exp(std::log(1.0 - lambda_) + first_.log_pdf(x),
+                            std::log(lambda_) + second_.log_pdf(x));
+}
+
+double Lvf2Model::cdf(double x) const {
+  return (1.0 - lambda_) * first_.cdf(x) + lambda_ * second_.cdf(x);
+}
+
+double Lvf2Model::quantile(double p) const {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  const double lo = std::min(first_.quantile(1e-12), second_.quantile(1e-12));
+  const double hi = std::max(first_.quantile(1.0 - 1e-12),
+                             second_.quantile(1.0 - 1e-12));
+  const auto f = [&](double x) { return cdf(x) - p; };
+  return stats::bisect_root(f, lo, hi, 1e-13 * std::max(stddev(), 1e-30)).x;
+}
+
+double Lvf2Model::mean() const {
+  return (1.0 - lambda_) * first_.mean() + lambda_ * second_.mean();
+}
+
+double Lvf2Model::stddev() const {
+  const double mu = mean();
+  const double d1 = first_.mean() - mu;
+  const double d2 = second_.mean() - mu;
+  const double var = (1.0 - lambda_) * (first_.variance() + d1 * d1) +
+                     lambda_ * (second_.variance() + d2 * d2);
+  return std::sqrt(var);
+}
+
+double Lvf2Model::skewness() const {
+  // Third central moment of a mixture from component central moments:
+  //   m3 = sum_k w_k (m3_k + 3 d_k var_k + d_k^3),  d_k = mu_k - mu.
+  const double mu = mean();
+  const double w[2] = {1.0 - lambda_, lambda_};
+  const stats::SkewNormal* comp[2] = {&first_, &second_};
+  double m2 = 0.0, m3 = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    const double d = comp[k]->mean() - mu;
+    const double var = comp[k]->variance();
+    const double sk3 = comp[k]->skewness() * var * comp[k]->stddev();
+    m2 += w[k] * (var + d * d);
+    m3 += w[k] * (sk3 + 3.0 * d * var + d * d * d);
+  }
+  return (m2 > 0.0) ? m3 / (m2 * std::sqrt(m2)) : 0.0;
+}
+
+double Lvf2Model::sample(stats::Rng& rng) const {
+  return (rng.uniform() < lambda_) ? second_.sample(rng) : first_.sample(rng);
+}
+
+double Lvf2Model::log_likelihood(const WeightedData& data) const {
+  double ll = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ll += data.w[i] * log_pdf(data.x[i]);
+  }
+  return ll;
+}
+
+namespace {
+
+// One EM initialization: a weight plus two starting components.
+struct EmInit {
+  double lambda = 0.5;
+  stats::SkewNormal comp[2];
+};
+
+// K-means partition + method of moments per group (paper Section
+// 3.2) — the location-split initialization.
+std::optional<EmInit> kmeans_init(const WeightedData& data,
+                                  const stats::Moments& global,
+                                  std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const stats::KMeansResult km =
+      stats::kmeans_1d(data.x, 2, rng, {}, data.w);
+  if (km.centers.size() != 2) return std::nullopt;
+  const std::size_t n = data.size();
+  std::vector<double> cluster_w[2];
+  for (int c = 0; c < 2; ++c) cluster_w[c].assign(n, 0.0);
+  double wsum[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = km.assignment[i];
+    cluster_w[c][i] = data.w[i];
+    wsum[c] += data.w[i];
+  }
+  if (wsum[0] <= 0.0 || wsum[1] <= 0.0) return std::nullopt;
+  EmInit init;
+  for (int c = 0; c < 2; ++c) {
+    const auto mom = stats::compute_weighted_moments(data.x, cluster_w[c]);
+    if (mom.stddev > 1e-6 * global.stddev) {
+      init.comp[c] = stats::SkewNormal::from_moments(mom.mean, mom.stddev,
+                                                     mom.skewness);
+    } else {
+      init.comp[c] = stats::SkewNormal::from_moments(
+          mom.mean, 0.05 * global.stddev, 0.0);
+    }
+  }
+  init.lambda = wsum[1] / (wsum[0] + wsum[1]);
+  return init;
+}
+
+// Same-center width-split initialization: both components at the
+// global mean with different spreads. Location-based k-means cannot
+// separate scale mixtures (the paper's "Kurtosis" scenario, Fig.
+// 3(e)); this start lets EM find them.
+EmInit width_split_init(const stats::Moments& global) {
+  EmInit init;
+  init.lambda = 0.5;
+  init.comp[0] = stats::SkewNormal::from_moments(
+      global.mean, 0.55 * global.stddev, 0.0);
+  init.comp[1] = stats::SkewNormal::from_moments(
+      global.mean, 1.45 * global.stddev, global.skewness);
+  return init;
+}
+
+// Tail-split initialization: bulk vs upper tail. Helps low-weight
+// minority modes riding on a dominant component (the paper's "Minor
+// Saddle" scenario, Fig. 3(d)) where k-means balances cluster sizes
+// too aggressively.
+std::optional<EmInit> tail_split_init(const WeightedData& data,
+                                      const stats::Moments& global,
+                                      double tail_fraction) {
+  // Weighted quantile of the binned data.
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data.x[a] < data.x[b];
+  });
+  const double cut_weight = (1.0 - tail_fraction) * data.total_weight;
+  std::vector<double> bulk_w(data.size(), 0.0), tail_w(data.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i : order) {
+    if (acc < cut_weight) {
+      bulk_w[i] = data.w[i];
+    } else {
+      tail_w[i] = data.w[i];
+    }
+    acc += data.w[i];
+  }
+  const auto bulk = stats::compute_weighted_moments(data.x, bulk_w);
+  const auto tail = stats::compute_weighted_moments(data.x, tail_w);
+  if (!(bulk.stddev > 1e-9 * global.stddev) ||
+      !(tail.stddev > 1e-9 * global.stddev)) {
+    return std::nullopt;
+  }
+  EmInit init;
+  init.lambda = tail_fraction;
+  init.comp[0] =
+      stats::SkewNormal::from_moments(bulk.mean, bulk.stddev, bulk.skewness);
+  init.comp[1] =
+      stats::SkewNormal::from_moments(tail.mean, tail.stddev, tail.skewness);
+  return init;
+}
+
+struct EmRun {
+  double lambda = 0.0;
+  stats::SkewNormal comp[2];
+  EmReport report;
+  bool valid = false;
+};
+
+// The EM iteration loop (paper Eq. 6-9) from a given initialization.
+EmRun run_em(const WeightedData& data, const EmInit& init,
+             const FitOptions& options) {
+  const std::size_t n = data.size();
+  EmRun run;
+  run.lambda = init.lambda;
+  run.comp[0] = init.comp[0];
+  run.comp[1] = init.comp[1];
+
+  std::vector<double> resp(n);       // responsibility of component 2
+  std::vector<double> w1(n), w2(n);  // per-component weights
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  constexpr double kWeightFloor = 1e-6;
+  for (std::size_t iter = 0; iter < options.em_max_iterations; ++iter) {
+    run.report.iterations = iter + 1;
+
+    // E-step (Eq. 6): posterior responsibility of each component.
+    const double l1 = std::log(std::max(1.0 - run.lambda, 1e-300));
+    const double l2 = std::log(std::max(run.lambda, 1e-300));
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = l1 + run.comp[0].log_pdf(data.x[i]);
+      const double b = l2 + run.comp[1].log_pdf(data.x[i]);
+      const double lse = stats::log_sum_exp(a, b);
+      resp[i] = std::exp(b - lse);
+      ll += data.w[i] * lse;
+    }
+    run.report.log_likelihood = ll;
+
+    // M-step (Eq. 9): lambda closed-form, components by weighted MLE.
+    double sum2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w2[i] = data.w[i] * resp[i];
+      w1[i] = data.w[i] - w2[i];
+      sum2 += w2[i];
+    }
+    run.lambda = sum2 / data.total_weight;
+    if (run.lambda < kWeightFloor || run.lambda > 1.0 - kWeightFloor) {
+      run.report.collapsed = true;
+      return run;
+    }
+    const auto next1 = stats::SkewNormal::fit_weighted_mle(
+        data.x, w1, &run.comp[0], options.mstep_evaluations);
+    const auto next2 = stats::SkewNormal::fit_weighted_mle(
+        data.x, w2, &run.comp[1], options.mstep_evaluations);
+    if (!next1 || !next2) {
+      run.report.collapsed = true;
+      return run;
+    }
+    run.comp[0] = *next1;
+    run.comp[1] = *next2;
+
+    if (std::isfinite(prev_ll) &&
+        std::fabs(ll - prev_ll) <=
+            options.em_tolerance * (std::fabs(prev_ll) + 1.0)) {
+      run.report.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  run.valid = true;
+  return run;
+}
+
+}  // namespace
+
+std::optional<Lvf2Model> Lvf2Model::fit(std::span<const double> samples,
+                                        const FitOptions& options,
+                                        EmReport* report) {
+  const stats::Moments global = stats::compute_moments(samples);
+  if (global.count < 8 || !(global.stddev > 0.0)) return std::nullopt;
+  return fit_weighted(make_weighted_data(samples, options), options, report);
+}
+
+std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
+                                                 const FitOptions& options,
+                                                 EmReport* report) {
+  const stats::Moments global =
+      stats::compute_weighted_moments(data.x, data.w);
+  if (data.size() < 8 || !(global.stddev > 0.0)) return std::nullopt;
+
+  const auto fallback_sn = stats::SkewNormal::from_moments(
+      global.mean, global.stddev, global.skewness);
+
+  // Multi-start EM: the k-means location split plus the same-center
+  // width split; the best final likelihood wins.
+  std::vector<EmInit> inits;
+  if (auto km = kmeans_init(data, global, options.seed)) {
+    inits.push_back(*km);
+  }
+  inits.push_back(width_split_init(global));
+  if (auto tail = tail_split_init(data, global, 0.15)) {
+    inits.push_back(*tail);
+  }
+
+  // Staged multi-start: a short EM burst per initialization, then the
+  // remaining iteration budget on the best burst only. EM raises the
+  // likelihood monotonically, so the post-burst ranking is a sound
+  // pruning heuristic at ~1/3 the cost of full multi-start.
+  const std::size_t burst_iters =
+      std::min<std::size_t>(8, options.em_max_iterations);
+  FitOptions burst_options = options;
+  burst_options.em_max_iterations = burst_iters;
+  std::optional<EmRun> best;
+  for (const EmInit& init : inits) {
+    EmRun run = run_em(data, init, burst_options);
+    if (!run.valid) continue;
+    if (!best || run.report.log_likelihood > best->report.log_likelihood) {
+      best = std::move(run);
+    }
+  }
+  if (best && !best->report.converged &&
+      options.em_max_iterations > burst_iters) {
+    EmInit continuation;
+    continuation.lambda = best->lambda;
+    continuation.comp[0] = best->comp[0];
+    continuation.comp[1] = best->comp[1];
+    FitOptions rest_options = options;
+    rest_options.em_max_iterations = options.em_max_iterations - burst_iters;
+    EmRun final_run = run_em(data, continuation, rest_options);
+    if (final_run.valid) {
+      final_run.report.iterations += burst_iters;
+      best = std::move(final_run);
+    }
+  }
+
+  if (!best) {
+    if (report != nullptr) {
+      report->collapsed = true;
+    }
+    return from_lvf(fallback_sn);
+  }
+  if (report != nullptr) *report = best->report;
+
+  // Canonical order: component 1 has the smaller mean, so LVF-style
+  // consumers that read only component 1 see the dominant early mode.
+  if (best->comp[0].mean() > best->comp[1].mean()) {
+    std::swap(best->comp[0], best->comp[1]);
+    best->lambda = 1.0 - best->lambda;
+  }
+  Lvf2Model model(std::clamp(best->lambda, 0.0, 1.0), best->comp[0],
+                  best->comp[1]);
+
+  // Affine moment correction: pin the mixture mean / sigma to the
+  // sample moments. MLE leaves O(eps) first-moment mismatches that
+  // accumulate coherently under SSTA convolution (they would
+  // eventually dominate the CLT-washed shape advantage); moment
+  // pinning is also what production characterization flows do.
+  {
+    const double m_fit = model.mean();
+    const double s_fit = model.stddev();
+    if (s_fit > 0.0 && std::isfinite(m_fit)) {
+      const double b = global.stddev / s_fit;
+      const double a = global.mean - b * m_fit;
+      const auto rescale = [&](const stats::SkewNormal& sn) {
+        return stats::SkewNormal(a + b * sn.xi(), b * sn.omega(),
+                                 sn.alpha());
+      };
+      model = Lvf2Model(model.lambda(), rescale(model.component1()),
+                        rescale(model.component2()));
+    }
+  }
+
+  // Guard against EM landing below the single-SN likelihood (rare,
+  // e.g. truly unimodal Gaussian-like data): keep the better of the
+  // mixture and the plain LVF fit.
+  const Lvf2Model single = from_lvf(fallback_sn);
+  if (single.log_likelihood(data) > model.log_likelihood(data)) {
+    if (report != nullptr) report->collapsed = true;
+    return single;
+  }
+  return model;
+}
+
+}  // namespace lvf2::core

@@ -1,0 +1,91 @@
+#pragma once
+// LVF^2 — the paper's contribution (Section 3): a two-component
+// weighted skew-normal mixture
+//
+//   f_LVF2(x | lambda, theta1, theta2) =
+//       (1 - lambda) f_LVF(x | theta1) + lambda f_LVF(x | theta2)
+//
+// (paper Eq. 4), fitted by EM (Section 3.2): K-means + method of
+// moments initialization, E-step responsibilities (Eq. 6), and an
+// M-step that maximizes the expected complete-data log-likelihood
+// (Eq. 7-9) by weighted skew-normal MLE per component.
+//
+// Backward compatibility (Section 3.3 / Eq. 10): lambda == 0 makes
+// LVF^2 collapse to the plain LVF skew-normal, and `from_lvf`
+// constructs exactly that.
+
+#include <optional>
+
+#include "core/em.h"
+#include "core/timing_model.h"
+#include "stats/skew_normal.h"
+
+namespace lvf2::core {
+
+/// Full LVF^2 parameter set in moment space, as stored in a Liberty
+/// library: theta_i = (mean, stddev, skewness), plus the weight.
+struct Lvf2Parameters {
+  double lambda = 0.0;           ///< weight of the second component
+  stats::SnMoments theta1;       ///< first skew-normal (LVF-compatible)
+  stats::SnMoments theta2;       ///< second skew-normal
+};
+
+/// Two-component skew-normal mixture model.
+class Lvf2Model final : public TimingModel {
+ public:
+  /// Direct construction; `lambda` in [0,1] weights `second`.
+  Lvf2Model(double lambda, const stats::SkewNormal& first,
+            const stats::SkewNormal& second);
+
+  /// Backward compatibility (Eq. 10): an LVF^2 with lambda = 0 whose
+  /// first component is the given LVF skew-normal.
+  static Lvf2Model from_lvf(const stats::SkewNormal& lvf);
+
+  /// Construction from Liberty moment-space parameters.
+  static Lvf2Model from_parameters(const Lvf2Parameters& p);
+
+  /// EM fit per paper Section 3.2. Returns nullopt for degenerate
+  /// data; collapses to a single skew-normal (lambda = 0) when one
+  /// component degenerates during EM.
+  static std::optional<Lvf2Model> fit(std::span<const double> samples,
+                                      const FitOptions& options = {},
+                                      EmReport* report = nullptr);
+
+  /// EM fit directly on weighted observations (e.g. a tabulated
+  /// density from block-based SSTA propagation — the family refit at
+  /// each timing-graph node).
+  static std::optional<Lvf2Model> fit_weighted(const WeightedData& data,
+                                               const FitOptions& options = {},
+                                               EmReport* report = nullptr);
+
+  double lambda() const { return lambda_; }
+  const stats::SkewNormal& component1() const { return first_; }
+  const stats::SkewNormal& component2() const { return second_; }
+
+  /// Moment-space parameters for Liberty export.
+  Lvf2Parameters parameters() const;
+
+  /// True when the model is an LVF-compatible single skew-normal.
+  bool is_pure_lvf() const { return lambda_ == 0.0; }
+
+  ModelKind kind() const override { return ModelKind::kLvf2; }
+  double pdf(double x) const override;
+  double log_pdf(double x) const;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double stddev() const override;
+  double skewness() const;
+  double sample(stats::Rng& rng) const override;
+
+  /// Weighted log-likelihood of a data set under this model
+  /// (paper Eq. 5 with weights).
+  double log_likelihood(const WeightedData& data) const;
+
+ private:
+  double lambda_ = 0.0;
+  stats::SkewNormal first_;
+  stats::SkewNormal second_;
+};
+
+}  // namespace lvf2::core

@@ -1,0 +1,15 @@
+#include "core/lvf_model.h"
+
+namespace lvf2::core {
+
+LvfModel LvfModel::from_moments(const stats::SnMoments& m) {
+  return LvfModel(stats::SkewNormal::from_moments(m));
+}
+
+std::optional<LvfModel> LvfModel::fit(std::span<const double> samples) {
+  const auto sn = stats::SkewNormal::fit_moments(samples);
+  if (!sn) return std::nullopt;
+  return LvfModel(*sn);
+}
+
+}  // namespace lvf2::core

@@ -1,0 +1,41 @@
+#pragma once
+// LVF baseline: a single skew-normal defined by the three LVF moments
+// (mean shift, std-dev, skewness) — paper Section 2.2. Fitting is the
+// method of moments, exactly what LVF characterization stores in its
+// look-up tables.
+
+#include <optional>
+
+#include "core/timing_model.h"
+#include "stats/skew_normal.h"
+
+namespace lvf2::core {
+
+/// Industry-standard LVF model: one moment-matched skew-normal.
+class LvfModel final : public TimingModel {
+ public:
+  explicit LvfModel(const stats::SkewNormal& sn) : sn_(sn) {}
+
+  /// Construct from the LVF moment triple (the bijection g of Eq. 2).
+  static LvfModel from_moments(const stats::SnMoments& m);
+
+  /// Method-of-moments fit from samples. Returns nullopt for
+  /// degenerate (empty/constant) data.
+  static std::optional<LvfModel> fit(std::span<const double> samples);
+
+  const stats::SkewNormal& distribution() const { return sn_; }
+  stats::SnMoments moments() const { return sn_.to_moments(); }
+
+  ModelKind kind() const override { return ModelKind::kLvf; }
+  double pdf(double x) const override { return sn_.pdf(x); }
+  double cdf(double x) const override { return sn_.cdf(x); }
+  double quantile(double p) const override { return sn_.quantile(p); }
+  double mean() const override { return sn_.mean(); }
+  double stddev() const override { return sn_.stddev(); }
+  double sample(stats::Rng& rng) const override { return sn_.sample(rng); }
+
+ private:
+  stats::SkewNormal sn_;
+};
+
+}  // namespace lvf2::core

@@ -1,0 +1,112 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/binning.h"
+#include "core/model_factory.h"
+#include "core/yield.h"
+
+namespace lvf2::core {
+
+double cdf_rmse(const std::function<double(double)>& model_cdf,
+                const stats::EmpiricalCdf& golden, std::size_t points,
+                double eps) {
+  if (golden.empty() || points == 0) {
+    throw std::invalid_argument("cdf_rmse: empty input");
+  }
+  const double lo = golden.quantile(eps);
+  const double hi = golden.quantile(1.0 - eps);
+  const double step =
+      (points > 1) ? (hi - lo) / static_cast<double>(points - 1) : 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double d = model_cdf(x) - golden(x);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(points));
+}
+
+double ks_distance(const std::function<double(double)>& model_cdf,
+                   const stats::EmpiricalCdf& golden) {
+  const auto& xs = golden.sorted_samples();
+  const double n = static_cast<double>(xs.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double m = model_cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    sup = std::max({sup, std::fabs(m - lo), std::fabs(m - hi)});
+  }
+  return sup;
+}
+
+const TimingModel* ModelEvaluation::model(ModelKind kind) const {
+  for (const auto& m : models) {
+    if (m && m->kind() == kind) return m.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::size_t index_of(ModelKind kind) {
+  const auto kinds = all_model_kinds();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i] == kind) return i;
+  }
+  throw std::logic_error("unknown ModelKind");
+}
+
+}  // namespace
+
+const ModelErrors& ModelEvaluation::errors_of(ModelKind kind) const {
+  return errors[index_of(kind)];
+}
+
+const ModelErrorReduction& ModelEvaluation::reduction_of(
+    ModelKind kind) const {
+  return reductions[index_of(kind)];
+}
+
+ModelEvaluation evaluate_models(std::span<const double> samples,
+                                const FitOptions& options) {
+  ModelEvaluation eval;
+  eval.golden_moments = stats::compute_moments(samples);
+  eval.models = fit_all_models(samples, options);
+
+  const stats::EmpiricalCdf golden(samples);
+  const std::vector<double> boundaries = sigma_bin_boundaries(
+      eval.golden_moments.mean, eval.golden_moments.stddev);
+  const std::vector<double> golden_bins =
+      bin_probabilities(golden, boundaries);
+
+  const auto kinds = all_model_kinds();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const TimingModel* m = eval.models[i].get();
+    if (m == nullptr) continue;
+    const auto model_cdf = [m](double x) { return m->cdf(x); };
+    const std::vector<double> model_bins =
+        bin_probabilities(model_cdf, boundaries);
+    eval.errors[i].binning = binning_error(model_bins, golden_bins);
+    eval.errors[i].yield_3sigma = three_sigma_yield_error(*m, golden);
+    eval.errors[i].cdf_rmse = cdf_rmse(model_cdf, golden);
+  }
+
+  const ModelErrors& base = eval.errors_of(ModelKind::kLvf);
+  const std::size_t count = eval.golden_moments.count;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    eval.reductions[i].binning = error_reduction(
+        base.binning, eval.errors[i].binning, binning_error_floor(count));
+    eval.reductions[i].yield_3sigma =
+        error_reduction(base.yield_3sigma, eval.errors[i].yield_3sigma,
+                        yield_error_floor(count));
+    eval.reductions[i].cdf_rmse = error_reduction(
+        base.cdf_rmse, eval.errors[i].cdf_rmse, cdf_rmse_floor(count));
+  }
+  return eval;
+}
+
+}  // namespace lvf2::core

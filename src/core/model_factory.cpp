@@ -1,0 +1,79 @@
+#include "core/model_factory.h"
+
+#include "core/lesn_model.h"
+#include "core/lvf2_model.h"
+#include "core/lvf_model.h"
+#include "core/lvfk_model.h"
+#include "core/norm2_model.h"
+
+namespace lvf2::core {
+
+namespace {
+
+template <typename Model>
+std::unique_ptr<TimingModel> wrap(std::optional<Model> fitted) {
+  if (!fitted) return nullptr;
+  return std::make_unique<Model>(std::move(*fitted));
+}
+
+}  // namespace
+
+std::unique_ptr<TimingModel> fit_model(ModelKind kind,
+                                       std::span<const double> samples,
+                                       const FitOptions& options) {
+  switch (kind) {
+    case ModelKind::kLvf:
+      return wrap(LvfModel::fit(samples));
+    case ModelKind::kNorm2:
+      return wrap(Norm2Model::fit(samples, options));
+    case ModelKind::kLesn:
+      return wrap(LesnModel::fit(samples));
+    case ModelKind::kLvf2:
+      return wrap(Lvf2Model::fit(samples, options));
+    case ModelKind::kLvfK:
+      // Default extension order for the factory path; use
+      // LvfKModel::fit directly to choose K.
+      return wrap(LvfKModel::fit(samples, 3, options));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TimingModel> refit_model(ModelKind kind,
+                                         const stats::GridPdf& pdf,
+                                         const FitOptions& options) {
+  if (pdf.empty()) return nullptr;
+  stats::Moments moments;
+  moments.count = pdf.size();
+  moments.mean = pdf.mean();
+  moments.stddev = pdf.stddev();
+  moments.skewness = pdf.skewness();
+  moments.kurtosis = pdf.kurtosis();
+  if (!(moments.stddev > 0.0)) return nullptr;
+  switch (kind) {
+    case ModelKind::kLvf:
+      return std::make_unique<LvfModel>(LvfModel::from_moments(
+          {moments.mean, moments.stddev, moments.skewness}));
+    case ModelKind::kLesn:
+      return wrap(LesnModel::fit_moments(moments, pdf.lo() > 0.0));
+    case ModelKind::kNorm2:
+      return wrap(Norm2Model::fit_weighted(make_weighted_data(pdf), options));
+    case ModelKind::kLvf2:
+      return wrap(Lvf2Model::fit_weighted(make_weighted_data(pdf), options));
+    case ModelKind::kLvfK:
+      return wrap(
+          LvfKModel::fit_weighted(make_weighted_data(pdf), 3, options));
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<TimingModel>> fit_all_models(
+    std::span<const double> samples, const FitOptions& options) {
+  std::vector<std::unique_ptr<TimingModel>> models;
+  models.reserve(all_model_kinds().size());
+  for (ModelKind kind : all_model_kinds()) {
+    models.push_back(fit_model(kind, samples, options));
+  }
+  return models;
+}
+
+}  // namespace lvf2::core

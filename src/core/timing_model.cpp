@@ -1,0 +1,39 @@
+#include "core/timing_model.h"
+
+#include <array>
+
+namespace lvf2::core {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLvf:
+      return "LVF";
+    case ModelKind::kNorm2:
+      return "Norm2";
+    case ModelKind::kLesn:
+      return "LESN";
+    case ModelKind::kLvf2:
+      return "LVF2";
+    case ModelKind::kLvfK:
+      return "LVFk";
+  }
+  return "?";
+}
+
+std::span<const ModelKind> all_model_kinds() {
+  static constexpr std::array<ModelKind, 4> kAll = {
+      ModelKind::kLvf2, ModelKind::kNorm2, ModelKind::kLesn, ModelKind::kLvf};
+  return kAll;
+}
+
+stats::GridPdf TimingModel::to_grid(std::size_t points,
+                                    double span_sigmas) const {
+  const double mu = mean();
+  const double sd = stddev();
+  const double lo = mu - span_sigmas * sd;
+  const double hi = mu + span_sigmas * sd;
+  return stats::GridPdf::from_function([this](double x) { return pdf(x); },
+                                       lo, hi, points);
+}
+
+}  // namespace lvf2::core

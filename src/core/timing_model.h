@@ -1,0 +1,70 @@
+#pragma once
+// Common interface of the statistical timing models compared in the
+// paper: LVF (single skew-normal, the industry baseline), Norm^2
+// (two-component Gaussian mixture, ref. [10]), LESN (log-extended-
+// skew-normal, ref. [7]) and LVF^2 (two-component skew-normal
+// mixture, the paper's contribution).
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stats/grid_pdf.h"
+#include "stats/rng.h"
+
+namespace lvf2::core {
+
+/// Identifies a timing model family. The first four are the paper's
+/// compared models; kLvfK is the K-component extension of Section 3.3.
+enum class ModelKind {
+  kLvf,    ///< single skew-normal (industry baseline)
+  kNorm2,  ///< two-component Gaussian mixture
+  kLesn,   ///< log-extended-skew-normal (kurtosis matching)
+  kLvf2,   ///< two-component skew-normal mixture (this paper)
+  kLvfK,   ///< K-component skew-normal mixture (Section 3.3 extension)
+};
+
+/// Short display name ("LVF", "Norm2", "LESN", "LVF2", "LVFk").
+std::string to_string(ModelKind kind);
+
+/// The paper's four compared kinds in table order
+/// (LVF2, Norm2, LESN, LVF).
+std::span<const ModelKind> all_model_kinds();
+
+/// Options shared by the model fitting routines.
+struct FitOptions {
+  /// Samples are compressed into this many equal-width bins before
+  /// likelihood fitting (binned-likelihood EM). 0 fits raw samples.
+  std::size_t likelihood_bins = 512;
+  /// EM iteration cap (mixture models).
+  std::size_t em_max_iterations = 80;
+  /// Relative log-likelihood improvement below which EM stops.
+  double em_tolerance = 1e-8;
+  /// Nelder-Mead evaluation budget per component per M-step.
+  std::size_t mstep_evaluations = 220;
+  /// Seed for k-means initialization (deterministic fits).
+  std::uint64_t seed = 0x5eed;
+};
+
+/// A fitted univariate timing distribution model.
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+
+  virtual ModelKind kind() const = 0;
+  std::string name() const { return to_string(kind()); }
+
+  virtual double pdf(double x) const = 0;
+  virtual double cdf(double x) const = 0;
+  virtual double quantile(double p) const = 0;
+  virtual double mean() const = 0;
+  virtual double stddev() const = 0;
+  virtual double sample(stats::Rng& rng) const = 0;
+
+  /// Tabulates the model on a uniform grid covering
+  /// mean +/- span_sigmas * stddev, for SSTA propagation.
+  stats::GridPdf to_grid(std::size_t points = 1024,
+                         double span_sigmas = 8.0) const;
+};
+
+}  // namespace lvf2::core

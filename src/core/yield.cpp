@@ -1,0 +1,38 @@
+#include "core/yield.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lvf2::core {
+
+namespace {
+
+double three_sigma_point(const stats::EmpiricalCdf& golden) {
+  const stats::Moments m = stats::compute_moments(golden.sorted_samples());
+  return m.mean + 3.0 * m.stddev;
+}
+
+}  // namespace
+
+double three_sigma_yield(const TimingModel& model,
+                         const stats::EmpiricalCdf& golden) {
+  return model.cdf(three_sigma_point(golden));
+}
+
+double three_sigma_yield(const stats::EmpiricalCdf& golden) {
+  return golden(three_sigma_point(golden));
+}
+
+double three_sigma_yield_error(const TimingModel& model,
+                               const stats::EmpiricalCdf& golden) {
+  return std::fabs(three_sigma_yield(model, golden) -
+                   three_sigma_yield(golden));
+}
+
+double window_yield(const std::function<double(double)>& cdf, double t_min,
+                    double t_max) {
+  if (!(t_max > t_min)) return 0.0;
+  return std::clamp(cdf(t_max) - cdf(t_min), 0.0, 1.0);
+}
+
+}  // namespace lvf2::core

@@ -1,0 +1,30 @@
+#pragma once
+// Yield estimation. The 3-sigma yield is the fraction of chips whose
+// delay meets the target T_max = mu + 3 sigma (golden moments); the
+// 3-sigma yield *error* of a model is the absolute difference between
+// the model's and the golden CDF at that point. A windowed variant
+// P(T_min <= t <= T_max) supports the faulty-fast-bin story of
+// paper Fig. 2.
+
+#include "core/timing_model.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::core {
+
+/// P(t <= mu + 3 sigma) under the model, with (mu, sigma) taken from
+/// the golden samples.
+double three_sigma_yield(const TimingModel& model,
+                         const stats::EmpiricalCdf& golden);
+
+/// Golden (empirical) 3-sigma yield.
+double three_sigma_yield(const stats::EmpiricalCdf& golden);
+
+/// |model yield - golden yield| at mu + 3 sigma.
+double three_sigma_yield_error(const TimingModel& model,
+                               const stats::EmpiricalCdf& golden);
+
+/// Usable-chip yield P(t_min <= t <= t_max) under an arbitrary CDF.
+double window_yield(const std::function<double(double)>& cdf, double t_min,
+                    double t_max);
+
+}  // namespace lvf2::core

@@ -1,0 +1,70 @@
+#include "liberty/ast.h"
+
+namespace lvf2::liberty {
+
+namespace {
+const std::string kEmpty;
+}
+
+const std::string& Attribute::single() const {
+  return values.empty() ? kEmpty : values.front();
+}
+
+const Attribute* Group::find_attribute(const std::string& attr_name) const {
+  for (const Attribute& a : attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+const Group* Group::find_child(const std::string& child_type) const {
+  for (const Group& g : children) {
+    if (g.type == child_type) return &g;
+  }
+  return nullptr;
+}
+
+const Group* Group::find_child(const std::string& child_type,
+                               const std::string& first_arg) const {
+  for (const Group& g : children) {
+    if (g.type == child_type && g.name() == first_arg) return &g;
+  }
+  return nullptr;
+}
+
+std::vector<const Group*> Group::children_of_type(
+    const std::string& child_type) const {
+  std::vector<const Group*> out;
+  for (const Group& g : children) {
+    if (g.type == child_type) out.push_back(&g);
+  }
+  return out;
+}
+
+Group& Group::add_child(std::string child_type,
+                        std::vector<std::string> args) {
+  Group g;
+  g.type = std::move(child_type);
+  g.args = std::move(args);
+  children.push_back(std::move(g));
+  return children.back();
+}
+
+void Group::set_attribute(std::string attr_name, std::string value) {
+  Attribute a;
+  a.name = std::move(attr_name);
+  a.values.push_back(std::move(value));
+  a.is_complex = false;
+  attributes.push_back(std::move(a));
+}
+
+void Group::set_complex_attribute(std::string attr_name,
+                                  std::vector<std::string> values) {
+  Attribute a;
+  a.name = std::move(attr_name);
+  a.values = std::move(values);
+  a.is_complex = true;
+  attributes.push_back(std::move(a));
+}
+
+}  // namespace lvf2::liberty

@@ -1,0 +1,57 @@
+#pragma once
+// Liberty-format abstract syntax tree: nested groups with simple
+// (`name : value;`) and complex (`name(v1, v2, ...);`) attributes —
+// the subset needed for statistical timing libraries (LVF and LVF^2
+// look-up tables).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lvf2::liberty {
+
+/// A simple or complex Liberty attribute.
+struct Attribute {
+  std::string name;
+  std::vector<std::string> values;  ///< one entry for simple attributes
+  bool is_complex = false;          ///< `name(...)` vs `name : v`
+
+  /// The single value of a simple attribute ("" when empty).
+  const std::string& single() const;
+};
+
+/// A Liberty group: `type(arg, ...) { attributes... children... }`.
+struct Group {
+  std::string type;
+  std::vector<std::string> args;
+  std::vector<Attribute> attributes;
+  std::vector<Group> children;
+
+  /// First argument or "" (most groups have one name argument).
+  std::string name() const { return args.empty() ? "" : args.front(); }
+
+  /// First attribute with the given name, or nullptr.
+  const Attribute* find_attribute(const std::string& attr_name) const;
+
+  /// First child group of the given type (optionally with the given
+  /// first argument), or nullptr.
+  const Group* find_child(const std::string& child_type) const;
+  const Group* find_child(const std::string& child_type,
+                          const std::string& first_arg) const;
+
+  /// All child groups of the given type.
+  std::vector<const Group*> children_of_type(
+      const std::string& child_type) const;
+
+  /// Adds and returns a new child group.
+  Group& add_child(std::string child_type, std::vector<std::string> args = {});
+
+  /// Adds a simple attribute.
+  void set_attribute(std::string attr_name, std::string value);
+
+  /// Adds a complex attribute.
+  void set_complex_attribute(std::string attr_name,
+                             std::vector<std::string> values);
+};
+
+}  // namespace lvf2::liberty

@@ -1,0 +1,118 @@
+#include "liberty/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace lvf2::liberty {
+
+namespace {
+
+bool is_identifier_char(char c) {
+  // Liberty identifiers include numbers, units, dots, signs inside
+  // scientific notation, and path-ish characters.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-' || c == '+' || c == '*' || c == '/' ||
+         c == '[' || c == ']' || c == '!' || c == '=' || c == '<' ||
+         c == '>';
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("liberty lexer (line " + std::to_string(line) +
+                           "): " + message);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line continuation.
+    if (c == '\\' && i + 1 < n &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+      i += (source[i + 1] == '\n') ? 2 : 3;
+      ++line;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::size_t start_line = line;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(start_line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      const std::size_t start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') ++line;
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          // Continued string: skip the escape and newline.
+          i += 2;
+          ++line;
+          continue;
+        }
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (i >= n) fail(start_line, "unterminated string");
+      ++i;
+      tokens.push_back(Token{TokenKind::kString, std::move(text), start_line});
+      continue;
+    }
+    // Punctuation.
+    const auto push = [&](TokenKind kind) {
+      tokens.push_back(Token{kind, std::string(1, c), line});
+      ++i;
+    };
+    switch (c) {
+      case '{': push(TokenKind::kLBrace); continue;
+      case '}': push(TokenKind::kRBrace); continue;
+      case '(': push(TokenKind::kLParen); continue;
+      case ')': push(TokenKind::kRParen); continue;
+      case ':': push(TokenKind::kColon); continue;
+      case ';': push(TokenKind::kSemicolon); continue;
+      case ',': push(TokenKind::kComma); continue;
+      default: break;
+    }
+    // Identifiers / numbers.
+    if (is_identifier_char(c)) {
+      std::size_t j = i;
+      while (j < n && is_identifier_char(source[j])) ++j;
+      tokens.push_back(Token{TokenKind::kIdentifier,
+                             std::string(source.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    fail(line, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace lvf2::liberty

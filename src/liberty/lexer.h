@@ -1,0 +1,36 @@
+#pragma once
+// Liberty tokenizer. Handles identifiers/numbers, quoted strings,
+// punctuation, line continuations (backslash-newline) and both
+// comment styles.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvf2::liberty {
+
+enum class TokenKind {
+  kIdentifier,  ///< bare words, numbers, units (1.2e-3, 0.5ns)
+  kString,      ///< "quoted" (quotes stripped)
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kColon,
+  kSemicolon,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based source line (diagnostics)
+};
+
+/// Tokenizes Liberty source. Throws std::runtime_error with a line
+/// number on malformed input (unterminated string / comment, stray
+/// characters).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace lvf2::liberty

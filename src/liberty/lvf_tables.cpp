@@ -1,0 +1,387 @@
+#include "liberty/lvf_tables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace lvf2::liberty {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.7g", v);
+  return buf;
+}
+
+std::string join_csv(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += format_double(values[i]);
+  }
+  return out;
+}
+
+std::vector<double> parse_csv(const std::string& text) {
+  std::vector<double> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    try {
+      out.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw std::runtime_error("liberty: bad number in table: '" + item +
+                               "'");
+    }
+  }
+  return out;
+}
+
+constexpr const char* kTemplateName = "lvf2_lut_8x8";
+
+// Writes one LUT group (e.g. cell_rise / ocv_std_dev_cell_rise).
+void write_table(Group& timing, const std::string& name,
+                 const std::vector<double>& slews,
+                 const std::vector<double>& loads,
+                 const std::vector<std::vector<double>>& values) {
+  Group& lut = timing.add_child(name, {kTemplateName});
+  lut.set_complex_attribute("index_1", {join_csv(slews)});
+  lut.set_complex_attribute("index_2", {join_csv(loads)});
+  std::vector<std::string> rows;
+  rows.reserve(values.size());
+  for (const std::vector<double>& row : values) {
+    rows.push_back(join_csv(row));
+  }
+  lut.set_complex_attribute("values", std::move(rows));
+}
+
+// Extracts one LUT group into a TimingTable; empty result if absent.
+TimingTable read_table(const Group& timing, const std::string& name) {
+  TimingTable table;
+  const Group* lut = timing.find_child(name);
+  if (lut == nullptr) return table;
+  if (const Attribute* a = lut->find_attribute("index_1")) {
+    table.index_1 = parse_csv(a->single());
+  }
+  if (const Attribute* a = lut->find_attribute("index_2")) {
+    table.index_2 = parse_csv(a->single());
+  }
+  if (const Attribute* a = lut->find_attribute("values")) {
+    for (const std::string& row : a->values) {
+      table.values.push_back(parse_csv(row));
+    }
+  }
+  return table;
+}
+
+// Accessor helpers for a per-quantity characterized value.
+struct QuantityAccess {
+  double (*nominal)(const cells::ConditionCharacterization&);
+  stats::SnMoments (*lvf)(const cells::ConditionCharacterization&);
+  core::Lvf2Parameters (*lvf2)(const cells::ConditionCharacterization&);
+};
+
+void write_quantity(Group& timing, const std::string& base,
+                    const cells::ArcCharacterization& arc,
+                    const QuantityAccess& access, bool include_lvf2) {
+  const std::size_t rows = arc.grid.cols();  // index_1 = slew
+  const std::size_t cols = arc.grid.rows();  // index_2 = load
+  const auto make = [&](auto&& per_entry) {
+    std::vector<std::vector<double>> values(rows,
+                                            std::vector<double>(cols));
+    for (std::size_t si = 0; si < rows; ++si) {
+      for (std::size_t li = 0; li < cols; ++li) {
+        values[si][li] = per_entry(arc.at(li, si));
+      }
+    }
+    return values;
+  };
+  const auto& slews = arc.grid.slews_ns;
+  const auto& loads = arc.grid.loads_pf;
+
+  write_table(timing, base, slews, loads,
+              make([&](const auto& e) { return access.nominal(e); }));
+  // LVF attributes.
+  write_table(timing, "ocv_mean_shift_" + base, slews, loads,
+              make([&](const auto& e) {
+                return access.lvf(e).mean - access.nominal(e);
+              }));
+  write_table(timing, "ocv_std_dev_" + base, slews, loads,
+              make([&](const auto& e) { return access.lvf(e).stddev; }));
+  write_table(timing, "ocv_skewness_" + base, slews, loads,
+              make([&](const auto& e) { return access.lvf(e).skewness; }));
+  if (!include_lvf2) return;
+  // LVF^2 attributes (paper Section 3.3).
+  write_table(timing, "ocv_mean_shift1_" + base, slews, loads,
+              make([&](const auto& e) {
+                return access.lvf2(e).theta1.mean - access.nominal(e);
+              }));
+  write_table(timing, "ocv_std_dev1_" + base, slews, loads,
+              make([&](const auto& e) { return access.lvf2(e).theta1.stddev; }));
+  write_table(timing, "ocv_skewness1_" + base, slews, loads,
+              make([&](const auto& e) {
+                return access.lvf2(e).theta1.skewness;
+              }));
+  write_table(timing, "ocv_weight2_" + base, slews, loads,
+              make([&](const auto& e) { return access.lvf2(e).lambda; }));
+  write_table(timing, "ocv_mean_shift2_" + base, slews, loads,
+              make([&](const auto& e) {
+                return access.lvf2(e).theta2.mean - access.nominal(e);
+              }));
+  write_table(timing, "ocv_std_dev2_" + base, slews, loads,
+              make([&](const auto& e) { return access.lvf2(e).theta2.stddev; }));
+  write_table(timing, "ocv_skewness2_" + base, slews, loads,
+              make([&](const auto& e) {
+                return access.lvf2(e).theta2.skewness;
+              }));
+}
+
+}  // namespace
+
+double TimingTable::lookup(double slew_ns, double load_pf) const {
+  if (empty() || index_1.empty() || index_2.empty()) {
+    return std::nan("");
+  }
+  const auto bracket = [](const std::vector<double>& idx, double x,
+                          std::size_t& lo, double& t) {
+    if (idx.size() == 1 || x <= idx.front()) {
+      lo = 0;
+      t = 0.0;
+      return;
+    }
+    if (x >= idx.back()) {
+      lo = idx.size() - 2;
+      t = 1.0;
+      return;
+    }
+    const auto it = std::upper_bound(idx.begin(), idx.end(), x);
+    lo = static_cast<std::size_t>(it - idx.begin()) - 1;
+    t = (x - idx[lo]) / (idx[lo + 1] - idx[lo]);
+  };
+  std::size_t i = 0, j = 0;
+  double ti = 0.0, tj = 0.0;
+  bracket(index_1, slew_ns, i, ti);
+  bracket(index_2, load_pf, j, tj);
+  const std::size_t i1 = std::min(i + 1, index_1.size() - 1);
+  const std::size_t j1 = std::min(j + 1, index_2.size() - 1);
+  const double v00 = values[i][j], v01 = values[i][j1];
+  const double v10 = values[i1][j], v11 = values[i1][j1];
+  return (1 - ti) * ((1 - tj) * v00 + tj * v01) +
+         ti * ((1 - tj) * v10 + tj * v11);
+}
+
+core::Lvf2Parameters StatisticalTables::parameters_at(std::size_t i,
+                                                      std::size_t j) const {
+  const double nom = nominal.at(i, j);
+  core::Lvf2Parameters p;
+  // First component: component-1 tables when present, else the LVF
+  // tables (the Section 3.3 inheritance defaults).
+  const TimingTable& ms1 = mean_shift1.empty() ? mean_shift : mean_shift1;
+  const TimingTable& sd1 = std_dev1.empty() ? std_dev : std_dev1;
+  const TimingTable& sk1 = skewness1.empty() ? skewness : skewness1;
+  p.theta1.mean = nom + (ms1.empty() ? 0.0 : ms1.at(i, j));
+  p.theta1.stddev = sd1.empty() ? 1e-12 : std::max(sd1.at(i, j), 1e-12);
+  p.theta1.skewness = sk1.empty() ? 0.0 : sk1.at(i, j);
+  // Weight of the second component defaults to zero (pure LVF).
+  p.lambda = weight2.empty() ? 0.0 : std::clamp(weight2.at(i, j), 0.0, 1.0);
+  if (p.lambda > 0.0 && !mean_shift2.empty() && !std_dev2.empty()) {
+    p.theta2.mean = nom + mean_shift2.at(i, j);
+    p.theta2.stddev = std::max(std_dev2.at(i, j), 1e-12);
+    p.theta2.skewness = skewness2.empty() ? 0.0 : skewness2.at(i, j);
+  } else {
+    p.lambda = 0.0;
+    p.theta2 = p.theta1;
+  }
+  return p;
+}
+
+core::Lvf2Model StatisticalTables::model_at(std::size_t i,
+                                            std::size_t j) const {
+  return core::Lvf2Model::from_parameters(parameters_at(i, j));
+}
+
+core::LvfKModel StatisticalTables::model_k_at(std::size_t i,
+                                              std::size_t j) const {
+  const core::Lvf2Parameters base = parameters_at(i, j);
+  std::vector<core::LvfKModel::Component> components;
+  components.push_back(
+      {1.0 - base.lambda, stats::SkewNormal::from_moments(base.theta1)});
+  if (base.lambda > 0.0) {
+    components.push_back(
+        {base.lambda, stats::SkewNormal::from_moments(base.theta2)});
+  }
+  const double nom = nominal.at(i, j);
+  for (const ComponentTables& extra : higher_components) {
+    if (extra.weight.empty() || extra.mean_shift.empty() ||
+        extra.std_dev.empty()) {
+      continue;
+    }
+    const double w = std::clamp(extra.weight.at(i, j), 0.0, 1.0);
+    if (w <= 0.0) continue;
+    // Scale the existing components down so the total stays 1.
+    for (auto& c : components) c.weight *= (1.0 - w);
+    components.push_back(
+        {w, stats::SkewNormal::from_moments(
+                nom + extra.mean_shift.at(i, j),
+                std::max(extra.std_dev.at(i, j), 1e-12),
+                extra.skewness.empty() ? 0.0 : extra.skewness.at(i, j))});
+  }
+  return core::LvfKModel(std::move(components));
+}
+
+stats::SnMoments StatisticalTables::lvf_moments_at(std::size_t i,
+                                                   std::size_t j) const {
+  const double nom = nominal.at(i, j);
+  stats::SnMoments m;
+  m.mean = nom + (mean_shift.empty() ? 0.0 : mean_shift.at(i, j));
+  m.stddev = std_dev.empty() ? 1e-12 : std::max(std_dev.at(i, j), 1e-12);
+  m.skewness = skewness.empty() ? 0.0 : skewness.at(i, j);
+  return m;
+}
+
+Group build_library(const cells::LibraryCharacterization& characterization,
+                    const WriteOptions& options) {
+  Group library;
+  library.type = "library";
+  library.args = {options.library_name};
+  library.set_attribute("delay_model", "table_lookup");
+  library.set_attribute("time_unit", "1ns");
+  library.set_attribute("voltage_unit", "1V");
+  library.set_complex_attribute("capacitive_load_unit", {"1", "pf"});
+  library.set_attribute("nom_voltage", "0.8");
+  library.set_attribute("nom_temperature", "25");
+
+  if (!characterization.cells.empty() &&
+      !characterization.cells.front().arcs.empty()) {
+    const auto& grid = characterization.cells.front().arcs.front().grid;
+    Group& tmpl = library.add_child("lu_table_template", {kTemplateName});
+    tmpl.set_attribute("variable_1", "input_net_transition");
+    tmpl.set_attribute("variable_2", "total_output_net_capacitance");
+    tmpl.set_complex_attribute("index_1", {join_csv(grid.slews_ns)});
+    tmpl.set_complex_attribute("index_2", {join_csv(grid.loads_pf)});
+  }
+
+  for (const cells::CellCharacterization& cell : characterization.cells) {
+    Group& cell_group = library.add_child("cell", {cell.cell_name});
+    // Group arcs by output pin.
+    std::vector<std::string> output_pins;
+    for (const cells::ArcCharacterization& arc : cell.arcs) {
+      // arc_label format: "IN->OUT (rise|fall)".
+      const std::size_t arrow = arc.arc_label.find("->");
+      const std::size_t space = arc.arc_label.find(' ');
+      const std::string out_pin =
+          arc.arc_label.substr(arrow + 2, space - arrow - 2);
+      if (std::find(output_pins.begin(), output_pins.end(), out_pin) ==
+          output_pins.end()) {
+        output_pins.push_back(out_pin);
+      }
+    }
+    for (const std::string& out_pin : output_pins) {
+      Group& pin_group = cell_group.add_child("pin", {out_pin});
+      pin_group.set_attribute("direction", "output");
+      // One timing group per (input pin); rise and fall arcs of the
+      // same related pin share the group, as in real libraries.
+      std::vector<std::string> related_done;
+      for (const cells::ArcCharacterization& arc : cell.arcs) {
+        const std::size_t arrow = arc.arc_label.find("->");
+        const std::size_t space = arc.arc_label.find(' ');
+        const std::string in_pin = arc.arc_label.substr(0, arrow);
+        const std::string this_out =
+            arc.arc_label.substr(arrow + 2, space - arrow - 2);
+        if (this_out != out_pin) continue;
+        Group* timing = nullptr;
+        if (std::find(related_done.begin(), related_done.end(), in_pin) ==
+            related_done.end()) {
+          timing = &pin_group.add_child("timing");
+          timing->set_attribute("related_pin", in_pin);
+          related_done.push_back(in_pin);
+        } else {
+          // Find the existing timing group for this related pin.
+          for (Group& g : pin_group.children) {
+            const Attribute* rp = g.find_attribute("related_pin");
+            if (g.type == "timing" && rp != nullptr &&
+                rp->single() == in_pin) {
+              timing = &g;
+              break;
+            }
+          }
+        }
+        if (timing == nullptr) continue;
+        const bool rise = arc.arc_label.find("(rise)") != std::string::npos;
+        const std::string delay_base = rise ? "cell_rise" : "cell_fall";
+        const std::string tran_base =
+            rise ? "rise_transition" : "fall_transition";
+        const QuantityAccess delay_access{
+            [](const cells::ConditionCharacterization& e) {
+              return e.nominal_delay_ns;
+            },
+            [](const cells::ConditionCharacterization& e) {
+              return e.lvf_delay;
+            },
+            [](const cells::ConditionCharacterization& e) {
+              return e.lvf2_delay;
+            }};
+        const QuantityAccess tran_access{
+            [](const cells::ConditionCharacterization& e) {
+              return e.nominal_transition_ns;
+            },
+            [](const cells::ConditionCharacterization& e) {
+              return e.lvf_transition;
+            },
+            [](const cells::ConditionCharacterization& e) {
+              return e.lvf2_transition;
+            }};
+        write_quantity(*timing, delay_base, arc, delay_access,
+                       options.include_lvf2);
+        write_quantity(*timing, tran_base, arc, tran_access,
+                       options.include_lvf2);
+      }
+    }
+  }
+  return library;
+}
+
+std::optional<StatisticalTables> extract_tables(const Group& timing_group,
+                                                const std::string& base) {
+  StatisticalTables tables;
+  tables.nominal = read_table(timing_group, base);
+  if (tables.nominal.empty()) return std::nullopt;
+  tables.mean_shift = read_table(timing_group, "ocv_mean_shift_" + base);
+  tables.std_dev = read_table(timing_group, "ocv_std_dev_" + base);
+  tables.skewness = read_table(timing_group, "ocv_skewness_" + base);
+  tables.mean_shift1 = read_table(timing_group, "ocv_mean_shift1_" + base);
+  tables.std_dev1 = read_table(timing_group, "ocv_std_dev1_" + base);
+  tables.skewness1 = read_table(timing_group, "ocv_skewness1_" + base);
+  tables.weight2 = read_table(timing_group, "ocv_weight2_" + base);
+  tables.mean_shift2 = read_table(timing_group, "ocv_mean_shift2_" + base);
+  tables.std_dev2 = read_table(timing_group, "ocv_std_dev2_" + base);
+  tables.skewness2 = read_table(timing_group, "ocv_skewness2_" + base);
+  // The Section 3.3 extension: scan components 3, 4, ... while their
+  // weight table is present.
+  for (int n = 3;; ++n) {
+    const std::string suffix = std::to_string(n) + "_" + base;
+    StatisticalTables::ComponentTables extra;
+    extra.weight = read_table(timing_group, "ocv_weight" + suffix);
+    if (extra.weight.empty()) break;
+    extra.mean_shift = read_table(timing_group, "ocv_mean_shift" + suffix);
+    extra.std_dev = read_table(timing_group, "ocv_std_dev" + suffix);
+    extra.skewness = read_table(timing_group, "ocv_skewness" + suffix);
+    tables.higher_components.push_back(std::move(extra));
+  }
+  return tables;
+}
+
+const Group* find_timing(const Group& pin_group,
+                         const std::string& related_pin) {
+  for (const Group& g : pin_group.children) {
+    if (g.type != "timing") continue;
+    const Attribute* rp = g.find_attribute("related_pin");
+    if (rp != nullptr && rp->single() == related_pin) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace lvf2::liberty

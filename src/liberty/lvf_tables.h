@@ -1,0 +1,122 @@
+#pragma once
+// Statistical timing tables in Liberty: writing a characterized
+// library out with both LVF and LVF^2 attributes, and reading either
+// kind back into LVF^2 models.
+//
+// LVF (paper Section 2.2) stores per arc, per table:
+//   cell_rise                      nominal LUT
+//   ocv_mean_shift_cell_rise       mean - nominal
+//   ocv_std_dev_cell_rise          sigma
+//   ocv_skewness_cell_rise         skewness
+//
+// LVF^2 (paper Section 3.3) adds seven attributes with defaulting
+// rules that guarantee backward compatibility (Eq. 10):
+//   ocv_mean_shift1_*  (default: inherits ocv_mean_shift_*)
+//   ocv_std_dev1_*     (default: inherits ocv_std_dev_*)
+//   ocv_skewness1_*    (default: inherits ocv_skewness_*)
+//   ocv_weight2_*      (default: all zeros)
+//   ocv_mean_shift2_*, ocv_std_dev2_*, ocv_skewness2_*
+//
+// An LVF^2-capable reader applied to a plain LVF library therefore
+// yields lambda = 0 mixtures that are exactly the LVF skew-normals.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/characterize.h"
+#include "core/lvf2_model.h"
+#include "core/lvfk_model.h"
+#include "liberty/ast.h"
+
+namespace lvf2::liberty {
+
+/// A 2-D look-up table: index_1 = input slew [ns], index_2 = output
+/// load [pF], values[i][j] at (index_1[i], index_2[j]).
+struct TimingTable {
+  std::vector<double> index_1;
+  std::vector<double> index_2;
+  std::vector<std::vector<double>> values;
+
+  bool empty() const { return values.empty(); }
+  double at(std::size_t i, std::size_t j) const { return values[i][j]; }
+
+  /// Bilinear interpolation (clamped at the grid boundary).
+  double lookup(double slew_ns, double load_pf) const;
+};
+
+/// The full statistical table set of one arc quantity (delay or
+/// transition, one direction).
+struct StatisticalTables {
+  TimingTable nominal;
+  // LVF.
+  TimingTable mean_shift;
+  TimingTable std_dev;
+  TimingTable skewness;
+  // LVF^2 (empty tables mean "absent in the library" -> defaults).
+  TimingTable mean_shift1;
+  TimingTable std_dev1;
+  TimingTable skewness1;
+  TimingTable weight2;
+  TimingTable mean_shift2;
+  TimingTable std_dev2;
+  TimingTable skewness2;
+
+  /// Components beyond the second (the Section 3.3 "more components"
+  /// extension: ocv_mean_shift3_*, ocv_weight3_*, ...). Entry 0 is
+  /// component 3.
+  struct ComponentTables {
+    TimingTable mean_shift;
+    TimingTable std_dev;
+    TimingTable skewness;
+    TimingTable weight;
+  };
+  std::vector<ComponentTables> higher_components;
+
+  /// True when any second-component attribute is present.
+  bool has_lvf2() const { return !weight2.empty(); }
+
+  /// Total number of mixture components encoded (1 for plain LVF).
+  std::size_t component_count() const {
+    return has_lvf2() ? 2 + higher_components.size() : 1;
+  }
+
+  /// Resolves the LVF^2 parameters at grid point (i, j), applying the
+  /// Section 3.3 defaulting rules.
+  core::Lvf2Parameters parameters_at(std::size_t i, std::size_t j) const;
+
+  /// Resolved two-component mixture model at a grid point (higher
+  /// components, if any, are folded proportionally into component 2's
+  /// weight by `model_at`; use `model_k_at` for the exact K-mixture).
+  core::Lvf2Model model_at(std::size_t i, std::size_t j) const;
+
+  /// Resolved K-component mixture at a grid point, honoring every
+  /// encoded component (Section 3.3 extension).
+  core::LvfKModel model_k_at(std::size_t i, std::size_t j) const;
+
+  /// Plain LVF moments at a grid point (first component of Eq. 10).
+  stats::SnMoments lvf_moments_at(std::size_t i, std::size_t j) const;
+};
+
+/// Library serialization options.
+struct WriteOptions {
+  std::string library_name = "lvf2_bench_lib";
+  bool include_lvf2 = true;  ///< false writes a plain LVF library
+};
+
+/// Builds the Liberty AST of a characterized library.
+Group build_library(const cells::LibraryCharacterization& characterization,
+                    const WriteOptions& options = {});
+
+/// Extracts the statistical tables of one timing group. `base` is
+/// the LUT base name: "cell_rise", "cell_fall", "rise_transition" or
+/// "fall_transition". Returns nullopt when the base LUT is missing.
+std::optional<StatisticalTables> extract_tables(const Group& timing_group,
+                                                const std::string& base);
+
+/// Finds the timing group of `related_pin` under `pin_group`
+/// (nullptr when absent).
+const Group* find_timing(const Group& pin_group,
+                         const std::string& related_pin);
+
+}  // namespace lvf2::liberty

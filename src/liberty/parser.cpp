@@ -1,0 +1,127 @@
+#include "liberty/parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "liberty/lexer.h"
+
+namespace lvf2::liberty {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Group parse_root() {
+    Group root = parse_group();
+    expect(TokenKind::kEnd, "end of input");
+    return root;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("liberty parser (line " +
+                             std::to_string(peek().line) + "): " + message);
+  }
+
+  const Token& expect(TokenKind kind, const std::string& what) {
+    if (peek().kind != kind) fail("expected " + what);
+    return advance();
+  }
+
+  // value := IDENT | STRING
+  std::string parse_value() {
+    if (peek().kind != TokenKind::kIdentifier &&
+        peek().kind != TokenKind::kString) {
+      fail("expected a value");
+    }
+    return advance().text;
+  }
+
+  Group parse_group() {
+    Group group;
+    group.type = expect(TokenKind::kIdentifier, "group type").text;
+    expect(TokenKind::kLParen, "'('");
+    while (peek().kind != TokenKind::kRParen) {
+      group.args.push_back(parse_value());
+      if (peek().kind == TokenKind::kComma) advance();
+    }
+    advance();  // ')'
+    expect(TokenKind::kLBrace, "'{'");
+    while (peek().kind != TokenKind::kRBrace) {
+      parse_statement(group);
+    }
+    advance();  // '}'
+    return group;
+  }
+
+  void parse_statement(Group& parent) {
+    const Token& name = expect(TokenKind::kIdentifier, "statement name");
+    if (peek().kind == TokenKind::kColon) {
+      advance();
+      Attribute attr;
+      attr.name = name.text;
+      attr.values.push_back(parse_value());
+      attr.is_complex = false;
+      expect(TokenKind::kSemicolon, "';'");
+      parent.attributes.push_back(std::move(attr));
+      return;
+    }
+    if (peek().kind != TokenKind::kLParen) {
+      fail("expected ':' or '(' after '" + name.text + "'");
+    }
+    advance();  // '('
+    std::vector<std::string> values;
+    while (peek().kind != TokenKind::kRParen) {
+      values.push_back(parse_value());
+      if (peek().kind == TokenKind::kComma) advance();
+    }
+    advance();  // ')'
+    if (peek().kind == TokenKind::kLBrace) {
+      // It is a nested group.
+      Group child;
+      child.type = name.text;
+      child.args = std::move(values);
+      advance();  // '{'
+      while (peek().kind != TokenKind::kRBrace) {
+        parse_statement(child);
+      }
+      advance();  // '}'
+      parent.children.push_back(std::move(child));
+      return;
+    }
+    // Complex attribute.
+    Attribute attr;
+    attr.name = name.text;
+    attr.values = std::move(values);
+    attr.is_complex = true;
+    if (peek().kind == TokenKind::kSemicolon) advance();
+    parent.attributes.push_back(std::move(attr));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Group parse(std::string_view source) {
+  return Parser(tokenize(source)).parse_root();
+}
+
+Group parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("liberty: cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace lvf2::liberty

@@ -1,0 +1,25 @@
+#pragma once
+// Recursive-descent Liberty parser producing the Group AST.
+//
+// Grammar subset:
+//   group     := IDENT '(' arg-list? ')' '{' statement* '}'
+//   statement := group
+//              | IDENT ':' value ';'            (simple attribute)
+//              | IDENT '(' value-list? ')' ';'  (complex attribute)
+//   value     := IDENT | STRING
+
+#include <string_view>
+
+#include "liberty/ast.h"
+
+namespace lvf2::liberty {
+
+/// Parses a Liberty source into its root group (usually
+/// `library(...) { ... }`). Throws std::runtime_error with a line
+/// number on syntax errors.
+Group parse(std::string_view source);
+
+/// Reads and parses a .lib file from disk.
+Group parse_file(const std::string& path);
+
+}  // namespace lvf2::liberty

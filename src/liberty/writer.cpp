@@ -1,0 +1,74 @@
+#include "liberty/writer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lvf2::liberty {
+
+namespace {
+
+bool needs_quotes(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '.' || c == '-' || c == '+') {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string quoted(const std::string& value) {
+  return needs_quotes(value) ? "\"" + value + "\"" : value;
+}
+
+void write_group(std::ostringstream& out, const Group& group, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  out << pad << group.type << " (";
+  for (std::size_t i = 0; i < group.args.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << quoted(group.args[i]);
+  }
+  out << ") {\n";
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  for (const Attribute& attr : group.attributes) {
+    if (attr.is_complex) {
+      out << inner << attr.name << " (";
+      for (std::size_t i = 0; i < attr.values.size(); ++i) {
+        if (i > 0) out << ", \\\n" << inner << "  ";
+        out << quoted(attr.values[i]);
+      }
+      out << ");\n";
+    } else {
+      out << inner << attr.name << " : " << quoted(attr.single()) << ";\n";
+    }
+  }
+  for (const Group& child : group.children) {
+    write_group(out, child, depth + 1);
+  }
+  out << pad << "}\n";
+}
+
+}  // namespace
+
+std::string write(const Group& group) {
+  std::ostringstream out;
+  write_group(out, group, 0);
+  return out.str();
+}
+
+void write_file(const Group& group, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("liberty: cannot write file: " + path);
+  }
+  out << write(group);
+  if (!out) {
+    throw std::runtime_error("liberty: write failed: " + path);
+  }
+}
+
+}  // namespace lvf2::liberty

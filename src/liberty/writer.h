@@ -1,0 +1,18 @@
+#pragma once
+// Liberty serializer: renders a Group AST back to .lib text with
+// standard two-space indentation. Values that are not plain Liberty
+// identifiers are quoted automatically, so parse(write(g)) == g.
+
+#include <string>
+
+#include "liberty/ast.h"
+
+namespace lvf2::liberty {
+
+/// Serializes a group (and its subtree) to Liberty text.
+std::string write(const Group& group);
+
+/// Writes a group tree to a .lib file; throws on I/O failure.
+void write_file(const Group& group, const std::string& path);
+
+}  // namespace lvf2::liberty

@@ -1,0 +1,163 @@
+#include "spice/cellsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace lvf2::spice {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+// 10%-90% output swing factor for an RC transition (ln 9 ~ 2.197).
+constexpr double kSwingFactor = 2.197224577336220;
+// Nominal threshold fraction around which the B-mechanism coupling is
+// linearized.
+constexpr double kVtNominal = 0.41;
+
+// Confrontation statistic: a unit-variance statistic dominated by the
+// *opposing* (non-pulling) device's mismatch. Physically, whether the
+// input-coupled (short-circuit overlap) mechanism wins is governed by
+// the strength of the device fighting the transition — which barely
+// affects the pull delay itself, so the regime selection is nearly
+// independent of the within-regime delay value and genuine mixture
+// components appear when the regime threshold sits mid-range.
+double confrontation_statistic(const StageElectrical& stage,
+                               const ProcessCorner& corner,
+                               const VariationSample& v) {
+  const bool pull_is_nmos = stage.pull.is_nmos;
+  const double z_op_vth = pull_is_nmos ? v.dvth_p / corner.sigma_vth_p
+                                       : v.dvth_n / corner.sigma_vth_n;
+  const double z_op_mob = (pull_is_nmos ? v.dmob_p : v.dmob_n) /
+                          corner.sigma_mob;
+  return 0.92 * z_op_vth + 0.39 * z_op_mob;
+}
+
+// Threshold fraction of the opposing device — drives the strength of
+// the mechanism-B coupling.
+double opposing_vt_fraction(const StageElectrical& stage,
+                            const ProcessCorner& corner,
+                            const VariationSample& v) {
+  if (stage.pull.is_nmos) {
+    return (corner.vth_p + v.dvth_p) / corner.vdd;
+  }
+  return (corner.vth_n + v.dvth_n) / corner.vdd;
+}
+
+// ln of the slew-to-swing ratio — the confrontation axis. Zero on
+// the grid diagonal where input and output transitions are matched.
+double log_rho(const StageElectrical& stage, const ArcCondition& condition,
+               const ProcessCorner& corner) {
+  const VariationSample nominal{};
+  const double r_nom = effective_resistance_kohm(stage.pull, corner, nominal);
+  const double c_total = condition.load_pf + stage.internal_cap_pf;
+  const double swing_nom = kSwingFactor * r_nom * c_total;
+  return std::log(condition.slew_ns / std::max(swing_nom, 1e-9));
+}
+
+// Regime threshold in confrontation-statistic units.
+double regime_threshold(const StageElectrical& stage,
+                        const ArcCondition& condition,
+                        const ProcessCorner& corner) {
+  return log_rho(stage, condition, corner) / stage.mechanism_width +
+         stage.mechanism_offset;
+}
+
+struct MechanismTimes {
+  StageTimes a;
+  StageTimes b;
+};
+
+MechanismTimes mechanism_times(const StageElectrical& stage,
+                               const ArcCondition& condition,
+                               const ProcessCorner& corner,
+                               const VariationSample& variation) {
+  const double r_eff =
+      effective_resistance_kohm(stage.pull, corner, variation);
+  const double c_total = condition.load_pf + stage.internal_cap_pf;
+  const double t_drive = kLn2 * r_eff * c_total;
+  const double t_swing = kSwingFactor * r_eff * c_total;
+  const double vt =
+      effective_vth(stage.pull, corner, variation) / corner.vdd;
+
+  // Sakurai input-slope term: fraction of the input transition spent
+  // before the switching device turns on.
+  const double slope_term =
+      condition.slew_ns * (0.5 - (1.0 - vt) / (1.0 + corner.alpha));
+
+  MechanismTimes t;
+  // Mechanism A: drive-limited RC switching.
+  t.a.delay_ns = t_drive + slope_term;
+  t.a.transition_ns = t_swing + 0.18 * condition.slew_ns;
+
+  // Mechanism B: input-coupled switching. Relative to A, the
+  // switching point shifts by a fraction of the local drive time; the
+  // shift couples to the *opposing* device threshold (short-circuit
+  // overlap), so the B component is wider and skewed along a
+  // direction that is independent of the within-A spread. The base
+  // fraction drifts mildly along the confrontation axis, diversifying
+  // shapes across the grid.
+  const double lrho = log_rho(stage, condition, corner);
+  const double vt_op = opposing_vt_fraction(stage, corner, variation);
+  const double base_d = stage.mechanism_gain * stage.mechanism_base_scale *
+                        (0.34 + 0.08 * std::tanh(lrho));
+  const double vt_d = stage.mechanism_gain * 1.5 * (vt_op - kVtNominal);
+  t.b.delay_ns = t.a.delay_ns + (base_d + vt_d) * t_drive;
+
+  const double base_t = stage.mechanism_gain_transition *
+                        stage.mechanism_base_scale *
+                        (0.30 + 0.07 * std::tanh(lrho));
+  const double vt_t = stage.mechanism_gain_transition * 1.2 *
+                      (vt_op - kVtNominal);
+  t.b.transition_ns = t.a.transition_ns + (base_t + vt_t) * t_swing;
+  return t;
+}
+
+}  // namespace
+
+StageTimes nominal_stage_times(const StageElectrical& stage,
+                               const ArcCondition& condition,
+                               const ProcessCorner& corner) {
+  const VariationSample nominal{};
+  const MechanismTimes t =
+      mechanism_times(stage, condition, corner, nominal);
+  // Nominal reporting blends the mechanisms with the analytic weight.
+  const double lambda = mechanism_b_probability(stage, condition, corner);
+  StageTimes out;
+  out.delay_ns = (1.0 - lambda) * t.a.delay_ns + lambda * t.b.delay_ns;
+  out.transition_ns =
+      (1.0 - lambda) * t.a.transition_ns + lambda * t.b.transition_ns;
+  return out;
+}
+
+StageTimes simulate_stage(const StageElectrical& stage,
+                          const ArcCondition& condition,
+                          const ProcessCorner& corner,
+                          const VariationSample& variation) {
+  const MechanismTimes t =
+      mechanism_times(stage, condition, corner, variation);
+  const double u = confrontation_statistic(stage, corner, variation);
+  const double theta = regime_threshold(stage, condition, corner);
+  // Transition uses a slightly shifted threshold so delay and
+  // transition mixtures differ (as observed in the paper's Fig. 4
+  // delay-vs-transition patterns).
+  const bool b_delay = u < theta;
+  const bool b_transition = u < theta + 0.35;
+  StageTimes out;
+  out.delay_ns = b_delay ? t.b.delay_ns : t.a.delay_ns;
+  out.transition_ns = b_transition ? t.b.transition_ns : t.a.transition_ns;
+  // Floor: physical times cannot be negative (very fast corners with
+  // large negative slope terms).
+  out.delay_ns = std::max(out.delay_ns, 1e-6);
+  out.transition_ns = std::max(out.transition_ns, 1e-6);
+  return out;
+}
+
+double mechanism_b_probability(const StageElectrical& stage,
+                               const ArcCondition& condition,
+                               const ProcessCorner& corner) {
+  return stats::normal_cdf(regime_threshold(stage, condition, corner));
+}
+
+}  // namespace lvf2::spice

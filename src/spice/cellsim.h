@@ -1,0 +1,82 @@
+#pragma once
+// Analytical stage (cell timing arc) simulator — the compute kernel of
+// the SPICE-substitute Monte-Carlo engine.
+//
+// Each arc is reduced to an equivalent switching network (Mosfet) plus
+// capacitances, and its delay / output-transition are evaluated with
+// alpha-power-law RC equations. Two competing charge mechanisms are
+// modeled, matching the paper's own analysis (Section 4.3) that
+// multi-Gaussian behaviour appears when "two variations are evenly
+// matched against each other" and that the balance follows the
+// slew-load point:
+//
+//  - Mechanism A (drive-limited): output slewing is limited by the
+//    pulling network, delay ~ ln2 * R_eff * C + input-slope term.
+//  - Mechanism B (input-coupled): for inputs slow relative to the
+//    output swing, the switching point couples to the input ramp
+//    through the (varied) threshold voltage, with reduced effective
+//    drive (short-circuit current overlap).
+//
+// Which mechanism wins for a given die is decided by a normalized
+// confrontation statistic of the sampled variations crossed with a
+// slew/load-dependent threshold; the induced mixture weight traces
+// the diagonal accuracy pattern of paper Fig. 4.
+
+#include "spice/device.h"
+#include "spice/process.h"
+
+namespace lvf2::spice {
+
+/// Electrical template of one timing arc of a cell.
+struct StageElectrical {
+  /// Equivalent pulling network for the output transition of the arc.
+  Mosfet pull;
+  /// Gate capacitance this arc presents to its driver [pF].
+  double input_cap_pf = 0.0020;
+  /// Output self-loading (diffusion) capacitance [pF].
+  double internal_cap_pf = 0.0012;
+  /// Shifts the A/B regime threshold (cell/arc personality).
+  double mechanism_offset = 0.0;
+  /// Scales the *mean* separation of mechanism B relative to A while
+  /// leaving its extra spread intact; ~0 gives same-center mixtures
+  /// with different widths (the paper's "Kurtosis" scenario).
+  double mechanism_base_scale = 1.0;
+  /// Scales the mechanism-B separation for delay (0 disables).
+  double mechanism_gain = 1.0;
+  /// Mechanism-B separation for the output transition; transitions
+  /// show stronger multi-Gaussian behaviour than delays (paper 4.2).
+  double mechanism_gain_transition = 1.6;
+  /// Softness of the regime crossover in ln(slew/swing) units.
+  double mechanism_width = 1.4;
+};
+
+/// Operating condition of one look-up-table entry.
+struct ArcCondition {
+  double slew_ns = 0.05;  ///< input transition time [ns]
+  double load_pf = 0.05;  ///< output load capacitance [pF]
+};
+
+/// Simulated times for one Monte-Carlo sample.
+struct StageTimes {
+  double delay_ns = 0.0;
+  double transition_ns = 0.0;
+};
+
+/// Nominal (variation-free) times of an arc at a condition.
+StageTimes nominal_stage_times(const StageElectrical& stage,
+                               const ArcCondition& condition,
+                               const ProcessCorner& corner);
+
+/// Times of one sampled die.
+StageTimes simulate_stage(const StageElectrical& stage,
+                          const ArcCondition& condition,
+                          const ProcessCorner& corner,
+                          const VariationSample& variation);
+
+/// The analytic mixture weight lambda = P(mechanism B) at a
+/// condition; exposed for tests and the Fig. 4 pattern analysis.
+double mechanism_b_probability(const StageElectrical& stage,
+                               const ArcCondition& condition,
+                               const ProcessCorner& corner);
+
+}  // namespace lvf2::spice

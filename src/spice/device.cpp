@@ -1,0 +1,47 @@
+#include "spice/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lvf2::spice {
+
+double effective_vth(const Mosfet& device, const ProcessCorner& corner,
+                     const VariationSample& variation) {
+  // Mismatch of a stack of independent devices averages; the
+  // variation sample carries the cell-level draw, scaled here.
+  const double stack_factor = 1.0 / std::sqrt(static_cast<double>(
+                                  std::max(device.stack, 1)));
+  if (device.is_nmos) {
+    return corner.vth_n + variation.dvth_n * stack_factor;
+  }
+  return corner.vth_p + variation.dvth_p * stack_factor;
+}
+
+double on_current_ma(const Mosfet& device, const ProcessCorner& corner,
+                     const VariationSample& variation) {
+  const double vth = effective_vth(device, corner, variation);
+  // Overdrive clamp: keep a 30 mV floor so extreme-Vth samples model
+  // a near/sub-threshold device instead of producing zero current.
+  const double overdrive = std::max(corner.vdd - vth, 0.03);
+  const double k = device.is_nmos ? corner.kn : corner.kp;
+  const double mob =
+      1.0 + (device.is_nmos ? variation.dmob_n : variation.dmob_p);
+  // Geometry: W up, L down increases current; tox down increases Cox.
+  const double geom = (1.0 + variation.dwid) / (1.0 + variation.dlen) /
+                      (1.0 + variation.dtox);
+  const double current = k * device.drive * std::max(mob, 0.05) *
+                         std::max(geom, 0.05) *
+                         std::pow(overdrive, corner.alpha);
+  return current;
+}
+
+double effective_resistance_kohm(const Mosfet& device,
+                                 const ProcessCorner& corner,
+                                 const VariationSample& variation) {
+  const double i_on = on_current_ma(device, corner, variation);
+  const double r_single = corner.vdd / (2.0 * i_on);  // V / mA = kOhm
+  return r_single * static_cast<double>(std::max(device.stack, 1)) /
+         static_cast<double>(std::max(device.parallel, 1));
+}
+
+}  // namespace lvf2::spice

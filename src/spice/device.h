@@ -1,0 +1,49 @@
+#pragma once
+// Alpha-power-law MOSFET model (Sakurai-Newton). Drive current of a
+// device in saturation:
+//
+//   I_on = k * drive * (W/L factors) * mobility * (Vdd - Vth)^alpha
+//
+// with Vth, L, W, mobility and tox perturbed by the per-sample local
+// variation. Delay equations consume the equivalent switching
+// resistance R_eff = Vdd / (2 I_on).
+//
+// Units: volts, milliamps, kilo-ohms, picofarads, nanoseconds
+// (kOhm * pF = ns), which keeps all quantities near unity.
+
+#include "spice/process.h"
+
+namespace lvf2::spice {
+
+/// Electrical description of one (equivalent) transistor.
+struct Mosfet {
+  bool is_nmos = true;
+  /// Relative drive strength (width multiple of the unit device).
+  double drive = 1.0;
+  /// Number of identical devices in series (stacked); the stack is
+  /// collapsed into one equivalent device with resistance scaled by
+  /// `stack` and threshold sigma scaled by 1/sqrt(stack) (mismatch
+  /// averaging along the stack).
+  int stack = 1;
+  /// Parallel branches (multi-input gates with parallel networks).
+  int parallel = 1;
+};
+
+/// Effective threshold voltage of the device under variation
+/// (includes the 1/sqrt(stack) mismatch-averaging of the stack).
+double effective_vth(const Mosfet& device, const ProcessCorner& corner,
+                     const VariationSample& variation);
+
+/// Saturation drive current [mA] of the equivalent device; clamped
+/// below by a small subthreshold floor so deep-Vth samples stay
+/// finite.
+double on_current_ma(const Mosfet& device, const ProcessCorner& corner,
+                     const VariationSample& variation);
+
+/// Equivalent switching resistance [kOhm]: Vdd / (2 I_on), times the
+/// series stack count, divided by parallel branches.
+double effective_resistance_kohm(const Mosfet& device,
+                                 const ProcessCorner& corner,
+                                 const VariationSample& variation);
+
+}  // namespace lvf2::spice

@@ -1,0 +1,32 @@
+#include "spice/montecarlo.h"
+
+namespace lvf2::spice {
+
+McResult run_monte_carlo(const StageElectrical& stage,
+                         const ArcCondition& condition,
+                         const ProcessCorner& corner,
+                         const McConfig& config) {
+  stats::Rng rng(config.seed);
+  const VariationSampler sampler(corner);
+  const std::vector<VariationSample> draws =
+      config.use_lhs ? sampler.sample_lhs(config.samples, rng)
+                     : sampler.sample_mc(config.samples, rng);
+  McResult result;
+  result.delay_ns.reserve(draws.size());
+  result.transition_ns.reserve(draws.size());
+  for (const VariationSample& v : draws) {
+    const StageTimes t = simulate_stage(stage, condition, corner, v);
+    result.delay_ns.push_back(t.delay_ns);
+    result.transition_ns.push_back(t.transition_ns);
+  }
+  return result;
+}
+
+StageTimes evaluate_sample(const StageElectrical& stage,
+                           const ArcCondition& condition,
+                           const ProcessCorner& corner,
+                           const VariationSample& variation) {
+  return simulate_stage(stage, condition, corner, variation);
+}
+
+}  // namespace lvf2::spice

@@ -1,0 +1,41 @@
+#pragma once
+// Monte-Carlo driver: draws variation samples (LHS by default, as in
+// the paper) and evaluates one arc at one slew/load condition into
+// delay and transition sample vectors — the "golden" data that every
+// model is fitted to and judged against.
+
+#include <cstdint>
+#include <vector>
+
+#include "spice/cellsim.h"
+#include "spice/process.h"
+
+namespace lvf2::spice {
+
+/// Monte-Carlo run configuration.
+struct McConfig {
+  std::size_t samples = 10000;
+  std::uint64_t seed = 0x1234;
+  bool use_lhs = true;  ///< Latin Hypercube (paper) vs plain MC
+};
+
+/// Sampled timing distributions of one arc condition.
+struct McResult {
+  std::vector<double> delay_ns;
+  std::vector<double> transition_ns;
+};
+
+/// Runs the Monte-Carlo simulation of one arc at one condition.
+McResult run_monte_carlo(const StageElectrical& stage,
+                         const ArcCondition& condition,
+                         const ProcessCorner& corner, const McConfig& config);
+
+/// Evaluates one arc for a *shared* set of variation samples (used by
+/// path Monte-Carlo where all stages of a die see correlated but
+/// per-stage-independent draws managed by the caller).
+StageTimes evaluate_sample(const StageElectrical& stage,
+                           const ArcCondition& condition,
+                           const ProcessCorner& corner,
+                           const VariationSample& variation);
+
+}  // namespace lvf2::spice

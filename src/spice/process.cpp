@@ -1,0 +1,47 @@
+#include "spice/process.h"
+
+#include "stats/lhs.h"
+
+namespace lvf2::spice {
+
+ProcessCorner ProcessCorner::tt_global_local_mc() { return ProcessCorner{}; }
+
+VariationSample VariationSampler::scale(const double* z) const {
+  VariationSample s;
+  s.dvth_n = corner_.sigma_vth_n * z[0];
+  s.dvth_p = corner_.sigma_vth_p * z[1];
+  s.dlen = corner_.sigma_len * z[2];
+  s.dmob_n = corner_.sigma_mob * z[3];
+  s.dmob_p = corner_.sigma_mob * z[4];
+  s.dtox = corner_.sigma_tox * z[5];
+  s.dwid = corner_.sigma_wid * z[6];
+  return s;
+}
+
+VariationSample VariationSampler::sample_one(stats::Rng& rng) const {
+  double z[VariationSample::kDimensions];
+  for (double& v : z) v = rng.normal();
+  return scale(z);
+}
+
+std::vector<VariationSample> VariationSampler::sample_lhs(
+    std::size_t count, stats::Rng& rng) const {
+  const stats::LhsDesign design =
+      stats::lhs_normal(count, VariationSample::kDimensions, rng);
+  std::vector<VariationSample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(scale(&design.values[i * VariationSample::kDimensions]));
+  }
+  return out;
+}
+
+std::vector<VariationSample> VariationSampler::sample_mc(
+    std::size_t count, stats::Rng& rng) const {
+  std::vector<VariationSample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sample_one(rng));
+  return out;
+}
+
+}  // namespace lvf2::spice

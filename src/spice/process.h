@@ -1,0 +1,84 @@
+#pragma once
+// Process variation model — the data-gate substitute for the paper's
+// TSMC 22nm PDK + HSPICE Monte Carlo (see DESIGN.md, Substitutions).
+//
+// A ProcessCorner carries the nominal device parameters and the
+// local-variation sigmas of the "TTGlobal_LocalMC" style corner used
+// by the paper (typical global corner, local mismatch Monte-Carlo,
+// 0.8 V, 25 C). A VariationSampler draws per-sample variation
+// vectors, by default with Latin Hypercube Sampling exactly as the
+// paper's golden data was generated.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace lvf2::spice {
+
+/// One Monte-Carlo draw of the local (mismatch) process variations,
+/// in physical units.
+struct VariationSample {
+  double dvth_n = 0.0;  ///< NMOS threshold shift [V]
+  double dvth_p = 0.0;  ///< PMOS threshold shift [V]
+  double dlen = 0.0;    ///< relative channel-length variation
+  double dmob_n = 0.0;  ///< relative NMOS mobility variation
+  double dmob_p = 0.0;  ///< relative PMOS mobility variation
+  double dtox = 0.0;    ///< relative oxide-thickness variation
+  double dwid = 0.0;    ///< relative width variation
+
+  static constexpr std::size_t kDimensions = 7;
+};
+
+/// Nominal process / environment parameters and local sigmas.
+struct ProcessCorner {
+  // Environment.
+  double vdd = 0.8;      ///< supply voltage [V]
+  double temp_c = 25.0;  ///< temperature [C]
+
+  // Nominal device parameters (22nm-class planar CMOS).
+  double vth_n = 0.32;   ///< NMOS threshold [V]
+  double vth_p = 0.34;   ///< PMOS threshold magnitude [V]
+  double alpha = 1.3;    ///< alpha-power-law velocity-saturation index
+  double kn = 1.9;       ///< NMOS transconductance scale [mA/V^alpha]
+  double kp = 1.25;      ///< PMOS transconductance scale [mA/V^alpha]
+
+  // Local (mismatch) one-sigma variations.
+  double sigma_vth_n = 0.030;  ///< [V]
+  double sigma_vth_p = 0.032;  ///< [V]
+  double sigma_len = 0.045;    ///< relative
+  double sigma_mob = 0.050;    ///< relative
+  double sigma_tox = 0.020;    ///< relative
+  double sigma_wid = 0.035;    ///< relative
+
+  /// The corner used throughout the paper's experiments:
+  /// typical global, local mismatch MC, 0.8 V, 25 C.
+  static ProcessCorner tt_global_local_mc();
+};
+
+/// Draws variation vectors for a corner.
+class VariationSampler {
+ public:
+  explicit VariationSampler(const ProcessCorner& corner) : corner_(corner) {}
+
+  /// One plain Monte-Carlo draw.
+  VariationSample sample_one(stats::Rng& rng) const;
+
+  /// `count` draws by Latin Hypercube Sampling over the 7 variation
+  /// dimensions (stratified standard normals scaled by the sigmas).
+  std::vector<VariationSample> sample_lhs(std::size_t count,
+                                          stats::Rng& rng) const;
+
+  /// `count` plain Monte-Carlo draws.
+  std::vector<VariationSample> sample_mc(std::size_t count,
+                                         stats::Rng& rng) const;
+
+  const ProcessCorner& corner() const { return corner_; }
+
+ private:
+  VariationSample scale(const double* z) const;
+
+  ProcessCorner corner_;
+};
+
+}  // namespace lvf2::spice

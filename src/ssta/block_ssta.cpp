@@ -1,0 +1,39 @@
+#include "ssta/block_ssta.h"
+
+#include <stdexcept>
+
+namespace lvf2::ssta {
+
+stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,
+                        const SstaOptions& options) {
+  return stats::GridPdf::convolve(x, y, options.max_conv_points);
+}
+
+stats::GridPdf ssta_max(const stats::GridPdf& x, const stats::GridPdf& y,
+                        const SstaOptions& options) {
+  return stats::GridPdf::statistical_max(x, y, options.grid_points);
+}
+
+std::vector<stats::GridPdf> propagate_chain(
+    std::span<const stats::GridPdf> stage_pdfs,
+    std::span<const double> wire_delays, const SstaOptions& options) {
+  if (!wire_delays.empty() && wire_delays.size() != stage_pdfs.size()) {
+    throw std::invalid_argument("propagate_chain: wire delay size mismatch");
+  }
+  std::vector<stats::GridPdf> cumulative;
+  cumulative.reserve(stage_pdfs.size());
+  for (std::size_t i = 0; i < stage_pdfs.size(); ++i) {
+    stats::GridPdf stage = stage_pdfs[i];
+    if (!wire_delays.empty() && wire_delays[i] != 0.0) {
+      stage = stage.shifted(wire_delays[i]);
+    }
+    if (cumulative.empty()) {
+      cumulative.push_back(std::move(stage));
+    } else {
+      cumulative.push_back(ssta_sum(cumulative.back(), stage, options));
+    }
+  }
+  return cumulative;
+}
+
+}  // namespace lvf2::ssta

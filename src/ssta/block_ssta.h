@@ -1,0 +1,37 @@
+#pragma once
+// Block-based SSTA operators (paper ref. [20], Devgan & Kashyap):
+// arrival-time distributions are carried as discretized PDFs; edges
+// add (convolution) and merge points take the statistical max of
+// independent arrivals. Used both for generic timing graphs and for
+// the per-stage critical-path propagation of paper Section 4.4.
+
+#include <span>
+#include <vector>
+
+#include "stats/grid_pdf.h"
+
+namespace lvf2::ssta {
+
+/// Numeric resolution of the propagation.
+struct SstaOptions {
+  std::size_t grid_points = 2048;    ///< per-operand resample resolution
+  std::size_t max_conv_points = 4096;  ///< result cap for convolutions
+};
+
+/// SUM operator: distribution of X + Y for independent X, Y.
+stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,
+                        const SstaOptions& options = {});
+
+/// MAX operator: distribution of max(X, Y) for independent X, Y.
+stats::GridPdf ssta_max(const stats::GridPdf& x, const stats::GridPdf& y,
+                        const SstaOptions& options = {});
+
+/// Propagates a chain: returns the cumulative arrival distribution
+/// after each stage. `stage_pdfs[i]` is stage i's delay distribution
+/// and `wire_delays[i]` (same length, or empty) a deterministic add.
+std::vector<stats::GridPdf> propagate_chain(
+    std::span<const stats::GridPdf> stage_pdfs,
+    std::span<const double> wire_delays = {},
+    const SstaOptions& options = {});
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,43 @@
+#include "ssta/mc_ssta.h"
+
+#include "spice/montecarlo.h"
+#include "stats/rng.h"
+
+namespace lvf2::ssta {
+
+PathMcResult run_path_monte_carlo(const TimingPath& path,
+                                  const spice::ProcessCorner& corner,
+                                  const PathMcConfig& config) {
+  PathMcResult result;
+  const std::size_t depth = path.stages.size();
+  result.stage_delays.resize(depth);
+  result.cumulative.resize(depth);
+
+  const spice::VariationSampler sampler(corner);
+  for (std::size_t i = 0; i < depth; ++i) {
+    const PathStage& stage = path.stages[i];
+    // Independent per-instance seed: local mismatch is uncorrelated
+    // across instances.
+    stats::Rng rng(stats::combine_seed(
+        config.seed, stats::hash_name(path.name + "/" +
+                                      stage.instance_name) + i));
+    const std::vector<spice::VariationSample> draws =
+        config.use_lhs ? sampler.sample_lhs(config.samples, rng)
+                       : sampler.sample_mc(config.samples, rng);
+    auto& delays = result.stage_delays[i];
+    delays.reserve(config.samples);
+    for (const spice::VariationSample& v : draws) {
+      const spice::StageTimes t = spice::simulate_stage(
+          stage.arc().stage, stage.condition, corner, v);
+      delays.push_back(t.delay_ns + stage.wire_delay_ns);
+    }
+    auto& cum = result.cumulative[i];
+    cum.resize(config.samples);
+    for (std::size_t j = 0; j < config.samples; ++j) {
+      cum[j] = delays[j] + (i > 0 ? result.cumulative[i - 1][j] : 0.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,38 @@
+#pragma once
+// Golden path-level Monte Carlo: each die draws independent local
+// variations per stage instance (local mismatch is uncorrelated
+// between cell instances), the path delay is the sample-wise sum.
+// Also exposes the per-stage golden sample matrix so each model can
+// be fitted stage-by-stage and compared after every stage (paper
+// Fig. 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "spice/process.h"
+#include "ssta/path.h"
+
+namespace lvf2::ssta {
+
+/// Configuration of a golden path run.
+struct PathMcConfig {
+  std::size_t samples = 10000;
+  std::uint64_t seed = 0xBEEF;
+  bool use_lhs = true;
+};
+
+/// Result: stage delay samples and cumulative (path prefix) samples.
+struct PathMcResult {
+  /// stage_delays[i][j]: delay of stage i for die j (wire delay
+  /// included).
+  std::vector<std::vector<double>> stage_delays;
+  /// cumulative[i][j]: sum of stages 0..i for die j.
+  std::vector<std::vector<double>> cumulative;
+};
+
+/// Runs the golden Monte Carlo of a path against a corner.
+PathMcResult run_path_monte_carlo(const TimingPath& path,
+                                  const spice::ProcessCorner& corner,
+                                  const PathMcConfig& config);
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,33 @@
+#pragma once
+// Timing path representation consumed by both the block-based SSTA
+// propagation and the golden path Monte-Carlo.
+
+#include <string>
+#include <vector>
+
+#include "cells/cell_types.h"
+#include "spice/cellsim.h"
+
+namespace lvf2::ssta {
+
+/// One stage of a critical path: a cell arc at a resolved condition,
+/// plus the deterministic wire (Elmore) delay that follows it.
+struct PathStage {
+  std::string instance_name;
+  cells::Cell cell;      ///< owned copy; paths outlive builders
+  std::size_t arc_index = 0;
+  spice::ArcCondition condition;
+  double wire_delay_ns = 0.0;
+
+  const cells::TimingArc& arc() const { return cell.arcs.at(arc_index); }
+};
+
+/// An ordered chain of stages (a circuit critical path).
+struct TimingPath {
+  std::string name;
+  std::vector<PathStage> stages;
+
+  std::size_t depth() const { return stages.size(); }
+};
+
+}  // namespace lvf2::ssta

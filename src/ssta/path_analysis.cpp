@@ -1,0 +1,147 @@
+#include "ssta/path_analysis.h"
+
+#include <memory>
+
+#include "cells/cell_types.h"
+#include "core/binning.h"
+#include "core/metrics.h"
+#include "core/model_factory.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::ssta {
+
+double fo4_delay_ns(const spice::ProcessCorner& corner) {
+  const cells::Cell inv = cells::build_cell(cells::CellFamily::kInv, 1, 1.0);
+  // Use the falling arc of input A.
+  const cells::TimingArc* arc = nullptr;
+  for (const cells::TimingArc& a : inv.arcs) {
+    if (!a.rise_output) {
+      arc = &a;
+      break;
+    }
+  }
+  if (arc == nullptr) return 0.0;
+  spice::ArcCondition cond;
+  cond.load_pf = 4.0 * arc->stage.input_cap_pf;
+  cond.slew_ns = 0.02;
+  // Iterate input slew to the self-consistent FO4 transition.
+  for (int iter = 0; iter < 6; ++iter) {
+    const spice::StageTimes t =
+        spice::nominal_stage_times(arc->stage, cond, corner);
+    cond.slew_ns = t.transition_ns;
+  }
+  return spice::nominal_stage_times(arc->stage, cond, corner).delay_ns;
+}
+
+PathAssessment assess_path(const TimingPath& path,
+                           const spice::ProcessCorner& corner,
+                           const PathAssessmentOptions& options) {
+  PathAssessment out;
+  const std::size_t depth = path.stages.size();
+  if (depth == 0) return out;
+
+  const PathMcResult golden =
+      run_path_monte_carlo(path, corner, options.mc);
+
+  // Nominal cumulative positions in FO4 units.
+  const double fo4 = fo4_delay_ns(corner);
+  double nominal_sum = 0.0;
+  for (const PathStage& stage : path.stages) {
+    const spice::StageTimes t = spice::nominal_stage_times(
+        stage.arc().stage, stage.condition, corner);
+    nominal_sum += t.delay_ns + stage.wire_delay_ns;
+    out.nominal_cumulative_ns.push_back(nominal_sum);
+    out.fo4_position.push_back(fo4 > 0.0 ? nominal_sum / fo4 : 0.0);
+  }
+
+  // Fit the four models per stage and tabulate their PDFs.
+  const auto kinds = core::all_model_kinds();
+  std::array<std::vector<stats::GridPdf>, 4> stage_pdfs;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    stage_pdfs[k].reserve(depth);
+  }
+  for (std::size_t i = 0; i < depth; ++i) {
+    core::FitOptions fit = options.fit;
+    fit.seed = stats::combine_seed(fit.seed, i + 1);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const std::unique_ptr<core::TimingModel> model =
+          core::fit_model(kinds[k], golden.stage_delays[i], fit);
+      if (!model) {
+        // Degenerate stage: carry a narrow spike at the sample mean.
+        const stats::Moments m =
+            stats::compute_moments(golden.stage_delays[i]);
+        stage_pdfs[k].push_back(stats::GridPdf::from_function(
+            [&](double) { return 1.0; }, m.mean - 1e-6, m.mean + 1e-6,
+            options.model_grid_points));
+        continue;
+      }
+      stage_pdfs[k].push_back(
+          model->to_grid(options.model_grid_points, 8.0));
+    }
+  }
+
+  // Propagate each model and record the cumulative arrival
+  // distribution after each stage. With refit_at_each_stage, the
+  // family is refitted to every convolution result (block-based SSTA
+  // keeps the parametric form at each node); the recorded grid is the
+  // refitted model's own PDF, so the family's representational limits
+  // show along the whole path.
+  std::array<std::vector<stats::GridPdf>, 4> cumulative;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    if (!options.refit_at_each_stage) {
+      cumulative[k] = propagate_chain(stage_pdfs[k], {}, options.ssta);
+      continue;
+    }
+    cumulative[k].reserve(depth);
+    stats::GridPdf carried = stage_pdfs[k].front();
+    cumulative[k].push_back(carried);
+    for (std::size_t i = 1; i < depth; ++i) {
+      const stats::GridPdf conv =
+          ssta_sum(carried, stage_pdfs[k][i], options.ssta);
+      core::FitOptions fit = options.fit;
+      fit.seed = stats::combine_seed(fit.seed, 1000 + i);
+      const std::unique_ptr<core::TimingModel> refit =
+          core::refit_model(kinds[k], conv, fit);
+      carried = refit ? refit->to_grid(options.model_grid_points, 8.0)
+                      : conv;
+      cumulative[k].push_back(carried);
+    }
+  }
+
+  out.binning_reduction.resize(depth);
+  out.cdf_rmse_reduction.resize(depth);
+  out.golden_skewness.resize(depth);
+  const std::size_t lvf_index = kinds.size() - 1;  // paper order ends at LVF
+  for (std::size_t i = 0; i < depth; ++i) {
+    const stats::EmpiricalCdf golden_cdf(golden.cumulative[i]);
+    const stats::Moments gm =
+        stats::compute_moments(golden.cumulative[i]);
+    out.golden_skewness[i] = gm.skewness;
+    const std::vector<double> boundaries =
+        core::sigma_bin_boundaries(gm.mean, gm.stddev);
+    const std::vector<double> golden_bins =
+        core::bin_probabilities(golden_cdf, boundaries);
+
+    std::array<double, 4> bin_err{};
+    std::array<double, 4> rmse_err{};
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const stats::GridPdf& dist = cumulative[k][i];
+      const auto cdf = [&dist](double x) { return dist.cdf(x); };
+      const std::vector<double> model_bins =
+          core::bin_probabilities(cdf, boundaries);
+      bin_err[k] = core::binning_error(model_bins, golden_bins);
+      rmse_err[k] = core::cdf_rmse(cdf, golden_cdf);
+    }
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      out.binning_reduction[i][k] = core::error_reduction(
+          bin_err[lvf_index], bin_err[k],
+          core::binning_error_floor(options.mc.samples));
+      out.cdf_rmse_reduction[i][k] = core::error_reduction(
+          rmse_err[lvf_index], rmse_err[k],
+          core::cdf_rmse_floor(options.mc.samples));
+    }
+  }
+  return out;
+}
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,64 @@
+#pragma once
+// Paper Section 4.4 / Fig. 5 engine: per-stage comparison of the four
+// timing models along a circuit critical path.
+//
+// For every stage, each model is fitted to that stage's golden delay
+// samples; the fitted stage distributions are then propagated with
+// block-based SSTA (grid convolution). After each stage the
+// propagated distribution is compared against the golden cumulative
+// Monte-Carlo samples with the binning-error-reduction metric
+// (Eq. 12). The CLT (Section 3.4) predicts all reductions decay
+// towards 1 as stages accumulate.
+
+#include <array>
+#include <vector>
+
+#include "core/timing_model.h"
+#include "ssta/block_ssta.h"
+#include "ssta/mc_ssta.h"
+#include "ssta/path.h"
+
+namespace lvf2::ssta {
+
+/// Per-stage, per-model assessment of one path.
+struct PathAssessment {
+  /// Cumulative nominal delay after each stage, in FO4 units.
+  std::vector<double> fo4_position;
+  /// Cumulative nominal delay after each stage [ns].
+  std::vector<double> nominal_cumulative_ns;
+  /// Binning error reduction per stage, per model
+  /// (all_model_kinds() order: LVF2, Norm2, LESN, LVF).
+  std::vector<std::array<double, 4>> binning_reduction;
+  /// CDF RMSE reduction per stage, per model.
+  std::vector<std::array<double, 4>> cdf_rmse_reduction;
+  /// Golden standardized skewness of the cumulative distribution per
+  /// stage (shows the CLT-driven decay to 0).
+  std::vector<double> golden_skewness;
+};
+
+/// Options of a path assessment run.
+struct PathAssessmentOptions {
+  PathMcConfig mc;
+  core::FitOptions fit;
+  SstaOptions ssta;
+  std::size_t model_grid_points = 2048;
+  /// Block-based SSTA maintains each model's parametric form at every
+  /// node: after each convolution the family is refitted to the
+  /// propagated distribution (paper ref. [20] semantics). false
+  /// propagates the exact numeric grids instead (an ablation — it
+  /// erases the representational differences between families along
+  /// the path).
+  bool refit_at_each_stage = true;
+};
+
+/// The reference FO4 delay of the corner: delay of a unit inverter
+/// driving four copies of itself, with the input slew iterated to the
+/// self-consistent fixed point.
+double fo4_delay_ns(const spice::ProcessCorner& corner);
+
+/// Runs the full per-stage assessment of a path.
+PathAssessment assess_path(const TimingPath& path,
+                           const spice::ProcessCorner& corner,
+                           const PathAssessmentOptions& options = {});
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,125 @@
+#include "ssta/timing_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lvf2::ssta {
+
+TimingGraph::NodeId TimingGraph::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  fanin_.emplace_back();
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void TimingGraph::add_edge(NodeId from, NodeId to, EdgeDelay delay) {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::out_of_range("TimingGraph::add_edge: bad node id");
+  }
+  edges_.push_back(Edge{from, to, std::move(delay)});
+  fanin_[to].push_back(edges_.size() - 1);
+}
+
+std::vector<TimingGraph::NodeId> TimingGraph::topological_order() const {
+  std::vector<std::size_t> indegree(names_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.to];
+  std::vector<NodeId> queue;
+  for (NodeId n = 0; n < names_.size(); ++n) {
+    if (indegree[n] == 0) queue.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(names_.size());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId n = queue[head];
+    order.push_back(n);
+    for (const Edge& e : edges_) {
+      if (e.from == n && --indegree[e.to] == 0) queue.push_back(e.to);
+    }
+  }
+  if (order.size() != names_.size()) {
+    throw std::runtime_error("TimingGraph: cycle detected");
+  }
+  return order;
+}
+
+namespace {
+
+// max(X, c) for a distribution X and a constant c: the density is
+// truncated below c and the probability mass F(c) collapses onto the
+// grid bin at c (narrow-triangle approximation of the point mass).
+stats::GridPdf max_with_constant(const stats::GridPdf& x, double c,
+                                 const SstaOptions& options) {
+  if (c <= x.lo()) return x;
+  const double hi = std::max(x.hi(), c + 4.0 * x.step());
+  const std::size_t points = options.grid_points;
+  const double step = (hi - c) / static_cast<double>(points - 1);
+  std::vector<double> values(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = c + step * static_cast<double>(i);
+    values[i] = x.pdf(t);
+  }
+  // Point mass F(c) at the left edge, spread over one bin.
+  values[0] += x.cdf(c) / step;
+  return stats::GridPdf::from_values(c, hi, std::move(values));
+}
+
+EdgeDelay sum_arrival(const EdgeDelay& arrival, const EdgeDelay& edge,
+                      const SstaOptions& options) {
+  EdgeDelay out;
+  out.constant_ns = arrival.constant_ns + edge.constant_ns;
+  if (arrival.distribution && edge.distribution) {
+    out.distribution =
+        ssta_sum(*arrival.distribution, *edge.distribution, options);
+  } else if (arrival.distribution) {
+    out.distribution = arrival.distribution;
+  } else if (edge.distribution) {
+    out.distribution = edge.distribution;
+  }
+  return out;
+}
+
+EdgeDelay max_arrival(const EdgeDelay& a, const EdgeDelay& b,
+                      const SstaOptions& options) {
+  // Fold constants into the distributions, then take the max.
+  const auto materialize = [](const EdgeDelay& d)
+      -> std::optional<stats::GridPdf> {
+    if (!d.distribution) return std::nullopt;
+    return (d.constant_ns != 0.0) ? d.distribution->shifted(d.constant_ns)
+                                  : *d.distribution;
+  };
+  const std::optional<stats::GridPdf> da = materialize(a);
+  const std::optional<stats::GridPdf> db = materialize(b);
+  EdgeDelay out;
+  if (da && db) {
+    out.distribution = ssta_max(*da, *db, options);
+  } else if (da) {
+    out.distribution = max_with_constant(*da, b.constant_ns, options);
+  } else if (db) {
+    out.distribution = max_with_constant(*db, a.constant_ns, options);
+  } else {
+    out.constant_ns = std::max(a.constant_ns, b.constant_ns);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EdgeDelay> TimingGraph::compute_arrivals(
+    const SstaOptions& options) const {
+  std::vector<EdgeDelay> arrivals(names_.size());
+  for (NodeId n : topological_order()) {
+    bool first = true;
+    EdgeDelay best;
+    for (std::size_t ei : fanin_[n]) {
+      const Edge& e = edges_[ei];
+      const EdgeDelay candidate =
+          sum_arrival(arrivals[e.from], e.delay, options);
+      best = first ? candidate : max_arrival(best, candidate, options);
+      first = false;
+    }
+    if (!first) arrivals[n] = std::move(best);
+  }
+  return arrivals;
+}
+
+}  // namespace lvf2::ssta

@@ -1,0 +1,142 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lvf2::stats {
+
+Moments compute_moments(std::span<const double> samples) {
+  if (samples.empty()) return {};
+  Moments m;
+  m.count = samples.size();
+  const double n = static_cast<double>(samples.size());
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= n;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double x : samples) {
+    const double d = x - mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  m.mean = mean;
+  m.stddev = std::sqrt(m2);
+  if (m2 > 0.0) {
+    m.skewness = m3 / (m2 * m.stddev);
+    m.kurtosis = m4 / (m2 * m2);
+  }
+  return m;
+}
+
+Moments compute_weighted_moments(std::span<const double> samples,
+                                 std::span<const double> weights) {
+  Moments m;
+  if (samples.empty() || samples.size() != weights.size()) return m;
+  double w_total = 0.0, mean = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    w_total += weights[i];
+    mean += weights[i] * samples[i];
+  }
+  if (w_total <= 0.0) return m;
+  mean /= w_total;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double d = samples[i] - mean;
+    const double d2 = d * d;
+    m2 += weights[i] * d2;
+    m3 += weights[i] * d2 * d;
+    m4 += weights[i] * d2 * d2;
+  }
+  m2 /= w_total;
+  m3 /= w_total;
+  m4 /= w_total;
+  m.count = samples.size();
+  m.mean = mean;
+  m.stddev = std::sqrt(m2);
+  if (m2 > 0.0) {
+    m.skewness = m3 / (m2 * m.stddev);
+    m.kurtosis = m4 / (m2 * m2);
+  }
+  return m;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> samples, double q) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  return quantile_sorted(sorted_, q);
+}
+
+double EmpiricalCdf::min() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.back();
+}
+
+BinnedSamples bin_samples(std::span<const double> samples,
+                          std::size_t bin_count, double pad_fraction) {
+  BinnedSamples out;
+  if (samples.empty() || bin_count == 0) return out;
+  auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  double span = hi - lo;
+  if (span <= 0.0) {
+    // Degenerate constant data: one occupied bin of nominal width.
+    span = std::max(std::fabs(lo) * 1e-12, 1e-30);
+  }
+  lo -= pad_fraction * span;
+  hi += pad_fraction * span;
+  const double width = (hi - lo) / static_cast<double>(bin_count);
+  out.bin_width = width;
+  out.centers.resize(bin_count);
+  out.counts.assign(bin_count, 0.0);
+  for (std::size_t i = 0; i < bin_count; ++i) {
+    out.centers[i] = lo + (static_cast<double>(i) + 0.5) * width;
+  }
+  for (double x : samples) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bin_count) - 1);
+    out.counts[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  out.total = static_cast<double>(samples.size());
+  return out;
+}
+
+}  // namespace lvf2::stats

@@ -1,0 +1,87 @@
+#pragma once
+// Descriptive statistics over sample sets: central and standardized
+// moments (plain and weighted), quantiles, the empirical CDF, and a
+// binned (histogram) representation of a sample set used by the
+// binned-likelihood EM fit.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lvf2::stats {
+
+/// First four standardized sample moments.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;      ///< sqrt of the (biased, 1/n) variance
+  double skewness = 0.0;    ///< third standardized moment
+  double kurtosis = 3.0;    ///< fourth standardized moment (normal == 3)
+  std::size_t count = 0;
+};
+
+/// Computes mean / stddev / skewness / kurtosis of `samples`.
+/// Returns a default-constructed result for empty input; stddev,
+/// skewness and kurtosis fall back to 0 / 0 / 3 for degenerate
+/// (constant) input.
+Moments compute_moments(std::span<const double> samples);
+
+/// Weighted moments: weight w_i attached to sample x_i. Weights must
+/// be non-negative; zero total weight yields the degenerate result.
+Moments compute_weighted_moments(std::span<const double> samples,
+                                 std::span<const double> weights);
+
+/// Linear-interpolation sample quantile (type-7, the numpy default)
+/// of *sorted* data. `q` is clamped to [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts and evaluates `quantile_sorted`.
+double quantile(std::span<const double> samples, double q);
+
+/// Empirical CDF of a sample set. Construction sorts a copy of the
+/// samples; evaluation is O(log n).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x.
+  double operator()(double x) const;
+
+  /// Inverse: the q-quantile (type-7 interpolation).
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  double min() const;
+  double max() const;
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram of a sample set: equal-width bins spanning
+/// [min - pad, max + pad]. Used as a compressed representation for
+/// likelihood fits (bin centers weighted by counts) and for reporting
+/// PDFs. Bins with zero count are kept so the grid stays regular.
+struct BinnedSamples {
+  std::vector<double> centers;   ///< bin mid-points (ascending)
+  std::vector<double> counts;    ///< occupancy per bin
+  double bin_width = 0.0;
+  double total = 0.0;            ///< sum of counts
+
+  /// Normalized density value of bin i: counts[i] / (total * width).
+  double density(std::size_t i) const {
+    return (total > 0.0 && bin_width > 0.0)
+               ? counts[i] / (total * bin_width)
+               : 0.0;
+  }
+};
+
+/// Bins `samples` into `bin_count` equal-width bins. `pad_fraction`
+/// widens the covered range by that fraction of the span on each side
+/// (so boundary samples do not sit exactly on the edge).
+BinnedSamples bin_samples(std::span<const double> samples,
+                          std::size_t bin_count, double pad_fraction = 0.0);
+
+}  // namespace lvf2::stats

@@ -1,0 +1,239 @@
+#include "stats/grid_pdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/special_functions.h"
+
+namespace lvf2::stats {
+
+namespace {
+
+// Trapezoid integral of uniformly spaced values.
+double trapezoid(std::span<const double> y, double step) {
+  if (y.size() < 2) return 0.0;
+  double sum = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) sum += y[i];
+  return sum * step;
+}
+
+}  // namespace
+
+GridPdf GridPdf::from_function(const std::function<double(double)>& pdf,
+                               double lo, double hi, std::size_t points) {
+  if (!(hi > lo) || points < 8) {
+    throw std::invalid_argument("GridPdf::from_function: bad grid");
+  }
+  std::vector<double> values(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double v = pdf(lo + step * static_cast<double>(i));
+    values[i] = (std::isfinite(v) && v > 0.0) ? v : 0.0;
+  }
+  return from_values(lo, hi, std::move(values));
+}
+
+GridPdf GridPdf::from_samples(std::span<const double> samples,
+                              std::size_t points, double pad_fraction) {
+  if (samples.empty() || points < 8) {
+    throw std::invalid_argument("GridPdf::from_samples: bad input");
+  }
+  const BinnedSamples bins = bin_samples(samples, points, pad_fraction);
+  std::vector<double> values(points);
+  for (std::size_t i = 0; i < points; ++i) values[i] = bins.density(i);
+  const double lo = bins.centers.front();
+  const double hi = bins.centers.back();
+  return from_values(lo, hi, std::move(values));
+}
+
+GridPdf GridPdf::from_values(double lo, double hi,
+                             std::vector<double> density) {
+  if (!(hi > lo) || density.size() < 2) {
+    throw std::invalid_argument("GridPdf::from_values: bad grid");
+  }
+  GridPdf out;
+  out.lo_ = lo;
+  out.hi_ = hi;
+  out.density_ = std::move(density);
+  out.step_ = (hi - lo) / static_cast<double>(out.density_.size() - 1);
+  for (double& v : out.density_) {
+    if (!std::isfinite(v) || v < 0.0) v = 0.0;
+  }
+  const double integral = trapezoid(out.density_, out.step_);
+  if (integral > 0.0) {
+    for (double& v : out.density_) v /= integral;
+  }
+  out.rebuild_cdf();
+  return out;
+}
+
+void GridPdf::rebuild_cdf() {
+  cdf_.assign(density_.size(), 0.0);
+  for (std::size_t i = 1; i < density_.size(); ++i) {
+    cdf_[i] = cdf_[i - 1] + 0.5 * (density_[i - 1] + density_[i]) * step_;
+  }
+  // Normalize the cumulative so the last entry is exactly 1.
+  const double total = cdf_.back();
+  if (total > 0.0) {
+    for (double& c : cdf_) c /= total;
+  }
+}
+
+double GridPdf::pdf(double x) const {
+  if (empty() || x < lo_ || x > hi_) return 0.0;
+  const double pos = (x - lo_) / step_;
+  const std::size_t i = std::min(static_cast<std::size_t>(pos),
+                                 density_.size() - 2);
+  const double t = pos - static_cast<double>(i);
+  return density_[i] + t * (density_[i + 1] - density_[i]);
+}
+
+double GridPdf::cdf(double x) const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double pos = (x - lo_) / step_;
+  const std::size_t i = std::min(static_cast<std::size_t>(pos),
+                                 cdf_.size() - 2);
+  const double t = pos - static_cast<double>(i);
+  return std::clamp(cdf_[i] + t * (cdf_[i + 1] - cdf_[i]), 0.0, 1.0);
+}
+
+double GridPdf::quantile(double p) const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
+  if (it == cdf_.begin()) return lo_;
+  if (it == cdf_.end()) return hi_;
+  const std::size_t hi_idx = static_cast<std::size_t>(it - cdf_.begin());
+  const std::size_t lo_idx = hi_idx - 1;
+  const double c0 = cdf_[lo_idx];
+  const double c1 = cdf_[hi_idx];
+  const double t = (c1 > c0) ? (p - c0) / (c1 - c0) : 0.0;
+  return x_at(lo_idx) + t * step_;
+}
+
+double GridPdf::mean() const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double w = (i == 0 || i + 1 == density_.size()) ? 0.5 : 1.0;
+    sum += w * x_at(i) * density_[i];
+  }
+  return sum * step_;
+}
+
+double GridPdf::variance() const {
+  const double mu = mean();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double w = (i == 0 || i + 1 == density_.size()) ? 0.5 : 1.0;
+    const double d = x_at(i) - mu;
+    sum += w * d * d * density_[i];
+  }
+  return sum * step_;
+}
+
+double GridPdf::stddev() const { return std::sqrt(variance()); }
+
+double GridPdf::skewness() const {
+  const double mu = mean();
+  double m2 = 0.0, m3 = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double w = (i == 0 || i + 1 == density_.size()) ? 0.5 : 1.0;
+    const double d = x_at(i) - mu;
+    m2 += w * d * d * density_[i];
+    m3 += w * d * d * d * density_[i];
+  }
+  m2 *= step_;
+  m3 *= step_;
+  return (m2 > 0.0) ? m3 / (m2 * std::sqrt(m2)) : 0.0;
+}
+
+double GridPdf::kurtosis() const {
+  const double mu = mean();
+  double m2 = 0.0, m4 = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double w = (i == 0 || i + 1 == density_.size()) ? 0.5 : 1.0;
+    const double d = x_at(i) - mu;
+    m2 += w * d * d * density_[i];
+    m4 += w * d * d * d * d * density_[i];
+  }
+  m2 *= step_;
+  m4 *= step_;
+  return (m2 > 0.0) ? m4 / (m2 * m2) : 3.0;
+}
+
+GridPdf GridPdf::resampled(double new_lo, double new_hi,
+                           std::size_t points) const {
+  std::vector<double> values(points);
+  const double step = (new_hi - new_lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    values[i] = pdf(new_lo + step * static_cast<double>(i));
+  }
+  return from_values(new_lo, new_hi, std::move(values));
+}
+
+GridPdf GridPdf::shifted(double offset) const {
+  GridPdf out = *this;
+  out.lo_ += offset;
+  out.hi_ += offset;
+  return out;
+}
+
+GridPdf GridPdf::convolve(const GridPdf& a, const GridPdf& b,
+                          std::size_t max_points) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("GridPdf::convolve: empty operand");
+  }
+  // Common step: the finer of the two, coarsened if the result grid
+  // would exceed max_points.
+  const double span = (a.hi_ - a.lo_) + (b.hi_ - b.lo_);
+  double step = std::min(a.step_, b.step_);
+  if (span / step + 1.0 > static_cast<double>(max_points)) {
+    step = span / static_cast<double>(max_points - 1);
+  }
+  const auto resample_to_step = [step](const GridPdf& g) {
+    const std::size_t n = static_cast<std::size_t>(
+                              std::ceil((g.hi_ - g.lo_) / step)) + 1;
+    return g.resampled(g.lo_, g.lo_ + step * static_cast<double>(n - 1),
+                       std::max<std::size_t>(n, 2));
+  };
+  const GridPdf ra = resample_to_step(a);
+  const GridPdf rb = resample_to_step(b);
+  const std::size_t n = ra.size() + rb.size() - 1;
+  std::vector<double> values(n, 0.0);
+  // Direct discrete convolution (densities; scale by step once).
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra.density_[i];
+    if (da == 0.0) continue;
+    for (std::size_t j = 0; j < rb.size(); ++j) {
+      values[i + j] += da * rb.density_[j];
+    }
+  }
+  for (double& v : values) v *= step;
+  const double lo = ra.lo_ + rb.lo_;
+  const double hi = lo + step * static_cast<double>(n - 1);
+  return from_values(lo, hi, std::move(values));
+}
+
+GridPdf GridPdf::statistical_max(const GridPdf& a, const GridPdf& b,
+                                 std::size_t points) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("GridPdf::statistical_max: empty operand");
+  }
+  const double lo = std::min(a.lo_, b.lo_);
+  const double hi = std::max(a.hi_, b.hi_);
+  std::vector<double> values(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    values[i] = a.pdf(x) * b.cdf(x) + b.pdf(x) * a.cdf(x);
+  }
+  return from_values(lo, hi, std::move(values));
+}
+
+}  // namespace lvf2::stats

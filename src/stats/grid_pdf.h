@@ -1,0 +1,86 @@
+#pragma once
+// Discretized probability density on a uniform grid. This is the
+// numeric workhorse of the block-based SSTA engine: stage delay PDFs
+// are tabulated, summed by convolution, combined by the independent
+// statistical-max integral, and queried for CDF / quantiles / moments.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lvf2::stats {
+
+/// Probability density tabulated on a uniform grid [lo, hi] with
+/// `size` points. Density values are kept normalized (trapezoid
+/// integral == 1) by the factory functions.
+class GridPdf {
+ public:
+  GridPdf() = default;
+
+  /// Tabulates `pdf` on `points` uniform points over [lo, hi] and
+  /// normalizes. Requires hi > lo and points >= 8.
+  static GridPdf from_function(const std::function<double(double)>& pdf,
+                               double lo, double hi, std::size_t points = 1024);
+
+  /// Histogram density of a sample set (equal-width bins, then
+  /// normalized). `pad_fraction` widens the covered range.
+  static GridPdf from_samples(std::span<const double> samples,
+                              std::size_t points = 1024,
+                              double pad_fraction = 0.05);
+
+  /// Raw construction from a value array (normalizes internally).
+  static GridPdf from_values(double lo, double hi,
+                             std::vector<double> density);
+
+  bool empty() const { return density_.size() < 2; }
+  std::size_t size() const { return density_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double step() const { return step_; }
+  double x_at(std::size_t i) const { return lo_ + step_ * static_cast<double>(i); }
+  std::span<const double> density() const { return density_; }
+
+  /// Density at x (linear interpolation; 0 outside the grid).
+  double pdf(double x) const;
+
+  /// CDF at x (trapezoid cumulative, linear interpolation, clamped
+  /// to [0,1]).
+  double cdf(double x) const;
+
+  /// Inverse CDF via the cached cumulative table.
+  double quantile(double p) const;
+
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double skewness() const;
+  double kurtosis() const;
+
+  /// Distribution of X + Y for independent X, Y (discrete convolution
+  /// after resampling both onto a common step). Result size is capped
+  /// at `max_points` by coarsening.
+  static GridPdf convolve(const GridPdf& a, const GridPdf& b,
+                          std::size_t max_points = 4096);
+
+  /// Distribution of max(X, Y) for independent X, Y:
+  ///   f_max(x) = f_X(x) F_Y(x) + f_Y(x) F_X(x).
+  static GridPdf statistical_max(const GridPdf& a, const GridPdf& b,
+                                 std::size_t points = 2048);
+
+  /// Resamples onto `points` uniform points over [new_lo, new_hi].
+  GridPdf resampled(double new_lo, double new_hi, std::size_t points) const;
+
+  /// Distribution of X + c (deterministic shift of the grid).
+  GridPdf shifted(double offset) const;
+
+ private:
+  void rebuild_cdf();
+
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double step_ = 0.0;
+  std::vector<double> density_;
+  std::vector<double> cdf_;  ///< cumulative trapezoid, same grid
+};
+
+}  // namespace lvf2::stats

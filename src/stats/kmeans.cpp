@@ -1,0 +1,156 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lvf2::stats {
+
+namespace {
+
+struct Run {
+  std::vector<double> centers;
+  std::vector<std::size_t> assignment;
+  double inertia = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// k-means++ seeding: first center uniform, later centers proportional
+// to squared distance from the nearest chosen center.
+std::vector<double> seed_centers(std::span<const double> samples,
+                                 std::span<const double> weights,
+                                 std::size_t k, Rng& rng) {
+  std::vector<double> centers;
+  centers.reserve(k);
+  centers.push_back(samples[rng.uniform_index(samples.size())]);
+  std::vector<double> d2(samples.size());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centers) {
+        best = std::min(best, (samples[i] - c) * (samples[i] - c));
+      }
+      const double w = weights.empty() ? 1.0 : weights[i];
+      d2[i] = best * w;
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All samples coincide with existing centers; jitter-free fill.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t pick = samples.size() - 1;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(samples[pick]);
+  }
+  return centers;
+}
+
+Run lloyd(std::span<const double> samples, std::span<const double> weights,
+          std::size_t k, Rng& rng, const KMeansOptions& options) {
+  Run run;
+  run.centers = seed_centers(samples, weights, k, rng);
+  run.assignment.assign(samples.size(), 0);
+  std::vector<double> sums(k);
+  std::vector<double> wsum(k);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    run.iterations = iter + 1;
+    // Assignment step.
+    run.inertia = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = samples[i] - run.centers[c];
+        const double d2 = d * d;
+        if (d2 < best) {
+          best = d2;
+          arg = c;
+        }
+      }
+      run.assignment[i] = arg;
+      run.inertia += best * (weights.empty() ? 1.0 : weights[i]);
+    }
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(wsum.begin(), wsum.end(), 0.0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double w = weights.empty() ? 1.0 : weights[i];
+      sums[run.assignment[i]] += w * samples[i];
+      wsum[run.assignment[i]] += w;
+    }
+    double movement = 0.0;
+    double scale = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (wsum[c] <= 0.0) {
+        // Empty cluster: reseed at a random sample.
+        run.centers[c] = samples[rng.uniform_index(samples.size())];
+        movement = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const double next = sums[c] / wsum[c];
+      movement += std::fabs(next - run.centers[c]);
+      scale += std::fabs(next);
+      run.centers[c] = next;
+    }
+    if (movement <= options.tolerance * std::max(scale, 1e-300)) {
+      run.converged = true;
+      break;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+KMeansResult kmeans_1d(std::span<const double> samples, std::size_t k,
+                       Rng& rng, const KMeansOptions& options,
+                       std::span<const double> weights) {
+  KMeansResult result;
+  if (k == 0 || samples.size() < k ||
+      (!weights.empty() && weights.size() != samples.size())) {
+    return result;
+  }
+
+  Run best;
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    Run run = lloyd(samples, weights, k, rng, options);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+
+  // Sort centers ascending and remap assignments so callers can rely
+  // on cluster 0 being the left component.
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return best.centers[a] < best.centers[b];
+  });
+  std::vector<std::size_t> rank(k);
+  for (std::size_t i = 0; i < k; ++i) rank[order[i]] = i;
+
+  result.centers.resize(k);
+  for (std::size_t i = 0; i < k; ++i) result.centers[i] = best.centers[order[i]];
+  result.assignment.resize(samples.size());
+  result.sizes.assign(k, 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    result.assignment[i] = rank[best.assignment[i]];
+    ++result.sizes[result.assignment[i]];
+  }
+  result.inertia = best.inertia;
+  result.iterations = best.iterations;
+  result.converged = best.converged;
+  return result;
+}
+
+}  // namespace lvf2::stats

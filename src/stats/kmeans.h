@@ -1,0 +1,39 @@
+#pragma once
+// One-dimensional k-means clustering (Hartigan-Wong style Lloyd
+// iterations). The LVF^2 EM fit uses k = 2 clustering of the observed
+// delay samples to initialize the two mixture components (paper
+// Section 3.2).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace lvf2::stats {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<double> centers;          ///< cluster centers, ascending
+  std::vector<std::size_t> assignment;  ///< per-sample cluster index
+  std::vector<std::size_t> sizes;       ///< samples per cluster
+  double inertia = 0.0;                 ///< sum of squared distances
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Options controlling the Lloyd iterations.
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-10;  ///< relative center movement to stop
+  std::size_t restarts = 4;  ///< k-means++ restarts, best inertia wins
+};
+
+/// Runs 1-D k-means with k-means++ seeding. Requires k >= 1 and at
+/// least k samples; otherwise returns an empty result. Weighted
+/// variant: `weights` (if nonempty) must match `samples` in size.
+KMeansResult kmeans_1d(std::span<const double> samples, std::size_t k,
+                       Rng& rng, const KMeansOptions& options = {},
+                       std::span<const double> weights = {});
+
+}  // namespace lvf2::stats

@@ -1,0 +1,45 @@
+#include "stats/lhs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/special_functions.h"
+
+namespace lvf2::stats {
+
+LhsDesign lhs_uniform(std::size_t samples, std::size_t dimensions, Rng& rng) {
+  LhsDesign design;
+  design.samples = samples;
+  design.dimensions = dimensions;
+  design.values.resize(samples * dimensions);
+  if (samples == 0 || dimensions == 0) return design;
+
+  std::vector<std::size_t> perm(samples);
+  const double inv_n = 1.0 / static_cast<double>(samples);
+  for (std::size_t d = 0; d < dimensions; ++d) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    // Fisher-Yates shuffle of the strata.
+    for (std::size_t i = samples - 1; i > 0; --i) {
+      const std::size_t j = rng.uniform_index(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double u = rng.uniform();
+      design.values[i * dimensions + d] =
+          (static_cast<double>(perm[i]) + u) * inv_n;
+    }
+  }
+  return design;
+}
+
+LhsDesign lhs_normal(std::size_t samples, std::size_t dimensions, Rng& rng) {
+  LhsDesign design = lhs_uniform(samples, dimensions, rng);
+  // Keep probabilities strictly inside (0,1) so the quantile is finite.
+  constexpr double kEps = 1e-15;
+  for (double& v : design.values) {
+    v = normal_quantile(std::clamp(v, kEps, 1.0 - kEps));
+  }
+  return design;
+}
+
+}  // namespace lvf2::stats

@@ -1,0 +1,35 @@
+#pragma once
+// Latin Hypercube Sampling (LHS). The paper generates its golden data
+// with "50k process variation samples ... by Latin Hypercube Sampling
+// SPICE Monte Carlo simulation"; this module provides the stratified
+// sampler used by our SPICE-substitute Monte-Carlo engine.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace lvf2::stats {
+
+/// One LHS design: `samples x dimensions` values.
+/// Row i is the i-th sample point.
+struct LhsDesign {
+  std::size_t samples = 0;
+  std::size_t dimensions = 0;
+  std::vector<double> values;  ///< row-major, samples * dimensions
+
+  double at(std::size_t sample, std::size_t dim) const {
+    return values[sample * dimensions + dim];
+  }
+};
+
+/// Uniform LHS on [0,1)^d: each dimension is divided into `samples`
+/// equal strata, one point is placed uniformly inside each stratum and
+/// the strata are permuted independently per dimension.
+LhsDesign lhs_uniform(std::size_t samples, std::size_t dimensions, Rng& rng);
+
+/// Standard-normal LHS: uniform LHS pushed through the normal
+/// quantile function, giving stratified N(0,1) marginals.
+LhsDesign lhs_normal(std::size_t samples, std::size_t dimensions, Rng& rng);
+
+}  // namespace lvf2::stats

@@ -1,0 +1,207 @@
+#include "stats/log_normal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/optimize.h"
+#include "stats/special_functions.h"
+
+namespace lvf2::stats {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("LogNormal: sigma must be positive");
+  }
+}
+
+double LogNormal::pdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return normal_pdf(z) / (x * sigma_);
+}
+
+double LogNormal::cdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::stddev() const { return std::sqrt(variance()); }
+
+double LogNormal::skewness() const {
+  const double e = std::exp(sigma_ * sigma_);
+  return (e + 2.0) * std::sqrt(e - 1.0);
+}
+
+std::optional<LogNormal> LogNormal::fit_moments(double mean, double stddev) {
+  if (!(mean > 0.0) || !(stddev > 0.0)) return std::nullopt;
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+LogExtendedSkewNormal::LogExtendedSkewNormal(
+    const ExtendedSkewNormal& log_domain)
+    : esn_(log_domain) {}
+
+double LogExtendedSkewNormal::pdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  return esn_.pdf(std::log(x)) / x;
+}
+
+double LogExtendedSkewNormal::cdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  return esn_.cdf(std::log(x));
+}
+
+double LogExtendedSkewNormal::quantile(double p) const {
+  return std::exp(esn_.quantile(p));
+}
+
+double LogExtendedSkewNormal::sample(Rng& rng) const {
+  return std::exp(esn_.sample(rng));
+}
+
+namespace {
+
+// log E[X^k] for X = exp(xi + omega Z_esn(delta, tau)).
+double log_raw_moment(double xi, double omega, double delta, double tau,
+                      int k) {
+  const double t = static_cast<double>(k);
+  return t * xi + 0.5 * t * t * omega * omega +
+         normal_log_cdf(tau + delta * t * omega) - normal_log_cdf(tau);
+}
+
+struct LesnShapeStats {
+  double cv;        // stddev / mean
+  double skewness;
+  double kurtosis;
+  bool valid = false;
+};
+
+LesnShapeStats shape_stats(double omega, double delta, double tau) {
+  LesnShapeStats s;
+  // Evaluate with xi = 0; cv/skewness/kurtosis are scale invariant.
+  double m[5] = {1.0, 0.0, 0.0, 0.0, 0.0};
+  for (int k = 1; k <= 4; ++k) {
+    const double lm = log_raw_moment(0.0, omega, delta, tau, k);
+    if (!std::isfinite(lm) || lm > 300.0) return s;
+    m[k] = std::exp(lm);
+  }
+  const double var = m[2] - m[1] * m[1];
+  if (!(var > 0.0)) return s;
+  const double sd = std::sqrt(var);
+  const double mu = m[1];
+  const double m3 = m[3] - 3.0 * mu * m[2] + 2.0 * mu * mu * mu;
+  const double m4 = m[4] - 4.0 * mu * m[3] + 6.0 * mu * mu * m[2] -
+                    3.0 * mu * mu * mu * mu;
+  s.cv = sd / mu;
+  s.skewness = m3 / (var * sd);
+  s.kurtosis = m4 / (var * var);
+  s.valid = std::isfinite(s.skewness) && std::isfinite(s.kurtosis);
+  return s;
+}
+
+}  // namespace
+
+double LogExtendedSkewNormal::raw_moment(int k) const {
+  return std::exp(log_raw_moment(esn_.xi(), esn_.omega(), esn_.delta(),
+                                 esn_.tau(), k));
+}
+
+double LogExtendedSkewNormal::mean() const { return raw_moment(1); }
+
+double LogExtendedSkewNormal::variance() const {
+  const double m1 = raw_moment(1);
+  return raw_moment(2) - m1 * m1;
+}
+
+double LogExtendedSkewNormal::stddev() const { return std::sqrt(variance()); }
+
+double LogExtendedSkewNormal::skewness() const {
+  const double mu = raw_moment(1);
+  const double var = variance();
+  const double m3 =
+      raw_moment(3) - 3.0 * mu * raw_moment(2) + 2.0 * mu * mu * mu;
+  return m3 / (var * std::sqrt(var));
+}
+
+double LogExtendedSkewNormal::kurtosis() const {
+  const double mu = raw_moment(1);
+  const double var = variance();
+  const double m4 = raw_moment(4) - 4.0 * mu * raw_moment(3) +
+                    6.0 * mu * mu * raw_moment(2) - 3.0 * mu * mu * mu * mu;
+  return m4 / (var * var);
+}
+
+std::optional<LogExtendedSkewNormal> LogExtendedSkewNormal::fit_moments(
+    const Moments& target) {
+  if (target.count == 0 || !(target.mean > 0.0) || !(target.stddev > 0.0)) {
+    return std::nullopt;
+  }
+  const double target_cv = target.stddev / target.mean;
+
+  // Shape search over p = (log omega, atanh delta, tau).
+  const auto objective = [&](std::span<const double> p) {
+    const double omega = std::exp(std::clamp(p[0], -12.0, 1.0));
+    const double delta = std::tanh(p[1]);
+    const double tau = std::clamp(p[2], -30.0, 30.0);
+    const LesnShapeStats s = shape_stats(omega, delta, tau);
+    if (!s.valid) return std::numeric_limits<double>::infinity();
+    const double ecv = std::log(s.cv / target_cv);
+    const double es = s.skewness - target.skewness;
+    const double ek = s.kurtosis - target.kurtosis;
+    return 4.0 * ecv * ecv + es * es + 0.25 * ek * ek;
+  };
+
+  MinimizeResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  NelderMeadOptions options;
+  options.max_evaluations = 800;
+  options.initial_step = 0.4;
+  const double log_cv = std::log(std::max(target_cv, 1e-8));
+  const double seed_deltas[] = {-0.9, 0.0, 0.9};
+  const double seed_taus[] = {-3.0, 0.0, 3.0};
+  for (double sd : seed_deltas) {
+    for (double st : seed_taus) {
+      const double x0[3] = {log_cv, std::atanh(sd * 0.999), st};
+      MinimizeResult r = nelder_mead(objective, x0, options);
+      if (r.value < best.value) best = std::move(r);
+    }
+  }
+  if (best.x.size() != 3 || !std::isfinite(best.value)) return std::nullopt;
+
+  const double omega = std::exp(std::clamp(best.x[0], -12.0, 1.0));
+  const double delta = std::tanh(best.x[1]);
+  const double tau = std::clamp(best.x[2], -30.0, 30.0);
+  const LesnShapeStats s = shape_stats(omega, delta, tau);
+  if (!s.valid) return std::nullopt;
+  // Scale xi so the mean matches exactly.
+  const double mean0 = std::exp(log_raw_moment(0.0, omega, delta, tau, 1));
+  const double xi = std::log(target.mean / mean0);
+  const double d2 = 1.0 - delta * delta;
+  const double alpha =
+      (d2 <= 0.0) ? std::copysign(1e8, delta) : delta / std::sqrt(d2);
+  return LogExtendedSkewNormal(ExtendedSkewNormal(xi, omega, alpha, tau));
+}
+
+}  // namespace lvf2::stats

@@ -1,0 +1,33 @@
+#include "stats/normal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace lvf2::stats {
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("Normal: sigma must be positive");
+  }
+}
+
+double Normal::pdf(double x) const {
+  return normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Normal::log_pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return -0.5 * z * z - std::log(sigma_ * kSqrt2Pi);
+}
+
+double Normal::cdf(double x) const { return normal_cdf((x - mu_) / sigma_); }
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+double Normal::sample(Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+}  // namespace lvf2::stats

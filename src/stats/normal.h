@@ -1,0 +1,32 @@
+#pragma once
+// Location-scale normal distribution N(mu, sigma^2).
+
+#include "stats/rng.h"
+
+namespace lvf2::stats {
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+class Normal {
+ public:
+  Normal() = default;
+  Normal(double mu, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+  double mean() const { return mu_; }
+  double stddev() const { return sigma_; }
+  double variance() const { return sigma_ * sigma_; }
+
+ private:
+  double mu_ = 0.0;
+  double sigma_ = 1.0;
+};
+
+}  // namespace lvf2::stats

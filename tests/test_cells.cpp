@@ -1,0 +1,156 @@
+// Tests of the standard-cell layer: the 25-type benchmark library,
+// arc construction, and deterministic per-arc personalities.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cells/cell_types.h"
+#include "cells/library.h"
+
+namespace lvf2::cells {
+namespace {
+
+TEST(CellTypes, FamilyNames) {
+  EXPECT_EQ(to_string(CellFamily::kInv), "INV");
+  EXPECT_EQ(to_string(CellFamily::kFullAdder), "FA");
+  EXPECT_EQ(to_string(CellFamily::kXnor), "XNOR");
+}
+
+TEST(BuildCell, InverterStructure) {
+  const Cell inv = build_cell(CellFamily::kInv, 1, 1.0);
+  EXPECT_EQ(inv.name, "INV_X1");
+  EXPECT_EQ(inv.type_name(), "INV");
+  ASSERT_EQ(inv.arcs.size(), 2u);  // A->Y rise + fall
+  std::set<bool> dirs;
+  for (const TimingArc& arc : inv.arcs) {
+    EXPECT_EQ(arc.input_pin, "A");
+    EXPECT_EQ(arc.output_pin, "Y");
+    dirs.insert(arc.rise_output);
+    // Rising output pulls through PMOS, falling through NMOS.
+    EXPECT_EQ(arc.stage.pull.is_nmos, !arc.rise_output);
+  }
+  EXPECT_EQ(dirs.size(), 2u);
+}
+
+TEST(BuildCell, NandStackDepthMatchesInputs) {
+  for (int n : {2, 3, 4}) {
+    const Cell nand = build_cell(CellFamily::kNand, n, 1.0);
+    EXPECT_EQ(nand.type_name(), "NAND" + std::to_string(n));
+    EXPECT_EQ(nand.arcs.size(), static_cast<std::size_t>(2 * n));
+    for (const TimingArc& arc : nand.arcs) {
+      if (!arc.rise_output) {
+        EXPECT_EQ(arc.stage.pull.stack, n) << arc.label();
+      } else {
+        EXPECT_EQ(arc.stage.pull.stack, 1) << arc.label();
+      }
+    }
+  }
+}
+
+TEST(BuildCell, NorIsDualOfNand) {
+  const Cell nor3 = build_cell(CellFamily::kNor, 3, 1.0);
+  for (const TimingArc& arc : nor3.arcs) {
+    if (arc.rise_output) {
+      EXPECT_EQ(arc.stage.pull.stack, 3);  // stacked PMOS
+      EXPECT_FALSE(arc.stage.pull.is_nmos);
+    } else {
+      EXPECT_EQ(arc.stage.pull.stack, 1);
+    }
+  }
+}
+
+TEST(BuildCell, FullAdderHasTwoOutputs) {
+  const Cell fa = build_cell(CellFamily::kFullAdder, 3, 1.0);
+  EXPECT_EQ(fa.type_name(), "FA");
+  // 3 inputs x 2 outputs x 2 directions.
+  EXPECT_EQ(fa.arcs.size(), 12u);
+  std::set<std::string> outputs;
+  std::set<std::string> inputs;
+  for (const TimingArc& arc : fa.arcs) {
+    outputs.insert(arc.output_pin);
+    inputs.insert(arc.input_pin);
+  }
+  EXPECT_EQ(outputs, (std::set<std::string>{"S", "CO"}));
+  EXPECT_EQ(inputs, (std::set<std::string>{"A", "B", "CI"}));
+}
+
+TEST(BuildCell, MuxHasSelectPins) {
+  const Cell mux2 = build_cell(CellFamily::kMux, 2, 1.0);
+  std::set<std::string> inputs;
+  for (const TimingArc& arc : mux2.arcs) inputs.insert(arc.input_pin);
+  EXPECT_TRUE(inputs.count("D0"));
+  EXPECT_TRUE(inputs.count("D1"));
+  EXPECT_TRUE(inputs.count("S0"));
+}
+
+TEST(BuildCell, DriveScalesElectricals) {
+  const Cell x1 = build_cell(CellFamily::kInv, 1, 1.0);
+  const Cell x4 = build_cell(CellFamily::kInv, 1, 4.0);
+  EXPECT_EQ(x4.name, "INV_X4");
+  EXPECT_NEAR(x4.arcs[0].stage.pull.drive, 4.0 * x1.arcs[0].stage.pull.drive,
+              1e-12);
+  EXPECT_GT(x4.arcs[0].stage.input_cap_pf, x1.arcs[0].stage.input_cap_pf);
+}
+
+TEST(BuildCell, PersonalitiesDeterministic) {
+  const Cell a = build_cell(CellFamily::kXor, 2, 1.0);
+  const Cell b = build_cell(CellFamily::kXor, 2, 1.0);
+  for (std::size_t i = 0; i < a.arcs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.arcs[i].stage.mechanism_gain,
+                     b.arcs[i].stage.mechanism_gain);
+    EXPECT_DOUBLE_EQ(a.arcs[i].stage.mechanism_offset,
+                     b.arcs[i].stage.mechanism_offset);
+  }
+}
+
+TEST(BuildCell, PersonalitiesVaryAcrossArcs) {
+  const Cell xor3 = build_cell(CellFamily::kXor, 3, 1.0);
+  std::set<double> gains;
+  for (const TimingArc& arc : xor3.arcs) {
+    gains.insert(arc.stage.mechanism_gain);
+  }
+  EXPECT_GT(gains.size(), xor3.arcs.size() / 2);
+}
+
+TEST(BuildCell, RejectsBadInputCount) {
+  EXPECT_THROW(build_cell(CellFamily::kNand, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(build_cell(CellFamily::kNand, 5, 1.0), std::invalid_argument);
+}
+
+TEST(Library, PaperLibraryHas25Types) {
+  const StandardCellLibrary lib = build_paper_library();
+  const std::vector<std::string> types = lib.type_names();
+  EXPECT_EQ(types.size(), 25u);
+  EXPECT_EQ(types.front(), "INV");
+  EXPECT_EQ(types.back(), "HA");
+  // Two drives per type by default.
+  EXPECT_EQ(lib.size(), 50u);
+  EXPECT_GT(lib.total_arcs(), 200u);
+}
+
+TEST(Library, FindByName) {
+  const StandardCellLibrary lib = build_paper_library();
+  const Cell* nand2 = lib.find("NAND2_X2");
+  ASSERT_NE(nand2, nullptr);
+  EXPECT_EQ(nand2->family, CellFamily::kNand);
+  EXPECT_EQ(nand2->drive, 2.0);
+  EXPECT_EQ(lib.find("NAND9_X9"), nullptr);
+}
+
+TEST(Library, CellsOfTypeGroupsDriveVariants) {
+  const StandardCellLibrary lib = build_paper_library();
+  const auto nands = lib.cells_of_type("NAND2");
+  EXPECT_EQ(nands.size(), 2u);
+  for (const Cell* c : nands) EXPECT_EQ(c->type_name(), "NAND2");
+}
+
+TEST(Library, CustomDriveList) {
+  LibraryOptions options;
+  options.drives = {1.0};
+  const StandardCellLibrary lib = build_paper_library(options);
+  EXPECT_EQ(lib.size(), 25u);
+}
+
+}  // namespace
+}  // namespace lvf2::cells

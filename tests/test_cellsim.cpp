@@ -1,0 +1,172 @@
+// Tests of the analytical stage simulator: monotonicity of nominal
+// times, the regime (mechanism) model and its slew/load-dependent
+// mixture weight, and physical floors.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spice/cellsim.h"
+#include "spice/montecarlo.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::spice {
+namespace {
+
+TEST(CellSim, NominalTimesPositive) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  for (double slew : {0.002, 0.05, 0.8}) {
+    for (double load : {0.0002, 0.05, 0.9}) {
+      const StageTimes t =
+          nominal_stage_times(stage, {slew, load}, corner);
+      EXPECT_GT(t.delay_ns, 0.0) << slew << "," << load;
+      EXPECT_GT(t.transition_ns, 0.0) << slew << "," << load;
+    }
+  }
+}
+
+TEST(CellSim, DelayMonotoneInLoad) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  double prev = 0.0;
+  for (double load : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    const StageTimes t = nominal_stage_times(stage, {0.05, load}, corner);
+    EXPECT_GT(t.delay_ns, prev) << load;
+    prev = t.delay_ns;
+  }
+}
+
+TEST(CellSim, TransitionMonotoneInLoad) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  double prev = 0.0;
+  for (double load : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    const StageTimes t = nominal_stage_times(stage, {0.05, load}, corner);
+    EXPECT_GT(t.transition_ns, prev) << load;
+    prev = t.transition_ns;
+  }
+}
+
+TEST(CellSim, StackSlowsStage) {
+  const ProcessCorner corner;
+  StageElectrical inv, nand4;
+  nand4.pull.stack = 4;
+  const ArcCondition cond{0.05, 0.05};
+  EXPECT_GT(nominal_stage_times(nand4, cond, corner).delay_ns,
+            nominal_stage_times(inv, cond, corner).delay_ns);
+}
+
+TEST(CellSim, MechanismProbabilityMonotoneInSlew) {
+  // Slow inputs push towards the input-coupled mechanism B.
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  double prev = -1.0;
+  for (double slew : {0.002, 0.01, 0.05, 0.2, 0.9}) {
+    const double lambda =
+        mechanism_b_probability(stage, {slew, 0.05}, corner);
+    EXPECT_GE(lambda, 0.0);
+    EXPECT_LE(lambda, 1.0);
+    EXPECT_GT(lambda, prev) << slew;
+    prev = lambda;
+  }
+}
+
+TEST(CellSim, MechanismProbabilityMonotoneDecreasingInLoad) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  double prev = 2.0;
+  for (double load : {0.001, 0.01, 0.1, 0.5}) {
+    const double lambda =
+        mechanism_b_probability(stage, {0.05, load}, corner);
+    EXPECT_LT(lambda, prev) << load;
+    prev = lambda;
+  }
+}
+
+TEST(CellSim, RealizedRegimeFractionMatchesAnalyticLambda) {
+  // The Monte-Carlo fraction of mechanism-B samples must match the
+  // analytic Phi(theta) weight.
+  const ProcessCorner corner;
+  StageElectrical stage;
+  stage.mechanism_gain = 3.0;  // widen separation so regimes are clear
+  // Pick a condition with mid-range lambda.
+  ArcCondition cond{0.05, 0.02};
+  const double lambda = mechanism_b_probability(stage, cond, corner);
+  ASSERT_GT(lambda, 0.1);
+  ASSERT_LT(lambda, 0.9);
+
+  McConfig cfg;
+  cfg.samples = 40000;
+  cfg.seed = 7;
+  const McResult mc = run_monte_carlo(stage, cond, corner, cfg);
+  // With a large separation the two regimes split around a midpoint;
+  // classify by 2-means and compare the upper-cluster weight.
+  stats::Rng rng(1);
+  std::vector<double> xs = mc.delay_ns;
+  const stats::Moments m = stats::compute_moments(xs);
+  // B adds a positive offset -> B samples are the upper cluster.
+  std::size_t upper = 0;
+  for (double x : xs) {
+    if (x > m.mean) ++upper;
+  }
+  // Loose agreement: clusters overlap somewhat.
+  EXPECT_NEAR(static_cast<double>(upper) / xs.size(), lambda, 0.12);
+}
+
+TEST(CellSim, MixtureAppearsAtConfrontationPoint) {
+  // At a mid-lambda condition with strong gain the delay kurtosis
+  // drops well below 3 (bimodal signature).
+  const ProcessCorner corner;
+  StageElectrical stage;
+  stage.mechanism_gain = 2.5;
+  ArcCondition cond{0.05, 0.02};
+  McConfig cfg;
+  cfg.samples = 20000;
+  const McResult mc = run_monte_carlo(stage, cond, corner, cfg);
+  EXPECT_LT(stats::compute_moments(mc.delay_ns).kurtosis, 2.6);
+}
+
+TEST(CellSim, PureRegimeIsUnimodalSkewed) {
+  // Deep in the drive-limited region (tiny slew, big load) the delay
+  // distribution is a single right-skewed mode.
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  ArcCondition cond{0.0023, 0.9};
+  EXPECT_LT(mechanism_b_probability(stage, cond, corner), 0.01);
+  McConfig cfg;
+  cfg.samples = 20000;
+  const McResult mc = run_monte_carlo(stage, cond, corner, cfg);
+  const stats::Moments m = stats::compute_moments(mc.delay_ns);
+  EXPECT_GT(m.skewness, 0.1);  // 1/(Vdd-Vth)^alpha right tail
+  EXPECT_NEAR(m.kurtosis, 3.3, 0.5);
+}
+
+TEST(CellSim, TimesNeverNegative) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  VariationSample extreme;
+  extreme.dvth_n = -0.2;
+  extreme.dmob_n = 0.9;
+  const StageTimes t =
+      simulate_stage(stage, {0.9, 0.0001}, corner, extreme);
+  EXPECT_GT(t.delay_ns, 0.0);
+  EXPECT_GT(t.transition_ns, 0.0);
+}
+
+TEST(CellSim, NominalDelayBetweenMechanismExtremes) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  const ArcCondition cond{0.05, 0.05};
+  const VariationSample nominal{};
+  const StageTimes blended = nominal_stage_times(stage, cond, corner);
+  const StageTimes sampled = simulate_stage(stage, cond, corner, nominal);
+  // The blended nominal sits within a mechanism separation of the
+  // sampled nominal regime.
+  EXPECT_NEAR(blended.delay_ns, sampled.delay_ns,
+              0.6 * sampled.delay_ns);
+}
+
+}  // namespace
+}  // namespace lvf2::spice

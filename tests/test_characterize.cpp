@@ -1,0 +1,115 @@
+// Tests of the characterization engine: grids, determinism, and the
+// fidelity of the stored LVF / LVF^2 parameters against the golden
+// Monte-Carlo data.
+
+#include <gtest/gtest.h>
+
+#include "cells/characterize.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::cells {
+namespace {
+
+CharacterizeOptions fast_options() {
+  CharacterizeOptions options;
+  options.grid = SlewLoadGrid::reduced(4);  // 2x2
+  options.mc_samples = 4000;
+  return options;
+}
+
+TEST(SlewLoadGrid, PaperGridIs8x8Ascending) {
+  const SlewLoadGrid g = SlewLoadGrid::paper_grid();
+  ASSERT_EQ(g.cols(), 8u);
+  ASSERT_EQ(g.rows(), 8u);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_GT(g.slews_ns[i], g.slews_ns[i - 1]);
+    EXPECT_GT(g.loads_pf[i], g.loads_pf[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(g.slews_ns.front(), 0.0023);
+  EXPECT_DOUBLE_EQ(g.loads_pf.back(), 0.89830);
+}
+
+TEST(SlewLoadGrid, ReducedSubsamples) {
+  const SlewLoadGrid g = SlewLoadGrid::reduced(2);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.rows(), 4u);
+  EXPECT_DOUBLE_EQ(g.slews_ns.front(),
+                   SlewLoadGrid::paper_grid().slews_ns.front());
+  EXPECT_THROW(SlewLoadGrid::reduced(0), std::invalid_argument);
+}
+
+TEST(Characterizer, SeedsAreDistinctAndStable) {
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const auto s1 = ch.condition_seed("INV_X1", "A->Y (rise)", 0, 0);
+  const auto s2 = ch.condition_seed("INV_X1", "A->Y (rise)", 0, 1);
+  const auto s3 = ch.condition_seed("INV_X1", "A->Y (fall)", 0, 0);
+  const auto s4 = ch.condition_seed("INV_X2", "A->Y (rise)", 0, 0);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_NE(s1, s4);
+  EXPECT_EQ(s1, ch.condition_seed("INV_X1", "A->Y (rise)", 0, 0));
+}
+
+TEST(Characterizer, ArcCharacterizationShape) {
+  const Cell inv = build_cell(CellFamily::kInv, 1, 1.0);
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const ArcCharacterization arc = ch.characterize_arc(inv, inv.arcs[0]);
+  EXPECT_EQ(arc.cell_name, "INV_X1");
+  EXPECT_EQ(arc.entries.size(), arc.grid.rows() * arc.grid.cols());
+  for (const ConditionCharacterization& e : arc.entries) {
+    EXPECT_GT(e.nominal_delay_ns, 0.0);
+    EXPECT_GT(e.nominal_transition_ns, 0.0);
+    EXPECT_GT(e.lvf_delay.stddev, 0.0);
+    EXPECT_GE(e.lvf2_delay.lambda, 0.0);
+    EXPECT_LE(e.lvf2_delay.lambda, 1.0);
+  }
+}
+
+TEST(Characterizer, LvfMomentsMatchGoldenSamples) {
+  const Cell inv = build_cell(CellFamily::kInv, 1, 1.0);
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const ArcCharacterization arc = ch.characterize_arc(inv, inv.arcs[0]);
+  const spice::McResult golden = ch.golden_samples(inv, inv.arcs[0], 1, 1);
+  const stats::Moments m = stats::compute_moments(golden.delay_ns);
+  const ConditionCharacterization& e = arc.at(1, 1);
+  EXPECT_NEAR(e.lvf_delay.mean, m.mean, 1e-9);
+  EXPECT_NEAR(e.lvf_delay.stddev, m.stddev, 1e-9);
+}
+
+TEST(Characterizer, DeterministicAcrossRuns) {
+  const Cell nand = build_cell(CellFamily::kNand, 2, 1.0);
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const ArcCharacterization a = ch.characterize_arc(nand, nand.arcs[0]);
+  const ArcCharacterization b = ch.characterize_arc(nand, nand.arcs[0]);
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.entries[i].lvf_delay.mean,
+                     b.entries[i].lvf_delay.mean);
+    EXPECT_DOUBLE_EQ(a.entries[i].lvf2_delay.lambda,
+                     b.entries[i].lvf2_delay.lambda);
+  }
+}
+
+TEST(Characterizer, NominalDelayMonotoneInLoad) {
+  const Cell inv = build_cell(CellFamily::kInv, 1, 1.0);
+  CharacterizeOptions options = fast_options();
+  options.grid = SlewLoadGrid::reduced(2);  // 4x4
+  const Characterizer ch(spice::ProcessCorner{}, options);
+  const ArcCharacterization arc = ch.characterize_arc(inv, inv.arcs[0]);
+  for (std::size_t si = 0; si < arc.grid.cols(); ++si) {
+    for (std::size_t li = 1; li < arc.grid.rows(); ++li) {
+      EXPECT_GT(arc.at(li, si).nominal_delay_ns,
+                arc.at(li - 1, si).nominal_delay_ns)
+          << "slew " << si << " load " << li;
+    }
+  }
+}
+
+TEST(Characterizer, CellCharacterizationCoversAllArcs) {
+  const Cell ha = build_cell(CellFamily::kHalfAdder, 2, 1.0);
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const CellCharacterization cc = ch.characterize_cell(ha);
+  EXPECT_EQ(cc.arcs.size(), ha.arcs.size());
+}
+
+}  // namespace
+}  // namespace lvf2::cells

@@ -1,0 +1,187 @@
+// Tests of the circuit substrates: Pi-model wires, netlist / timing
+// graph conversion, the 16-bit carry adder and the H-tree builders.
+
+#include <gtest/gtest.h>
+
+#include "circuits/adder.h"
+#include "circuits/htree.h"
+#include "circuits/netlist.h"
+#include "circuits/wire.h"
+#include "ssta/path_analysis.h"
+
+namespace lvf2::circuits {
+namespace {
+
+TEST(Wire, PiModelSplitsCapacitance) {
+  const PiModel pi = PiModel::from_wire(0.4, 0.1);
+  EXPECT_DOUBLE_EQ(pi.resistance_kohm, 0.4);
+  EXPECT_DOUBLE_EQ(pi.c_near_pf, 0.05);
+  EXPECT_DOUBLE_EQ(pi.c_far_pf, 0.05);
+  EXPECT_DOUBLE_EQ(pi.total_cap_pf(), 0.1);
+}
+
+TEST(Wire, ElmoreDelay) {
+  const PiModel pi = PiModel::from_wire(0.4, 0.1);
+  EXPECT_DOUBLE_EQ(pi.elmore_delay_ns(0.02), 0.4 * (0.05 + 0.02));
+  EXPECT_DOUBLE_EQ(pi.driver_load_pf(0.02), 0.1 + 0.02);
+}
+
+TEST(Adder, CriticalPathStructure) {
+  const AdderOptions options;
+  const ssta::TimingPath path =
+      build_adder_critical_path(options, spice::ProcessCorner{});
+  // driver + 16 FA stages (generate, 14 propagates, sum).
+  EXPECT_EQ(path.depth(), 17u);
+  EXPECT_EQ(path.stages.front().instance_name, "drv");
+  EXPECT_EQ(path.stages.back().instance_name, "fa15");
+  EXPECT_EQ(path.stages.back().arc().output_pin, "S");
+  // Middle stages are carry propagates with alternating direction.
+  for (std::size_t i = 2; i + 1 < path.depth(); ++i) {
+    EXPECT_EQ(path.stages[i].arc().input_pin, "CI");
+    EXPECT_EQ(path.stages[i].arc().output_pin, "CO");
+    EXPECT_NE(path.stages[i].arc().rise_output,
+              path.stages[i + 1].arc().rise_output);
+  }
+}
+
+TEST(Adder, SlewsPropagatedToFixedPoint) {
+  const ssta::TimingPath path =
+      build_adder_critical_path({}, spice::ProcessCorner{});
+  for (std::size_t i = 1; i < path.depth(); ++i) {
+    const spice::StageTimes prev = spice::nominal_stage_times(
+        path.stages[i - 1].arc().stage, path.stages[i - 1].condition,
+        spice::ProcessCorner{});
+    EXPECT_NEAR(path.stages[i].condition.slew_ns, prev.transition_ns,
+                1e-12)
+        << i;
+  }
+}
+
+TEST(Adder, DepthAroundThirtyFo4) {
+  const ssta::TimingPath path =
+      build_adder_critical_path({}, spice::ProcessCorner{});
+  const double fo4 = ssta::fo4_delay_ns(spice::ProcessCorner{});
+  ASSERT_GT(fo4, 0.0);
+  double total = 0.0;
+  for (const ssta::PathStage& s : path.stages) {
+    total += spice::nominal_stage_times(s.arc().stage, s.condition,
+                                        spice::ProcessCorner{})
+                 .delay_ns +
+             s.wire_delay_ns;
+  }
+  const double depth_fo4 = total / fo4;
+  // Paper: "critical path delay of 30-FO4".
+  EXPECT_GT(depth_fo4, 15.0);
+  EXPECT_LT(depth_fo4, 60.0);
+}
+
+TEST(Adder, RejectsTooFewBits) {
+  AdderOptions options;
+  options.bits = 1;
+  EXPECT_THROW(build_adder_critical_path(options, spice::ProcessCorner{}),
+               std::invalid_argument);
+}
+
+TEST(Adder, NetlistStructure) {
+  const Netlist netlist = build_adder_netlist({});
+  EXPECT_EQ(netlist.instances().size(), 16u);
+  // Primary inputs: ci0 + 16 x (a, b).
+  EXPECT_EQ(netlist.primary_inputs().size(), 33u);
+  // Outputs: 16 sums + final carry.
+  EXPECT_EQ(netlist.primary_outputs().size(), 17u);
+  // Carry nets chain the FAs.
+  const double ci_load = netlist.net_load_pf("ci8");
+  EXPECT_GT(ci_load, 0.0);
+}
+
+TEST(Adder, NetlistToGraphPropagates) {
+  const Netlist netlist = build_adder_netlist({});
+  // Annotate every arc with its nominal delay as a constant.
+  const auto annotator = [](const Instance& inst,
+                            const cells::TimingArc& arc)
+      -> std::optional<ssta::EdgeDelay> {
+    if (!arc.rise_output) return std::nullopt;  // one direction only
+    (void)inst;
+    ssta::EdgeDelay d;
+    d.constant_ns = spice::nominal_stage_times(
+                        arc.stage, {0.05, 0.01}, spice::ProcessCorner{})
+                        .delay_ns;
+    return d;
+  };
+  const ssta::TimingGraph graph = netlist.to_timing_graph(annotator);
+  EXPECT_GT(graph.edge_count(), 16u);
+  const auto arrivals = graph.compute_arrivals();
+  // The last carry net must accumulate all 16 FA carry delays.
+  double max_const = 0.0;
+  for (const auto& a : arrivals) {
+    max_const = std::max(max_const, a.constant_ns);
+  }
+  EXPECT_GT(max_const, 0.05);
+}
+
+TEST(Htree, PathStructure) {
+  const HtreeOptions options;
+  const ssta::TimingPath path =
+      build_htree_path(options, spice::ProcessCorner{});
+  // 6 levels x 2 buffers.
+  EXPECT_EQ(path.depth(), 12u);
+  for (const ssta::PathStage& s : path.stages) {
+    EXPECT_GT(s.wire_delay_ns, 0.0);
+    EXPECT_GT(s.condition.load_pf, 0.0);
+  }
+  // Wires shrink with depth, so do loads (geometric scaling).
+  EXPECT_GT(path.stages[0].wire_delay_ns,
+            path.stages[10].wire_delay_ns);
+}
+
+TEST(Htree, DeepInFo4Terms) {
+  const ssta::TimingPath path =
+      build_htree_path({}, spice::ProcessCorner{});
+  const double fo4 = ssta::fo4_delay_ns(spice::ProcessCorner{});
+  double total = 0.0;
+  for (const ssta::PathStage& s : path.stages) {
+    total += spice::nominal_stage_times(s.arc().stage, s.condition,
+                                        spice::ProcessCorner{})
+                 .delay_ns +
+             s.wire_delay_ns;
+  }
+  const double depth_fo4 = total / fo4;
+  // Paper: "6-stage H-tree with a delay of 95-FO4".
+  EXPECT_GT(depth_fo4, 40.0);
+  EXPECT_LT(depth_fo4, 200.0);
+}
+
+TEST(Htree, AlternatingBufferDirections) {
+  const ssta::TimingPath path =
+      build_htree_path({}, spice::ProcessCorner{});
+  for (std::size_t i = 1; i < path.depth(); ++i) {
+    EXPECT_NE(path.stages[i].arc().rise_output,
+              path.stages[i - 1].arc().rise_output);
+  }
+}
+
+TEST(Netlist, NetEnumerationAndLoads) {
+  Netlist netlist;
+  netlist.add_primary_input("in");
+  Instance inv;
+  inv.name = "u1";
+  inv.cell = cells::build_cell(cells::CellFamily::kInv, 1, 1.0);
+  inv.input_nets["A"] = "in";
+  inv.output_nets["Y"] = "out";
+  netlist.add_instance(inv);
+  Instance inv2 = inv;
+  inv2.name = "u2";
+  inv2.input_nets["A"] = "out";
+  inv2.output_nets["Y"] = "out2";
+  netlist.add_instance(inv2);
+  netlist.add_primary_output("out2");
+
+  const auto nets = netlist.nets();
+  EXPECT_EQ(nets.size(), 3u);
+  EXPECT_NEAR(netlist.net_load_pf("out"),
+              inv.cell.arcs[0].stage.input_cap_pf, 1e-12);
+  EXPECT_DOUBLE_EQ(netlist.net_load_pf("out2"), 0.0);
+}
+
+}  // namespace
+}  // namespace lvf2::circuits

@@ -1,0 +1,146 @@
+// Tests of descriptive statistics: moments, weighted moments,
+// quantiles, empirical CDF and sample binning.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace lvf2::stats {
+namespace {
+
+TEST(Moments, KnownSmallSample) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Moments m = compute_moments(xs);
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_NEAR(m.stddev, std::sqrt(1.25), 1e-15);
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);
+}
+
+TEST(Moments, EmptyAndConstant) {
+  EXPECT_EQ(compute_moments({}).count, 0u);
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 3.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis, 3.0);
+}
+
+TEST(Moments, SkewnessSignConvention) {
+  // Right-tailed data has positive skewness.
+  std::vector<double> xs;
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(std::exp(rng.normal()));
+  }
+  EXPECT_GT(compute_moments(xs).skewness, 1.0);
+}
+
+TEST(WeightedMoments, MatchesReplication) {
+  const std::vector<double> xs = {1.0, 5.0, 9.0};
+  const std::vector<double> ws = {1.0, 3.0, 2.0};
+  std::vector<double> expanded = {1.0, 5.0, 5.0, 5.0, 9.0, 9.0};
+  const Moments mw = compute_weighted_moments(xs, ws);
+  const Moments me = compute_moments(expanded);
+  EXPECT_NEAR(mw.mean, me.mean, 1e-14);
+  EXPECT_NEAR(mw.stddev, me.stddev, 1e-14);
+  EXPECT_NEAR(mw.skewness, me.skewness, 1e-13);
+  EXPECT_NEAR(mw.kurtosis, me.kurtosis, 1e-13);
+}
+
+TEST(WeightedMoments, DegenerateInputs) {
+  EXPECT_EQ(compute_weighted_moments({}, {}).count, 0u);
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> bad = {1.0};
+  EXPECT_EQ(compute_weighted_moments(xs, bad).count, 0u);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(compute_weighted_moments(xs, zeros).count, 0u);
+}
+
+TEST(Quantile, LinearInterpolationType7) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(EmpiricalCdf, StepFunctionSemantics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+  EXPECT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 4.0);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsCdf) {
+  Rng rng(2);
+  const std::vector<double> xs = rng.normal_vector(20000);
+  const EmpiricalCdf cdf(xs);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double x = cdf.quantile(q);
+    EXPECT_NEAR(cdf(x), q, 0.001) << q;
+  }
+}
+
+TEST(BinSamples, CountsPreservedAndCentersAscending) {
+  Rng rng(3);
+  const std::vector<double> xs = rng.normal_vector(10000);
+  const BinnedSamples bins = bin_samples(xs, 64);
+  double total = 0.0;
+  for (double c : bins.counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+  EXPECT_DOUBLE_EQ(bins.total, 10000.0);
+  for (std::size_t i = 1; i < bins.centers.size(); ++i) {
+    EXPECT_GT(bins.centers[i], bins.centers[i - 1]);
+  }
+}
+
+TEST(BinSamples, DensityIntegratesToOne) {
+  Rng rng(4);
+  const std::vector<double> xs = rng.normal_vector(50000);
+  const BinnedSamples bins = bin_samples(xs, 128);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < bins.counts.size(); ++i) {
+    integral += bins.density(i) * bins.bin_width;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(BinSamples, ConstantDataSingleOccupiedBin) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const BinnedSamples bins = bin_samples(xs, 16);
+  double total = 0.0;
+  std::size_t occupied = 0;
+  for (double c : bins.counts) {
+    total += c;
+    if (c > 0) ++occupied;
+  }
+  EXPECT_DOUBLE_EQ(total, 3.0);
+  EXPECT_EQ(occupied, 1u);
+}
+
+TEST(BinSamples, PadWidensRange) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const BinnedSamples padded = bin_samples(xs, 8, 0.25);
+  EXPECT_LT(padded.centers.front(), 0.0 + padded.bin_width);
+  EXPECT_GT(padded.centers.back(), 1.0 - padded.bin_width);
+}
+
+}  // namespace
+}  // namespace lvf2::stats

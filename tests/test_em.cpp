@@ -1,0 +1,64 @@
+// Tests of the EM support layer: binned-likelihood data compression.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/em.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace lvf2::core {
+namespace {
+
+TEST(WeightedData, RawModeKeepsAllSamples) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  FitOptions options;
+  options.likelihood_bins = 0;
+  const WeightedData d = make_weighted_data(xs, options);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.total_weight, 3.0);
+  EXPECT_EQ(d.x, xs);
+  for (double w : d.w) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(WeightedData, SmallSamplesStayRawEvenWhenBinningRequested) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  FitOptions options;
+  options.likelihood_bins = 512;
+  const WeightedData d = make_weighted_data(xs, options);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(WeightedData, BinnedModePreservesTotalWeight) {
+  stats::Rng rng(1);
+  const std::vector<double> xs = rng.normal_vector(50000);
+  FitOptions options;
+  options.likelihood_bins = 256;
+  const WeightedData d = make_weighted_data(xs, options);
+  EXPECT_LE(d.size(), 256u);
+  EXPECT_DOUBLE_EQ(d.total_weight, 50000.0);
+  double sum = 0.0;
+  for (double w : d.w) {
+    EXPECT_GT(w, 0.0);  // empty bins dropped
+    sum += w;
+  }
+  EXPECT_DOUBLE_EQ(sum, 50000.0);
+}
+
+TEST(WeightedData, BinnedMomentsMatchRawMoments) {
+  stats::Rng rng(2);
+  std::vector<double> xs(80000);
+  for (auto& x : xs) x = rng.normal(3.0, 0.2);
+  FitOptions options;
+  options.likelihood_bins = 512;
+  const WeightedData d = make_weighted_data(xs, options);
+  const stats::Moments raw = stats::compute_moments(xs);
+  const stats::Moments binned = stats::compute_weighted_moments(d.x, d.w);
+  EXPECT_NEAR(binned.mean, raw.mean, 1e-4);
+  EXPECT_NEAR(binned.stddev, raw.stddev, 1e-3);
+  EXPECT_NEAR(binned.skewness, raw.skewness, 0.01);
+}
+
+}  // namespace
+}  // namespace lvf2::core

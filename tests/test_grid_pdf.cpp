@@ -1,0 +1,173 @@
+// Tests of the discretized-PDF engine that powers block-based SSTA:
+// construction, CDF/quantile, moments, convolution (sum of
+// independent RVs), the statistical max, shifting and resampling.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/grid_pdf.h"
+#include "stats/normal.h"
+#include "stats/rng.h"
+#include "stats/special_functions.h"
+
+namespace lvf2::stats {
+namespace {
+
+GridPdf standard_normal_grid(double mu = 0.0, double sigma = 1.0,
+                             std::size_t points = 2048) {
+  const Normal n(mu, sigma);
+  return GridPdf::from_function([n](double x) { return n.pdf(x); },
+                                mu - 10.0 * sigma, mu + 10.0 * sigma,
+                                points);
+}
+
+TEST(GridPdf, FromFunctionNormalizedAndAccurate) {
+  const GridPdf g = standard_normal_grid();
+  EXPECT_NEAR(g.pdf(0.0), normal_pdf(0.0), 1e-4);
+  EXPECT_NEAR(g.cdf(0.0), 0.5, 1e-4);
+  EXPECT_NEAR(g.cdf(1.0), normal_cdf(1.0), 1e-4);
+  EXPECT_NEAR(g.cdf(-3.0), normal_cdf(-3.0), 1e-4);
+  EXPECT_DOUBLE_EQ(g.cdf(g.lo() - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.cdf(g.hi() + 1.0), 1.0);
+}
+
+TEST(GridPdf, MomentsOfTabulatedNormal) {
+  const GridPdf g = standard_normal_grid(5.0, 2.0);
+  EXPECT_NEAR(g.mean(), 5.0, 1e-6);
+  EXPECT_NEAR(g.stddev(), 2.0, 1e-4);
+  EXPECT_NEAR(g.skewness(), 0.0, 1e-6);
+  EXPECT_NEAR(g.kurtosis(), 3.0, 1e-3);
+}
+
+TEST(GridPdf, FromSamplesMatchesSampleMoments) {
+  Rng rng(1);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal(2.0, 0.5);
+  const GridPdf g = GridPdf::from_samples(xs, 512);
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(g.mean(), m.mean, 0.01);
+  EXPECT_NEAR(g.stddev(), m.stddev, 0.01);
+}
+
+TEST(GridPdf, QuantileInvertsCdf) {
+  const GridPdf g = standard_normal_grid();
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-6) << p;
+    EXPECT_NEAR(g.quantile(p), normal_quantile(p), 1e-3) << p;
+  }
+}
+
+TEST(GridPdf, ConvolveTwoNormalsIsNormal) {
+  const GridPdf a = standard_normal_grid(1.0, 0.6);
+  const GridPdf b = standard_normal_grid(2.0, 0.8);
+  const GridPdf c = GridPdf::convolve(a, b);
+  EXPECT_NEAR(c.mean(), 3.0, 1e-4);
+  EXPECT_NEAR(c.stddev(), 1.0, 1e-3);
+  EXPECT_NEAR(c.skewness(), 0.0, 1e-4);
+  // CDF must match the exact normal sum everywhere.
+  const Normal exact(3.0, 1.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.5}) {
+    EXPECT_NEAR(c.cdf(x), exact.cdf(x), 2e-4) << x;
+  }
+}
+
+TEST(GridPdf, ConvolveRespectsMaxPoints) {
+  const GridPdf a = standard_normal_grid(0.0, 1.0, 4096);
+  const GridPdf b = standard_normal_grid(0.0, 1.0, 4096);
+  const GridPdf c = GridPdf::convolve(a, b, 1024);
+  EXPECT_LE(c.size(), 1100u);
+  EXPECT_NEAR(c.stddev(), std::sqrt(2.0), 5e-3);
+}
+
+TEST(GridPdf, StatisticalMaxMatchesMonteCarlo) {
+  const Normal na(0.0, 1.0), nb(0.5, 0.7);
+  const GridPdf a = standard_normal_grid(0.0, 1.0);
+  const GridPdf b = standard_normal_grid(0.5, 0.7);
+  const GridPdf m = GridPdf::statistical_max(a, b);
+  Rng rng(2);
+  std::vector<double> xs(300000);
+  for (auto& x : xs) x = std::max(na.sample(rng), nb.sample(rng));
+  const Moments mc = compute_moments(xs);
+  EXPECT_NEAR(m.mean(), mc.mean, 0.01);
+  EXPECT_NEAR(m.stddev(), mc.stddev, 0.01);
+  // Exact CDF of the max is the product of CDFs.
+  for (double x : {-1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(m.cdf(x), na.cdf(x) * nb.cdf(x), 2e-3) << x;
+  }
+}
+
+TEST(GridPdf, MaxOfIdenticalSharperAndShifted) {
+  const GridPdf a = standard_normal_grid();
+  const GridPdf m = GridPdf::statistical_max(a, a);
+  EXPECT_NEAR(m.mean(), 1.0 / std::sqrt(kPi), 1e-3);  // E[max(Z1,Z2)]
+  EXPECT_LT(m.stddev(), 1.0);
+}
+
+TEST(GridPdf, ShiftedMovesSupportExactly) {
+  const GridPdf g = standard_normal_grid();
+  const GridPdf s = g.shifted(4.0);
+  EXPECT_NEAR(s.mean(), g.mean() + 4.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), g.stddev(), 1e-12);
+  EXPECT_NEAR(s.cdf(4.0), 0.5, 1e-4);
+}
+
+TEST(GridPdf, ResampledPreservesShape) {
+  const GridPdf g = standard_normal_grid();
+  const GridPdf r = g.resampled(-6.0, 6.0, 512);
+  EXPECT_NEAR(r.mean(), 0.0, 1e-4);
+  EXPECT_NEAR(r.stddev(), 1.0, 2e-3);
+}
+
+TEST(GridPdf, PdfZeroOutsideSupport) {
+  const GridPdf g = standard_normal_grid();
+  EXPECT_DOUBLE_EQ(g.pdf(g.lo() - 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.pdf(g.hi() + 5.0), 0.0);
+}
+
+TEST(GridPdf, NegativeDensityInputClampedToZero) {
+  std::vector<double> values = {0.0, -5.0, 1.0, 1.0, 0.0};
+  const GridPdf g = GridPdf::from_values(0.0, 4.0, std::move(values));
+  EXPECT_GE(g.pdf(1.0), 0.0);
+  EXPECT_NEAR(g.cdf(4.0), 1.0, 1e-12);
+}
+
+TEST(GridPdf, InvalidConstructionThrows) {
+  EXPECT_THROW(GridPdf::from_values(1.0, 0.0, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GridPdf::from_values(0.0, 1.0, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GridPdf::from_function([](double) { return 1.0; }, 0.0, 1.0,
+                                      2),
+               std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(GridPdf::from_samples(empty), std::invalid_argument);
+}
+
+TEST(GridPdf, EmptyDefaultState) {
+  const GridPdf g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_DOUBLE_EQ(g.pdf(0.0), 0.0);
+  EXPECT_TRUE(std::isnan(g.cdf(0.0)));
+}
+
+TEST(GridPdf, ChainOfConvolutionsApproachesGaussianByClT) {
+  // Sum of 12 uniform [0,1] variables: mean 6, variance 1, and the
+  // CDF is within Berry-Esseen distance of the normal.
+  const GridPdf u = GridPdf::from_function(
+      [](double x) { return (x >= 0.0 && x <= 1.0) ? 1.0 : 0.0; }, -0.1,
+      1.1, 1024);
+  GridPdf sum = u;
+  for (int i = 1; i < 12; ++i) sum = GridPdf::convolve(sum, u, 4096);
+  EXPECT_NEAR(sum.mean(), 6.0, 1e-3);
+  EXPECT_NEAR(sum.variance(), 1.0, 5e-3);
+  EXPECT_NEAR(sum.skewness(), 0.0, 1e-3);
+  for (double z : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(sum.cdf(6.0 + z), normal_cdf(z), 5e-3) << z;
+  }
+}
+
+}  // namespace
+}  // namespace lvf2::stats

@@ -1,0 +1,168 @@
+// End-to-end integration tests spanning the full pipeline:
+// Monte-Carlo characterization -> model fitting -> Liberty round
+// trip -> SSTA, plus the CLT property of Section 3.4 on simulated
+// cell data.
+
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "cells/characterize.h"
+#include "core/binning.h"
+#include "core/metrics.h"
+#include "liberty/lvf_tables.h"
+#include "liberty/parser.h"
+#include "liberty/writer.h"
+#include "spice/montecarlo.h"
+#include "ssta/block_ssta.h"
+#include "stats/descriptive.h"
+
+namespace lvf2 {
+namespace {
+
+TEST(Integration, CharacterizeWriteReadEvaluate) {
+  // Characterize one NAND2 arc on a 2x2 grid, write the library to a
+  // file, read it back and verify the LVF^2 model reproduces the
+  // golden distribution better than (or as well as) the LVF model.
+  cells::CharacterizeOptions options;
+  options.grid = cells::SlewLoadGrid::reduced(4);
+  options.mc_samples = 8000;
+  const cells::Characterizer ch(spice::ProcessCorner{}, options);
+  const cells::Cell nand2 = cells::build_cell(cells::CellFamily::kNand, 2, 1.0);
+
+  cells::LibraryCharacterization characterization;
+  characterization.cells.push_back(ch.characterize_cell(nand2));
+
+  const liberty::Group lib = liberty::build_library(characterization);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "lvf2_integration_test.lib";
+  liberty::write_file(lib, path.string());
+  const liberty::Group reparsed = liberty::parse_file(path.string());
+  std::filesystem::remove(path);
+
+  const liberty::Group* cell = reparsed.find_child("cell", "NAND2_X1");
+  ASSERT_NE(cell, nullptr);
+  const liberty::Group* pin = cell->find_child("pin", "Y");
+  ASSERT_NE(pin, nullptr);
+  const liberty::Group* timing = liberty::find_timing(*pin, "A");
+  ASSERT_NE(timing, nullptr);
+  const auto tables = liberty::extract_tables(*timing, "cell_fall");
+  ASSERT_TRUE(tables.has_value());
+
+  // Golden data of the A->Y fall arc at grid entry (1,1).
+  const cells::TimingArc* fall_arc = nullptr;
+  for (const cells::TimingArc& arc : nand2.arcs) {
+    if (arc.input_pin == "A" && !arc.rise_output) fall_arc = &arc;
+  }
+  ASSERT_NE(fall_arc, nullptr);
+  const spice::McResult golden_mc =
+      ch.golden_samples(nand2, *fall_arc, 1, 1);
+  const stats::EmpiricalCdf golden(golden_mc.delay_ns);
+
+  const core::Lvf2Model lvf2 = tables->model_at(1, 1);
+  const core::Lvf2Model lvf =
+      core::Lvf2Model::from_lvf(stats::SkewNormal::from_moments(
+          tables->lvf_moments_at(1, 1)));
+
+  const double rmse2 = core::cdf_rmse(
+      [&lvf2](double x) { return lvf2.cdf(x); }, golden);
+  const double rmse1 = core::cdf_rmse(
+      [&lvf](double x) { return lvf.cdf(x); }, golden);
+  EXPECT_LE(rmse2, rmse1 * 1.05);
+  EXPECT_LT(rmse2, 0.05);
+}
+
+TEST(Integration, CltDecayOnSimulatedCellData) {
+  // Section 3.4: summing n i.i.d. cell delay distributions drives
+  // the distribution towards Gaussian at O(1/sqrt(n)); the
+  // standardized skewness of the sum decays accordingly.
+  spice::StageElectrical stage;
+  stage.pull.stack = 2;
+  stage.mechanism_gain = 1.5;
+  spice::McConfig cfg;
+  cfg.samples = 30000;
+  // A condition inside the confrontation zone (non-Gaussian data).
+  const spice::ArcCondition cond{0.05, 0.02};
+  const spice::McResult mc =
+      spice::run_monte_carlo(stage, cond, spice::ProcessCorner{}, cfg);
+  const double skew1 =
+      std::fabs(stats::compute_moments(mc.delay_ns).skewness);
+
+  // Sum 4 and 16 independent copies (fresh seeds per copy).
+  const auto sum_of = [&](std::size_t n) {
+    std::vector<double> total(cfg.samples, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      spice::McConfig c2 = cfg;
+      c2.seed = cfg.seed + 1000 * (k + 1);
+      const spice::McResult r =
+          spice::run_monte_carlo(stage, cond, spice::ProcessCorner{}, c2);
+      for (std::size_t j = 0; j < total.size(); ++j) {
+        total[j] += r.delay_ns[j];
+      }
+    }
+    return std::fabs(stats::compute_moments(total).skewness);
+  };
+  const double skew4 = sum_of(4);
+  const double skew16 = sum_of(16);
+  // O(1/sqrt(n)) decay with generous MC tolerance.
+  EXPECT_LT(skew4, skew1 * 0.75);
+  EXPECT_LT(skew16, skew1 * 0.45);
+}
+
+TEST(Integration, SsatPropagationOfFittedModelsTracksGoldenSum) {
+  // Fit LVF^2 to two different arc conditions, convolve the fitted
+  // PDFs and compare to the sample-wise golden sum.
+  spice::StageElectrical stage;
+  spice::McConfig cfg;
+  cfg.samples = 15000;
+  const spice::McResult a = spice::run_monte_carlo(
+      stage, {0.02, 0.05}, spice::ProcessCorner{}, cfg);
+  cfg.seed = 999;
+  const spice::McResult b = spice::run_monte_carlo(
+      stage, {0.1, 0.2}, spice::ProcessCorner{}, cfg);
+
+  const auto ma = core::Lvf2Model::fit(a.delay_ns);
+  const auto mb = core::Lvf2Model::fit(b.delay_ns);
+  ASSERT_TRUE(ma && mb);
+  const stats::GridPdf sum =
+      ssta::ssta_sum(ma->to_grid(2048), mb->to_grid(2048));
+
+  std::vector<double> golden_sum(cfg.samples);
+  for (std::size_t j = 0; j < golden_sum.size(); ++j) {
+    golden_sum[j] = a.delay_ns[j] + b.delay_ns[j];
+  }
+  const stats::EmpiricalCdf golden(golden_sum);
+  const double rmse =
+      core::cdf_rmse([&sum](double x) { return sum.cdf(x); }, golden);
+  EXPECT_LT(rmse, 0.02);
+}
+
+TEST(Integration, BinProbabilitiesConsistentAcrossAllModels) {
+  // Property: for every fitted model the eight Eq. 1 bin
+  // probabilities are in [0,1] and sum to 1.
+  spice::StageElectrical stage;
+  stage.mechanism_gain = 2.0;
+  spice::McConfig cfg;
+  cfg.samples = 12000;
+  const spice::McResult mc = spice::run_monte_carlo(
+      stage, {0.05, 0.02}, spice::ProcessCorner{}, cfg);
+  const core::ModelEvaluation eval = core::evaluate_models(mc.delay_ns);
+  const std::vector<double> boundaries = core::sigma_bin_boundaries(
+      eval.golden_moments.mean, eval.golden_moments.stddev);
+  for (const auto& model : eval.models) {
+    ASSERT_NE(model, nullptr);
+    const std::vector<double> bins = core::bin_probabilities(
+        [&model](double x) { return model->cdf(x); }, boundaries);
+    double sum = 0.0;
+    for (double p : bins) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << model->name();
+  }
+}
+
+}  // namespace
+}  // namespace lvf2

@@ -1,0 +1,113 @@
+// Tests of 1-D k-means: recovery of separated clusters, canonical
+// ordering, weighted clustering and degenerate inputs.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/kmeans.h"
+
+namespace lvf2::stats {
+namespace {
+
+std::vector<double> two_blobs(double c1, double c2, std::size_t n1,
+                              std::size_t n2, double spread, Rng& rng) {
+  std::vector<double> xs;
+  xs.reserve(n1 + n2);
+  for (std::size_t i = 0; i < n1; ++i) xs.push_back(rng.normal(c1, spread));
+  for (std::size_t i = 0; i < n2; ++i) xs.push_back(rng.normal(c2, spread));
+  return xs;
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  Rng rng(1);
+  const std::vector<double> xs = two_blobs(0.0, 10.0, 500, 500, 0.5, rng);
+  const KMeansResult r = kmeans_1d(xs, 2, rng);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_NEAR(r.centers[0], 0.0, 0.15);
+  EXPECT_NEAR(r.centers[1], 10.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(r.sizes[0]), 500.0, 10.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(KMeans, CentersAscendingAndAssignmentsConsistent) {
+  Rng rng(2);
+  const std::vector<double> xs = two_blobs(5.0, -3.0, 300, 700, 1.0, rng);
+  const KMeansResult r = kmeans_1d(xs, 2, rng);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_LT(r.centers[0], r.centers[1]);
+  // Samples assigned to cluster 0 must be nearer to center 0.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d0 = std::abs(xs[i] - r.centers[0]);
+    const double d1 = std::abs(xs[i] - r.centers[1]);
+    if (r.assignment[i] == 0) {
+      EXPECT_LE(d0, d1 + 1e-12);
+    } else {
+      EXPECT_LE(d1, d0 + 1e-12);
+    }
+  }
+}
+
+TEST(KMeans, WeightsShiftCenters) {
+  // Heavily weighting the right-most points pulls its center.
+  const std::vector<double> xs = {0.0, 1.0, 10.0, 11.0, 12.0};
+  const std::vector<double> ws = {1.0, 1.0, 1.0, 1.0, 10.0};
+  Rng rng(3);
+  const KMeansResult r = kmeans_1d(xs, 2, rng, {}, ws);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_NEAR(r.centers[0], 0.5, 1e-9);
+  // Weighted mean of {10 (w1), 11 (w1), 12 (w10)} = 141/12.
+  EXPECT_NEAR(r.centers[1], 141.0 / 12.0, 1e-9);
+}
+
+TEST(KMeans, SingleCluster) {
+  Rng rng(4);
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const KMeansResult r = kmeans_1d(xs, 1, rng);
+  ASSERT_EQ(r.centers.size(), 1u);
+  EXPECT_NEAR(r.centers[0], 2.0, 1e-12);
+  EXPECT_EQ(r.sizes[0], 3u);
+}
+
+TEST(KMeans, DegenerateInputsReturnEmpty) {
+  Rng rng(5);
+  const std::vector<double> xs = {1.0};
+  EXPECT_TRUE(kmeans_1d(xs, 2, rng).centers.empty());
+  EXPECT_TRUE(kmeans_1d(xs, 0, rng).centers.empty());
+  const std::vector<double> bad_w = {1.0};
+  const std::vector<double> xs2 = {1.0, 2.0};
+  EXPECT_TRUE(kmeans_1d(xs2, 2, rng, {}, bad_w).centers.empty());
+}
+
+TEST(KMeans, IdenticalPointsDoNotCrash) {
+  Rng rng(6);
+  const std::vector<double> xs(50, 4.2);
+  const KMeansResult r = kmeans_1d(xs, 2, rng);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.centers[0], 4.2);
+  EXPECT_DOUBLE_EQ(r.centers[1], 4.2);
+}
+
+TEST(KMeans, InertiaIsSumOfSquaredDistances) {
+  Rng rng(7);
+  const std::vector<double> xs = {0.0, 2.0, 10.0, 12.0};
+  const KMeansResult r = kmeans_1d(xs, 2, rng);
+  // Clusters {0,2} and {10,12}: inertia = 1+1+1+1 = 4.
+  EXPECT_NEAR(r.inertia, 4.0, 1e-9);
+}
+
+TEST(KMeans, ThreeClusters) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (double c : {-10.0, 0.0, 10.0}) {
+    for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(c, 0.3));
+  }
+  const KMeansResult r = kmeans_1d(xs, 3, rng);
+  ASSERT_EQ(r.centers.size(), 3u);
+  EXPECT_NEAR(r.centers[0], -10.0, 0.2);
+  EXPECT_NEAR(r.centers[1], 0.0, 0.2);
+  EXPECT_NEAR(r.centers[2], 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace lvf2::stats

@@ -1,0 +1,104 @@
+// Tests of the Latin Hypercube Sampler: the stratification invariant
+// (exactly one point per stratum per dimension), marginal statistics,
+// and determinism.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/lhs.h"
+
+namespace lvf2::stats {
+namespace {
+
+TEST(LhsUniform, ShapeAndRange) {
+  Rng rng(1);
+  const LhsDesign d = lhs_uniform(100, 3, rng);
+  EXPECT_EQ(d.samples, 100u);
+  EXPECT_EQ(d.dimensions, 3u);
+  EXPECT_EQ(d.values.size(), 300u);
+  for (double v : d.values) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(LhsUniform, StratificationInvariant) {
+  // Every dimension must place exactly one point in each of the n
+  // strata [k/n, (k+1)/n).
+  Rng rng(2);
+  const std::size_t n = 64;
+  const LhsDesign d = lhs_uniform(n, 4, rng);
+  for (std::size_t dim = 0; dim < 4; ++dim) {
+    std::vector<int> counts(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = d.at(i, dim);
+      ++counts[static_cast<std::size_t>(v * n)];
+    }
+    for (int c : counts) EXPECT_EQ(c, 1) << "dim " << dim;
+  }
+}
+
+TEST(LhsUniform, VarianceBeatsPlainMonteCarlo) {
+  // The stratified mean estimate has (much) lower variance: the mean
+  // of each LHS dimension is nearly exactly 1/2.
+  Rng rng(3);
+  const std::size_t n = 1000;
+  const LhsDesign d = lhs_uniform(n, 1, rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += d.at(i, 0);
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 0.5, 0.001);  // plain MC would need ~0.01 tolerance
+}
+
+TEST(LhsNormal, MarginalsAreStandardNormal) {
+  Rng rng(4);
+  const LhsDesign d = lhs_normal(20000, 2, rng);
+  for (std::size_t dim = 0; dim < 2; ++dim) {
+    std::vector<double> xs(d.samples);
+    for (std::size_t i = 0; i < d.samples; ++i) xs[i] = d.at(i, dim);
+    const Moments m = compute_moments(xs);
+    EXPECT_NEAR(m.mean, 0.0, 0.005);
+    EXPECT_NEAR(m.stddev, 1.0, 0.01);
+    EXPECT_NEAR(m.skewness, 0.0, 0.02);
+    EXPECT_NEAR(m.kurtosis, 3.0, 0.1);
+  }
+}
+
+TEST(LhsNormal, AllValuesFinite) {
+  Rng rng(5);
+  const LhsDesign d = lhs_normal(4096, 7, rng);
+  for (double v : d.values) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Lhs, DeterministicPerSeed) {
+  Rng a(77), b(77);
+  const LhsDesign da = lhs_normal(128, 3, a);
+  const LhsDesign db = lhs_normal(128, 3, b);
+  EXPECT_EQ(da.values, db.values);
+}
+
+TEST(Lhs, DimensionsIndependentlyPermuted) {
+  Rng rng(6);
+  const std::size_t n = 512;
+  const LhsDesign d = lhs_uniform(n, 2, rng);
+  // Rank correlation between the two dimensions should be near 0.
+  double corr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    corr += (d.at(i, 0) - 0.5) * (d.at(i, 1) - 0.5);
+  }
+  corr /= static_cast<double>(n) / 12.0;
+  EXPECT_NEAR(corr, 0.0, 0.15);
+}
+
+TEST(Lhs, EmptyDesigns) {
+  Rng rng(7);
+  EXPECT_EQ(lhs_uniform(0, 3, rng).values.size(), 0u);
+  EXPECT_EQ(lhs_uniform(3, 0, rng).values.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lvf2::stats

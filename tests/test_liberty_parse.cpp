@@ -1,0 +1,192 @@
+// Tests of the Liberty lexer / parser / writer: token classes,
+// comments, strings, error reporting, and parse(write(x)) fixpoints.
+
+#include <gtest/gtest.h>
+
+#include "liberty/lexer.h"
+#include "liberty/parser.h"
+#include "liberty/writer.h"
+
+namespace lvf2::liberty {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = tokenize("library (foo) { a : 1.5; }");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "library");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[2].text, "foo");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, StringsKeepSpacesAndStripQuotes) {
+  const auto tokens = tokenize("values (\"1.0, 2.0\");");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "1.0, 2.0");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto tokens = tokenize(
+      "/* block\ncomment */ a // line comment\n : 2;");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kColon);
+  EXPECT_EQ(tokens[2].text, "2");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = tokenize("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(Lexer, ErrorsCarryLineNumbers) {
+  try {
+    tokenize("ok\n\"unterminated");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Lexer, NumbersAndUnitsAreIdentifiers) {
+  const auto tokens = tokenize("1.5e-3 0.8V foo_bar");
+  EXPECT_EQ(tokens[0].text, "1.5e-3");
+  EXPECT_EQ(tokens[1].text, "0.8V");
+  EXPECT_EQ(tokens[2].text, "foo_bar");
+}
+
+TEST(Parser, SimpleLibrary) {
+  const Group g = parse(R"(
+    library (test) {
+      time_unit : "1ns";
+      cell (INV_X1) {
+        area : 1.2;
+        pin (Y) {
+          direction : output;
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(g.type, "library");
+  EXPECT_EQ(g.name(), "test");
+  const Attribute* tu = g.find_attribute("time_unit");
+  ASSERT_NE(tu, nullptr);
+  EXPECT_EQ(tu->single(), "1ns");
+  const Group* cell = g.find_child("cell", "INV_X1");
+  ASSERT_NE(cell, nullptr);
+  const Group* pin = cell->find_child("pin");
+  ASSERT_NE(pin, nullptr);
+  EXPECT_EQ(pin->find_attribute("direction")->single(), "output");
+}
+
+TEST(Parser, ComplexAttributes) {
+  const Group g = parse(R"(
+    library (t) {
+      capacitive_load_unit (1, pf);
+      lut (tmpl) {
+        index_1 ("0.1, 0.2");
+        values ("1, 2", "3, 4");
+      }
+    }
+  )");
+  const Attribute* clu = g.find_attribute("capacitive_load_unit");
+  ASSERT_NE(clu, nullptr);
+  EXPECT_TRUE(clu->is_complex);
+  ASSERT_EQ(clu->values.size(), 2u);
+  EXPECT_EQ(clu->values[0], "1");
+  EXPECT_EQ(clu->values[1], "pf");
+  const Group* lut = g.find_child("lut");
+  ASSERT_NE(lut, nullptr);
+  const Attribute* values = lut->find_attribute("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->values.size(), 2u);
+  EXPECT_EQ(values->values[1], "3, 4");
+}
+
+TEST(Parser, AnonymousGroups) {
+  const Group g = parse("library (t) { cell (c) { pin (Y) { timing () { "
+                        "related_pin : A; } } } }");
+  const Group* timing =
+      g.find_child("cell")->find_child("pin")->find_child("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_TRUE(timing->args.empty());
+  EXPECT_EQ(timing->find_attribute("related_pin")->single(), "A");
+}
+
+TEST(Parser, SyntaxErrorsReported) {
+  EXPECT_THROW(parse("library (t) {"), std::runtime_error);
+  EXPECT_THROW(parse("library t { }"), std::runtime_error);
+  EXPECT_THROW(parse("library (t) { a b; }"), std::runtime_error);
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parse_file("/nonexistent/path.lib"), std::runtime_error);
+}
+
+TEST(Writer, RoundTripPreservesStructure) {
+  const Group original = parse(R"(
+    library (round_trip) {
+      time_unit : "1ns";
+      nom_voltage : 0.8;
+      capacitive_load_unit (1, pf);
+      cell (NAND2_X1) {
+        pin (Y) {
+          direction : output;
+          timing () {
+            related_pin : A;
+            cell_rise (tmpl) {
+              index_1 ("0.1, 0.2");
+              index_2 ("0.01, 0.02");
+              values ("1, 2", "3, 4");
+            }
+          }
+        }
+      }
+    }
+  )");
+  const std::string text = write(original);
+  const Group reparsed = parse(text);
+  EXPECT_EQ(reparsed.type, original.type);
+  EXPECT_EQ(reparsed.args, original.args);
+  EXPECT_EQ(reparsed.attributes.size(), original.attributes.size());
+  const Group* cell = reparsed.find_child("cell", "NAND2_X1");
+  ASSERT_NE(cell, nullptr);
+  const Group* lut = cell->find_child("pin")->find_child("timing")
+                         ->find_child("cell_rise");
+  ASSERT_NE(lut, nullptr);
+  EXPECT_EQ(lut->find_attribute("values")->values,
+            original.find_child("cell")->find_child("pin")
+                ->find_child("timing")->find_child("cell_rise")
+                ->find_attribute("values")->values);
+}
+
+TEST(Writer, QuotesValuesWithSpecialCharacters) {
+  Group g;
+  g.type = "library";
+  g.args = {"t"};
+  g.set_attribute("simple", "plain_value");
+  g.set_attribute("spaced", "has spaces");
+  const std::string text = write(g);
+  EXPECT_NE(text.find("simple : plain_value;"), std::string::npos);
+  EXPECT_NE(text.find("spaced : \"has spaces\";"), std::string::npos);
+}
+
+TEST(Ast, GroupHelpers) {
+  Group g;
+  g.type = "library";
+  Group& child = g.add_child("cell", {"X"});
+  child.set_attribute("area", "2");
+  EXPECT_EQ(g.children_of_type("cell").size(), 1u);
+  EXPECT_EQ(g.find_child("cell", "X")->find_attribute("area")->single(),
+            "2");
+  EXPECT_EQ(g.find_child("pin"), nullptr);
+  EXPECT_EQ(g.find_child("cell", "Y"), nullptr);
+  EXPECT_EQ(g.find_attribute("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace lvf2::liberty

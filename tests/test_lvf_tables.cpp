@@ -1,0 +1,169 @@
+// Tests of the LVF / LVF^2 Liberty table layer: writing a
+// characterized library, reading it back, the Section 3.3 defaulting
+// rules and end-to-end backward compatibility (Eq. 10).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cells/characterize.h"
+#include "liberty/lvf_tables.h"
+#include "liberty/parser.h"
+#include "liberty/writer.h"
+
+namespace lvf2::liberty {
+namespace {
+
+cells::LibraryCharacterization small_characterization() {
+  cells::LibraryOptions lib_options;
+  lib_options.drives = {1.0};
+  cells::CharacterizeOptions options;
+  options.grid = cells::SlewLoadGrid::reduced(4);  // 2x2
+  options.mc_samples = 3000;
+  const cells::Characterizer ch(spice::ProcessCorner{}, options);
+  const cells::Cell inv = cells::build_cell(cells::CellFamily::kInv, 1, 1.0);
+  cells::LibraryCharacterization out;
+  out.cells.push_back(ch.characterize_cell(inv));
+  return out;
+}
+
+class LvfTablesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    characterization_ =
+        new cells::LibraryCharacterization(small_characterization());
+  }
+  static void TearDownTestSuite() {
+    delete characterization_;
+    characterization_ = nullptr;
+  }
+  static const cells::LibraryCharacterization& characterization() {
+    return *characterization_;
+  }
+
+ private:
+  static cells::LibraryCharacterization* characterization_;
+};
+
+cells::LibraryCharacterization* LvfTablesTest::characterization_ = nullptr;
+
+TEST_F(LvfTablesTest, BuildLibraryStructure) {
+  const Group lib = build_library(characterization());
+  EXPECT_EQ(lib.type, "library");
+  EXPECT_NE(lib.find_child("lu_table_template"), nullptr);
+  const Group* cell = lib.find_child("cell", "INV_X1");
+  ASSERT_NE(cell, nullptr);
+  const Group* pin = cell->find_child("pin", "Y");
+  ASSERT_NE(pin, nullptr);
+  const Group* timing = find_timing(*pin, "A");
+  ASSERT_NE(timing, nullptr);
+  // Both directions share the related-pin timing group.
+  EXPECT_NE(timing->find_child("cell_rise"), nullptr);
+  EXPECT_NE(timing->find_child("cell_fall"), nullptr);
+  EXPECT_NE(timing->find_child("rise_transition"), nullptr);
+  EXPECT_NE(timing->find_child("ocv_std_dev_cell_rise"), nullptr);
+  EXPECT_NE(timing->find_child("ocv_weight2_cell_rise"), nullptr);
+}
+
+TEST_F(LvfTablesTest, RoundTripThroughTextPreservesParameters) {
+  const Group lib = build_library(characterization());
+  const Group reparsed = parse(write(lib));
+  const Group* timing = find_timing(
+      *reparsed.find_child("cell", "INV_X1")->find_child("pin", "Y"), "A");
+  ASSERT_NE(timing, nullptr);
+  const auto tables = extract_tables(*timing, "cell_rise");
+  ASSERT_TRUE(tables.has_value());
+  EXPECT_TRUE(tables->has_lvf2());
+
+  // Find the characterized rise arc for ground truth.
+  const cells::ArcCharacterization* rise_arc = nullptr;
+  for (const auto& arc : characterization().cells[0].arcs) {
+    if (arc.arc_label.find("(rise)") != std::string::npos) rise_arc = &arc;
+  }
+  ASSERT_NE(rise_arc, nullptr);
+  for (std::size_t si = 0; si < 2; ++si) {
+    for (std::size_t li = 0; li < 2; ++li) {
+      const auto& truth = rise_arc->at(li, si);
+      const core::Lvf2Parameters p = tables->parameters_at(si, li);
+      EXPECT_NEAR(p.lambda, truth.lvf2_delay.lambda, 1e-6);
+      EXPECT_NEAR(p.theta1.mean, truth.lvf2_delay.theta1.mean,
+                  1e-6 * std::fabs(truth.lvf2_delay.theta1.mean) + 1e-9);
+      EXPECT_NEAR(p.theta1.stddev, truth.lvf2_delay.theta1.stddev,
+                  1e-5 * truth.lvf2_delay.theta1.stddev);
+      const stats::SnMoments lvf = tables->lvf_moments_at(si, li);
+      EXPECT_NEAR(lvf.mean, truth.lvf_delay.mean,
+                  1e-6 * std::fabs(truth.lvf_delay.mean) + 1e-9);
+      EXPECT_NEAR(lvf.skewness, truth.lvf_delay.skewness, 1e-4);
+    }
+  }
+}
+
+TEST_F(LvfTablesTest, LvfOnlyLibraryReadsAsLambdaZero) {
+  WriteOptions options;
+  options.include_lvf2 = false;
+  const Group lib = build_library(characterization(), options);
+  const Group reparsed = parse(write(lib));
+  const Group* timing = find_timing(
+      *reparsed.find_child("cell", "INV_X1")->find_child("pin", "Y"), "A");
+  const auto tables = extract_tables(*timing, "cell_fall");
+  ASSERT_TRUE(tables.has_value());
+  EXPECT_FALSE(tables->has_lvf2());
+  // Backward compatibility (Eq. 10): the LVF^2 reader sees the LVF
+  // skew-normal as component 1 with lambda = 0.
+  const core::Lvf2Model model = tables->model_at(1, 1);
+  EXPECT_TRUE(model.is_pure_lvf());
+  const stats::SnMoments lvf = tables->lvf_moments_at(1, 1);
+  EXPECT_NEAR(model.mean(), lvf.mean, 1e-9);
+  EXPECT_NEAR(model.stddev(), lvf.stddev, 1e-9);
+  const stats::SkewNormal direct = stats::SkewNormal::from_moments(lvf);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double x = direct.quantile(q);
+    EXPECT_NEAR(model.cdf(x), direct.cdf(x), 1e-12);
+  }
+}
+
+TEST_F(LvfTablesTest, MixedLibrarySupportsBothSimultaneously) {
+  // A library carrying both LVF and LVF^2 attributes serves both
+  // consumers without conflict.
+  const Group lib = build_library(characterization());
+  const Group reparsed = parse(write(lib));
+  const Group* timing = find_timing(
+      *reparsed.find_child("cell", "INV_X1")->find_child("pin", "Y"), "A");
+  const auto tables = extract_tables(*timing, "cell_rise");
+  ASSERT_TRUE(tables.has_value());
+  // LVF consumer reads the classic triple.
+  const stats::SnMoments lvf = tables->lvf_moments_at(0, 0);
+  EXPECT_GT(lvf.stddev, 0.0);
+  // LVF^2 consumer reads the mixture.
+  const core::Lvf2Parameters p = tables->parameters_at(0, 0);
+  EXPECT_GE(p.lambda, 0.0);
+  EXPECT_LE(p.lambda, 1.0);
+}
+
+TEST_F(LvfTablesTest, ExtractMissingBaseReturnsNullopt) {
+  const Group lib = build_library(characterization());
+  const Group* timing = find_timing(
+      *lib.find_child("cell", "INV_X1")->find_child("pin", "Y"), "A");
+  EXPECT_FALSE(extract_tables(*timing, "cell_sideways").has_value());
+}
+
+TEST(TimingTable, BilinearLookup) {
+  TimingTable t;
+  t.index_1 = {0.0, 1.0};
+  t.index_2 = {0.0, 2.0};
+  t.values = {{0.0, 2.0}, {10.0, 12.0}};
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 12.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 1.0), 6.0);
+  // Clamped outside the grid.
+  EXPECT_DOUBLE_EQ(t.lookup(-1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, 5.0), 12.0);
+}
+
+TEST(TimingTable, EmptyLookupIsNan) {
+  const TimingTable t;
+  EXPECT_TRUE(std::isnan(t.lookup(0.5, 0.5)));
+}
+
+}  // namespace
+}  // namespace lvf2::liberty

@@ -1,0 +1,117 @@
+// Tests of the golden path Monte-Carlo: shapes, prefix-sum
+// semantics, determinism and per-stage independence.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/adder.h"
+#include "ssta/mc_ssta.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::ssta {
+namespace {
+
+TimingPath small_path() {
+  circuits::AdderOptions options;
+  options.bits = 4;
+  return circuits::build_adder_critical_path(options,
+                                             spice::ProcessCorner{});
+}
+
+TEST(PathMc, ShapesMatchConfig) {
+  const TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 700;
+  const PathMcResult r =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  ASSERT_EQ(r.stage_delays.size(), path.depth());
+  ASSERT_EQ(r.cumulative.size(), path.depth());
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    EXPECT_EQ(r.stage_delays[i].size(), 700u);
+    EXPECT_EQ(r.cumulative[i].size(), 700u);
+  }
+}
+
+TEST(PathMc, CumulativeIsPrefixSum) {
+  const TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 200;
+  const PathMcResult r =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  for (std::size_t j = 0; j < 200; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < path.depth(); ++i) {
+      sum += r.stage_delays[i][j];
+      EXPECT_NEAR(r.cumulative[i][j], sum, 1e-12);
+    }
+  }
+}
+
+TEST(PathMc, DeterministicPerSeed) {
+  const TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 100;
+  cfg.seed = 5;
+  const PathMcResult a =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  const PathMcResult b =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  EXPECT_EQ(a.cumulative.back(), b.cumulative.back());
+  cfg.seed = 6;
+  const PathMcResult c =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  EXPECT_NE(a.cumulative.back(), c.cumulative.back());
+}
+
+TEST(PathMc, StagesAreIndependent) {
+  // Local mismatch is uncorrelated across instances: per-stage delay
+  // vectors must be (nearly) uncorrelated.
+  const TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 20000;
+  const PathMcResult r =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  const auto& s0 = r.stage_delays[1];
+  const auto& s1 = r.stage_delays[2];
+  const stats::Moments m0 = stats::compute_moments(s0);
+  const stats::Moments m1 = stats::compute_moments(s1);
+  double cov = 0.0;
+  for (std::size_t j = 0; j < s0.size(); ++j) {
+    cov += (s0[j] - m0.mean) * (s1[j] - m1.mean);
+  }
+  cov /= static_cast<double>(s0.size());
+  EXPECT_NEAR(cov / (m0.stddev * m1.stddev), 0.0, 0.03);
+}
+
+TEST(PathMc, WireDelayShiftsStage) {
+  TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 2000;
+  const PathMcResult base =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  path.stages[0].wire_delay_ns += 0.5;
+  const PathMcResult shifted =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  const double m0 = stats::compute_moments(base.stage_delays[0]).mean;
+  const double m1 = stats::compute_moments(shifted.stage_delays[0]).mean;
+  EXPECT_NEAR(m1 - m0, 0.5, 1e-9);
+}
+
+TEST(PathMc, VarianceGrowsLinearlyAlongPath) {
+  const TimingPath path = small_path();
+  PathMcConfig cfg;
+  cfg.samples = 10000;
+  const PathMcResult r =
+      run_path_monte_carlo(path, spice::ProcessCorner{}, cfg);
+  double prev_var = 0.0;
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    const stats::Moments m = stats::compute_moments(r.cumulative[i]);
+    const double var = m.stddev * m.stddev;
+    EXPECT_GT(var, prev_var) << i;  // independent adds increase variance
+    prev_var = var;
+  }
+}
+
+}  // namespace
+}  // namespace lvf2::ssta

@@ -1,0 +1,78 @@
+// Tests of the Monte-Carlo driver: determinism, output shape, and
+// agreement between LHS and plain MC.
+
+#include <gtest/gtest.h>
+
+#include "spice/montecarlo.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::spice {
+namespace {
+
+TEST(MonteCarlo, OutputSizesMatchConfig) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  McConfig cfg;
+  cfg.samples = 1234;
+  const McResult r = run_monte_carlo(stage, {0.05, 0.05}, corner, cfg);
+  EXPECT_EQ(r.delay_ns.size(), 1234u);
+  EXPECT_EQ(r.transition_ns.size(), 1234u);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  McConfig cfg;
+  cfg.samples = 500;
+  cfg.seed = 99;
+  const McResult a = run_monte_carlo(stage, {0.05, 0.05}, corner, cfg);
+  const McResult b = run_monte_carlo(stage, {0.05, 0.05}, corner, cfg);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_EQ(a.transition_ns, b.transition_ns);
+  cfg.seed = 100;
+  const McResult c = run_monte_carlo(stage, {0.05, 0.05}, corner, cfg);
+  EXPECT_NE(a.delay_ns, c.delay_ns);
+}
+
+TEST(MonteCarlo, LhsAndPlainMcAgreeOnMoments) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  McConfig lhs_cfg, mc_cfg;
+  lhs_cfg.samples = mc_cfg.samples = 20000;
+  lhs_cfg.use_lhs = true;
+  mc_cfg.use_lhs = false;
+  const McResult lhs = run_monte_carlo(stage, {0.05, 0.1}, corner, lhs_cfg);
+  const McResult mc = run_monte_carlo(stage, {0.05, 0.1}, corner, mc_cfg);
+  const stats::Moments ml = stats::compute_moments(lhs.delay_ns);
+  const stats::Moments mm = stats::compute_moments(mc.delay_ns);
+  EXPECT_NEAR(ml.mean, mm.mean, 0.02 * mm.mean);
+  EXPECT_NEAR(ml.stddev, mm.stddev, 0.05 * mm.stddev);
+}
+
+TEST(MonteCarlo, MeanNearNominalBlend) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  const ArcCondition cond{0.02, 0.08};
+  McConfig cfg;
+  cfg.samples = 30000;
+  const McResult r = run_monte_carlo(stage, cond, corner, cfg);
+  const StageTimes nominal = nominal_stage_times(stage, cond, corner);
+  const stats::Moments m = stats::compute_moments(r.delay_ns);
+  // Variation is roughly mean-preserving around the nominal blend.
+  EXPECT_NEAR(m.mean, nominal.delay_ns, 0.1 * nominal.delay_ns);
+}
+
+TEST(MonteCarlo, EvaluateSampleMatchesSimulateStage) {
+  const ProcessCorner corner;
+  const StageElectrical stage;
+  VariationSample v;
+  v.dvth_n = 0.01;
+  v.dlen = -0.02;
+  const StageTimes a = evaluate_sample(stage, {0.05, 0.05}, corner, v);
+  const StageTimes b = simulate_stage(stage, {0.05, 0.05}, corner, v);
+  EXPECT_DOUBLE_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_DOUBLE_EQ(a.transition_ns, b.transition_ns);
+}
+
+}  // namespace
+}  // namespace lvf2::spice

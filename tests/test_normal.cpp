@@ -1,0 +1,65 @@
+// Tests of the location-scale Normal distribution wrapper.
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace lvf2::stats {
+namespace {
+
+TEST(Normal, DefaultIsStandard) {
+  const Normal n;
+  EXPECT_DOUBLE_EQ(n.mu(), 0.0);
+  EXPECT_DOUBLE_EQ(n.sigma(), 1.0);
+  EXPECT_NEAR(n.cdf(0.0), 0.5, 1e-15);
+}
+
+TEST(Normal, RejectsBadSigma) {
+  EXPECT_THROW(Normal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Normal, PdfLocationScale) {
+  const Normal n(2.0, 3.0);
+  EXPECT_NEAR(n.pdf(2.0), 0.3989422804014327 / 3.0, 1e-15);
+  EXPECT_NEAR(n.pdf(5.0), n.pdf(-1.0), 1e-16);  // symmetric about mu
+}
+
+TEST(Normal, LogPdfConsistent) {
+  const Normal n(-1.0, 0.5);
+  for (double x : {-3.0, -1.0, 0.0, 2.0}) {
+    EXPECT_NEAR(n.log_pdf(x), std::log(n.pdf(x)), 1e-12) << x;
+  }
+}
+
+TEST(Normal, CdfQuantileRoundTrip) {
+  const Normal n(10.0, 2.0);
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_NEAR(n.cdf(n.quantile(p)), p, 1e-12) << p;
+  }
+  EXPECT_NEAR(n.quantile(0.5), 10.0, 1e-12);
+}
+
+TEST(Normal, SamplingMatchesMoments) {
+  const Normal n(4.0, 1.5);
+  Rng rng(1);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = n.sample(rng);
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.mean, 4.0, 0.02);
+  EXPECT_NEAR(m.stddev, 1.5, 0.02);
+}
+
+TEST(Normal, MomentAccessors) {
+  const Normal n(7.0, 3.0);
+  EXPECT_DOUBLE_EQ(n.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(n.stddev(), 3.0);
+  EXPECT_DOUBLE_EQ(n.variance(), 9.0);
+}
+
+}  // namespace
+}  // namespace lvf2::stats

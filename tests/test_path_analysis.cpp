@@ -1,0 +1,109 @@
+// Tests of the Fig. 5 path-assessment engine: FO4 reference, result
+// shapes, the LVF unit baseline and the CLT decay property.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/adder.h"
+#include "ssta/path_analysis.h"
+
+namespace lvf2::ssta {
+namespace {
+
+TEST(Fo4, PositiveAndStable) {
+  const double fo4 = fo4_delay_ns(spice::ProcessCorner{});
+  EXPECT_GT(fo4, 0.001);
+  EXPECT_LT(fo4, 0.1);
+  EXPECT_DOUBLE_EQ(fo4, fo4_delay_ns(spice::ProcessCorner{}));
+}
+
+class PathAssessmentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuits::AdderOptions options;
+    options.bits = 6;
+    const TimingPath path = circuits::build_adder_critical_path(
+        options, spice::ProcessCorner{});
+    PathAssessmentOptions opts;
+    opts.mc.samples = 6000;
+    opts.model_grid_points = 1024;
+    assessment_ = new PathAssessment(
+        assess_path(path, spice::ProcessCorner{}, opts));
+    depth_ = path.depth();
+  }
+  static void TearDownTestSuite() {
+    delete assessment_;
+    assessment_ = nullptr;
+  }
+  static const PathAssessment& assessment() { return *assessment_; }
+  static std::size_t depth() { return depth_; }
+
+ private:
+  static PathAssessment* assessment_;
+  static std::size_t depth_;
+};
+
+PathAssessment* PathAssessmentTest::assessment_ = nullptr;
+std::size_t PathAssessmentTest::depth_ = 0;
+
+TEST_F(PathAssessmentTest, ShapesMatchDepth) {
+  const PathAssessment& a = assessment();
+  EXPECT_EQ(a.fo4_position.size(), depth());
+  EXPECT_EQ(a.binning_reduction.size(), depth());
+  EXPECT_EQ(a.cdf_rmse_reduction.size(), depth());
+  EXPECT_EQ(a.golden_skewness.size(), depth());
+}
+
+TEST_F(PathAssessmentTest, Fo4PositionsIncrease) {
+  const PathAssessment& a = assessment();
+  for (std::size_t i = 1; i < a.fo4_position.size(); ++i) {
+    EXPECT_GT(a.fo4_position[i], a.fo4_position[i - 1]);
+  }
+  EXPECT_GT(a.fo4_position.back(), 3.0);
+}
+
+TEST_F(PathAssessmentTest, LvfBaselineIsUnity) {
+  const PathAssessment& a = assessment();
+  for (std::size_t i = 0; i < a.binning_reduction.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.binning_reduction[i][3], 1.0) << i;  // LVF last
+    EXPECT_DOUBLE_EQ(a.cdf_rmse_reduction[i][3], 1.0) << i;
+  }
+}
+
+TEST_F(PathAssessmentTest, AllReductionsPositiveFinite) {
+  const PathAssessment& a = assessment();
+  for (const auto& row : a.binning_reduction) {
+    for (double r : row) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_TRUE(std::isfinite(r));
+    }
+  }
+}
+
+TEST_F(PathAssessmentTest, Lvf2BeatsLvfAtFirstStage) {
+  // At stage 0 the propagated model IS the per-stage fit, where the
+  // skew-normal mixture must beat the single skew-normal.
+  const PathAssessment& a = assessment();
+  EXPECT_GE(a.binning_reduction[0][0], 1.0);
+}
+
+TEST_F(PathAssessmentTest, GoldenSkewnessNotGrowing) {
+  // CLT: the standardized skewness of the cumulative delay decays
+  // (up to MC noise) as stages accumulate.
+  const PathAssessment& a = assessment();
+  const double first = std::fabs(a.golden_skewness.front());
+  const double last = std::fabs(a.golden_skewness.back());
+  EXPECT_LT(last, first + 0.15);
+}
+
+TEST(PathAssessment, EmptyPathYieldsEmptyResult) {
+  const TimingPath empty;
+  const PathAssessment a =
+      assess_path(empty, spice::ProcessCorner{}, {});
+  EXPECT_TRUE(a.fo4_position.empty());
+  EXPECT_TRUE(a.binning_reduction.empty());
+}
+
+}  // namespace
+}  // namespace lvf2::ssta

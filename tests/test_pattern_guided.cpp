@@ -1,0 +1,136 @@
+// Tests of the accuracy-pattern-guided characterization (the paper
+// conclusion's proposed speedup): the mixture-strength estimator and
+// the screening behaviour across the slew/load table.
+
+#include <gtest/gtest.h>
+
+#include "cells/pattern_guided.h"
+#include "stats/rng.h"
+
+namespace lvf2::cells {
+namespace {
+
+TEST(MixtureStrength, NearZeroForUnimodalData) {
+  stats::Rng rng(1);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) x = rng.normal(0.1, 0.01);
+  EXPECT_LT(estimate_mixture_strength(xs), 0.08);
+}
+
+TEST(MixtureStrength, LargeForBalancedSeparatedMixture) {
+  stats::Rng rng(2);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) {
+    x = (rng.uniform() < 0.5) ? rng.normal(0.10, 0.005)
+                              : rng.normal(0.13, 0.005);
+  }
+  EXPECT_GT(estimate_mixture_strength(xs), 0.3);
+}
+
+TEST(MixtureStrength, SmallForLopsidedMixture) {
+  stats::Rng rng(3);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) {
+    x = (rng.uniform() < 0.02) ? rng.normal(0.13, 0.005)
+                               : rng.normal(0.10, 0.005);
+  }
+  const double lopsided = estimate_mixture_strength(xs);
+  std::vector<double> balanced(4000);
+  for (auto& x : balanced) {
+    x = (rng.uniform() < 0.5) ? rng.normal(0.13, 0.005)
+                              : rng.normal(0.10, 0.005);
+  }
+  EXPECT_LT(lopsided, estimate_mixture_strength(balanced));
+}
+
+class PatternGuidedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Cell nand2 = build_cell(CellFamily::kNand, 2, 1.0);
+    PatternGuidedOptions options;
+    options.grid = SlewLoadGrid::reduced(2);  // 4x4
+    options.pilot_samples = 600;
+    options.full_samples = 4000;
+    result_ = new PatternGuidedResult(pattern_guided_characterize_arc(
+        nand2, nand2.arcs.front(), spice::ProcessCorner{}, options));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const PatternGuidedResult& result() { return *result_; }
+
+ private:
+  static PatternGuidedResult* result_;
+};
+
+PatternGuidedResult* PatternGuidedTest::result_ = nullptr;
+
+TEST_F(PatternGuidedTest, CoversWholeGrid) {
+  EXPECT_EQ(result().entries.size(), 16u);
+  EXPECT_EQ(result().full_fits + result().screened_out, 16u);
+}
+
+TEST_F(PatternGuidedTest, ScreensOutSomeEntriesAndSavesBudget) {
+  // The off-diagonal corners of the table are unimodal and must be
+  // screened out; the confrontation band must get full fits.
+  EXPECT_GT(result().screened_out, 0u);
+  EXPECT_GT(result().full_fits, 0u);
+  EXPECT_LT(result().budget_fraction(), 1.0);
+  EXPECT_GT(result().budget_fraction(), 0.0);
+}
+
+TEST_F(PatternGuidedTest, FullFitsCarryMixtures) {
+  for (const PatternGuidedEntry& e : result().entries) {
+    if (e.full_fit) {
+      EXPECT_GT(e.samples_used, 4000u);
+    } else {
+      // Screened-out entries are plain LVF.
+      EXPECT_DOUBLE_EQ(e.delay_params.lambda, 0.0);
+      EXPECT_EQ(e.samples_used, 600u);
+    }
+    EXPECT_GT(e.delay_params.theta1.stddev, 0.0);
+  }
+}
+
+TEST_F(PatternGuidedTest, PureRegimeCornersMostlyScreenedOut) {
+  // Entries where one mechanism fully dominates (analytic weight at 0
+  // or 1) are regime-unimodal and should mostly be screened out. A
+  // minority can legitimately exceed the threshold: the deep
+  // drive-limited corner has a strongly nonlinear (heavy-tailed)
+  // distribution that a two-Gaussian fit genuinely improves on.
+  const Cell nand2 = build_cell(CellFamily::kNand, 2, 1.0);
+  const auto& arc = nand2.arcs.front();
+  std::size_t corner_entries = 0;
+  std::size_t corner_flagged = 0;
+  for (const PatternGuidedEntry& e : result().entries) {
+    const double lambda = spice::mechanism_b_probability(
+        arc.stage, e.condition, spice::ProcessCorner{});
+    if (lambda * (1.0 - lambda) < 0.01) {
+      ++corner_entries;
+      if (e.full_fit) ++corner_flagged;
+    }
+  }
+  ASSERT_GT(corner_entries, 4u);
+  EXPECT_LE(corner_flagged * 2, corner_entries);
+}
+
+TEST_F(PatternGuidedTest, FlaggedEntriesAreStrongerThanScreened) {
+  double flagged = 0.0, screened = 0.0;
+  std::size_t nf = 0, ns = 0;
+  for (const PatternGuidedEntry& e : result().entries) {
+    if (e.full_fit) {
+      flagged += e.pilot_strength;
+      ++nf;
+    } else {
+      screened += e.pilot_strength;
+      ++ns;
+    }
+  }
+  ASSERT_GT(nf, 0u);
+  ASSERT_GT(ns, 0u);
+  EXPECT_GT(flagged / nf, screened / ns);
+}
+
+}  // namespace
+}  // namespace lvf2::cells

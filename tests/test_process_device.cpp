@@ -1,0 +1,145 @@
+// Tests of the process-variation model and the alpha-power-law
+// device model of the SPICE-substitute engine.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spice/device.h"
+#include "spice/process.h"
+#include "stats/descriptive.h"
+
+namespace lvf2::spice {
+namespace {
+
+TEST(ProcessCorner, PaperCornerDefaults) {
+  const ProcessCorner c = ProcessCorner::tt_global_local_mc();
+  EXPECT_DOUBLE_EQ(c.vdd, 0.8);
+  EXPECT_DOUBLE_EQ(c.temp_c, 25.0);
+  EXPECT_GT(c.vth_n, 0.0);
+  EXPECT_LT(c.vth_n, c.vdd);
+  EXPECT_GT(c.sigma_vth_n, 0.0);
+}
+
+TEST(VariationSampler, LhsMarginalsMatchSigmas) {
+  const ProcessCorner corner;
+  const VariationSampler sampler(corner);
+  stats::Rng rng(1);
+  const std::vector<VariationSample> draws = sampler.sample_lhs(20000, rng);
+  std::vector<double> vth_n(draws.size()), len(draws.size());
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    vth_n[i] = draws[i].dvth_n;
+    len[i] = draws[i].dlen;
+  }
+  const stats::Moments mv = stats::compute_moments(vth_n);
+  EXPECT_NEAR(mv.mean, 0.0, 1e-3);
+  EXPECT_NEAR(mv.stddev, corner.sigma_vth_n, 0.01 * corner.sigma_vth_n);
+  const stats::Moments ml = stats::compute_moments(len);
+  EXPECT_NEAR(ml.stddev, corner.sigma_len, 0.01 * corner.sigma_len);
+}
+
+TEST(VariationSampler, McAndLhsAgreeInDistribution) {
+  const ProcessCorner corner;
+  const VariationSampler sampler(corner);
+  stats::Rng rng1(2), rng2(2);
+  const auto lhs = sampler.sample_lhs(30000, rng1);
+  const auto mc = sampler.sample_mc(30000, rng2);
+  std::vector<double> a(lhs.size()), b(mc.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    a[i] = lhs[i].dvth_p;
+    b[i] = mc[i].dvth_p;
+  }
+  EXPECT_NEAR(stats::compute_moments(a).stddev,
+              stats::compute_moments(b).stddev, 0.002);
+}
+
+TEST(VariationSampler, DeterministicPerSeed) {
+  const VariationSampler sampler((ProcessCorner()));
+  stats::Rng a(3), b(3);
+  const auto da = sampler.sample_lhs(64, a);
+  const auto db = sampler.sample_lhs(64, b);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da[i].dvth_n, db[i].dvth_n);
+    EXPECT_DOUBLE_EQ(da[i].dmob_p, db[i].dmob_p);
+  }
+}
+
+TEST(Device, HigherVthMeansLessCurrent) {
+  const ProcessCorner corner;
+  const Mosfet nmos;
+  VariationSample low, high;
+  low.dvth_n = -0.05;
+  high.dvth_n = +0.05;
+  EXPECT_GT(on_current_ma(nmos, corner, low),
+            on_current_ma(nmos, corner, high));
+}
+
+TEST(Device, DriveScalesCurrentLinearly) {
+  const ProcessCorner corner;
+  const VariationSample nominal{};
+  Mosfet x1, x2;
+  x2.drive = 2.0;
+  EXPECT_NEAR(on_current_ma(x2, corner, nominal),
+              2.0 * on_current_ma(x1, corner, nominal), 1e-12);
+}
+
+TEST(Device, StackScalesResistance) {
+  const ProcessCorner corner;
+  const VariationSample nominal{};
+  Mosfet single, stacked;
+  stacked.stack = 3;
+  EXPECT_NEAR(effective_resistance_kohm(stacked, corner, nominal),
+              3.0 * effective_resistance_kohm(single, corner, nominal),
+              1e-12);
+}
+
+TEST(Device, ParallelReducesResistance) {
+  const ProcessCorner corner;
+  const VariationSample nominal{};
+  Mosfet single, parallel2;
+  parallel2.parallel = 2;
+  EXPECT_NEAR(effective_resistance_kohm(parallel2, corner, nominal),
+              0.5 * effective_resistance_kohm(single, corner, nominal),
+              1e-12);
+}
+
+TEST(Device, StackAveragesMismatch) {
+  // The effective Vth shift of a stack is the cell draw scaled by
+  // 1/sqrt(stack).
+  const ProcessCorner corner;
+  VariationSample v;
+  v.dvth_n = 0.03;
+  Mosfet single, stacked;
+  stacked.stack = 4;
+  EXPECT_NEAR(effective_vth(single, corner, v) - corner.vth_n, 0.03, 1e-15);
+  EXPECT_NEAR(effective_vth(stacked, corner, v) - corner.vth_n, 0.015,
+              1e-15);
+}
+
+TEST(Device, PmosUsesItsOwnParameters) {
+  const ProcessCorner corner;
+  VariationSample v;
+  v.dvth_n = 0.1;  // must not affect a PMOS
+  Mosfet pmos;
+  pmos.is_nmos = false;
+  EXPECT_NEAR(effective_vth(pmos, corner, v), corner.vth_p, 1e-15);
+  // Nominal PMOS is weaker than NMOS (kp < kn).
+  const VariationSample nominal{};
+  Mosfet nmos;
+  EXPECT_LT(on_current_ma(pmos, corner, nominal),
+            on_current_ma(nmos, corner, nominal));
+}
+
+TEST(Device, CurrentStaysPositiveAtExtremeVariation) {
+  const ProcessCorner corner;
+  VariationSample v;
+  v.dvth_n = 0.5;  // pushes the device past Vdd - Vth = 0
+  v.dmob_n = -0.99;
+  const Mosfet nmos;
+  EXPECT_GT(on_current_ma(nmos, corner, v), 0.0);
+  EXPECT_TRUE(std::isfinite(effective_resistance_kohm(nmos, corner, v)));
+}
+
+}  // namespace
+}  // namespace lvf2::spice

@@ -1,0 +1,155 @@
+// Tests of the weighted-fit / refit layer added for block-based SSTA
+// node refits: WeightedData from grids, fit_weighted on the mixture
+// models, refit_model for every family, the statistical error floors,
+// and the two propagation semantics of the path engine.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/adder.h"
+#include "core/binning.h"
+#include "core/lvf2_model.h"
+#include "core/model_factory.h"
+#include "core/norm2_model.h"
+#include "ssta/path_analysis.h"
+#include "stats/normal.h"
+
+namespace lvf2::core {
+namespace {
+
+stats::GridPdf mixture_grid() {
+  const stats::SkewNormal c1 = stats::SkewNormal::from_moments(1.0, 0.05, 0.3);
+  const stats::SkewNormal c2 =
+      stats::SkewNormal::from_moments(1.25, 0.06, -0.2);
+  return stats::GridPdf::from_function(
+      [&](double x) { return 0.65 * c1.pdf(x) + 0.35 * c2.pdf(x); }, 0.7,
+      1.6, 2048);
+}
+
+TEST(WeightedDataFromGrid, PreservesMassAndMoments) {
+  const stats::GridPdf g = mixture_grid();
+  const WeightedData data = make_weighted_data(g);
+  EXPECT_GT(data.size(), 1000u);
+  EXPECT_NEAR(data.total_weight, 1.0, 1e-6);
+  const stats::Moments m = stats::compute_weighted_moments(data.x, data.w);
+  EXPECT_NEAR(m.mean, g.mean(), 1e-3);
+  EXPECT_NEAR(m.stddev, g.stddev(), 1e-3);
+}
+
+TEST(WeightedDataFromGrid, EmptyGridGivesEmptyData) {
+  const stats::GridPdf empty;
+  EXPECT_EQ(make_weighted_data(empty).size(), 0u);
+}
+
+TEST(FitWeighted, Lvf2RecoversTabulatedMixture) {
+  const stats::GridPdf g = mixture_grid();
+  const auto m = Lvf2Model::fit_weighted(make_weighted_data(g));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(m->lambda(), 0.35, 0.08);
+  EXPECT_NEAR(m->component1().mean(), 1.0, 0.03);
+  EXPECT_NEAR(m->component2().mean(), 1.25, 0.03);
+  for (double x : {0.9, 1.0, 1.1, 1.25, 1.4}) {
+    EXPECT_NEAR(m->cdf(x), g.cdf(x), 0.01) << x;
+  }
+}
+
+TEST(FitWeighted, Norm2RecoversTabulatedMixture) {
+  const stats::Normal c1(1.0, 0.05), c2(1.3, 0.04);
+  const stats::GridPdf g = stats::GridPdf::from_function(
+      [&](double x) { return 0.7 * c1.pdf(x) + 0.3 * c2.pdf(x); }, 0.7,
+      1.6, 2048);
+  const auto m = Norm2Model::fit_weighted(make_weighted_data(g));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(m->lambda(), 0.3, 0.05);
+  EXPECT_NEAR(m->component1().mean(), 1.0, 0.02);
+  EXPECT_NEAR(m->component2().mean(), 1.3, 0.02);
+}
+
+class RefitModelAllKinds : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(RefitModelAllKinds, ReproducesGridCdf) {
+  const stats::GridPdf g = mixture_grid();
+  const auto m = refit_model(GetParam(), g);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind(), GetParam());
+  // Every family at least matches mean / sigma of the grid. LESN's
+  // four-moment match is a bounded-residual optimization, so its
+  // sigma can be off by a few percent when the (skew, kurtosis) pair
+  // sits at the family boundary.
+  EXPECT_NEAR(m->mean(), g.mean(), 2e-3);
+  const double sd_tol =
+      (GetParam() == ModelKind::kLesn) ? 0.05 * g.stddev() : 2e-3;
+  EXPECT_NEAR(m->stddev(), g.stddev(), sd_tol);
+  // The mixtures should track the full CDF closely.
+  if (GetParam() == ModelKind::kLvf2 || GetParam() == ModelKind::kNorm2 ||
+      GetParam() == ModelKind::kLvfK) {
+    for (double x : {0.95, 1.1, 1.3}) {
+      EXPECT_NEAR(m->cdf(x), g.cdf(x), 0.02) << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RefitModelAllKinds,
+                         ::testing::Values(ModelKind::kLvf,
+                                           ModelKind::kNorm2,
+                                           ModelKind::kLesn,
+                                           ModelKind::kLvf2,
+                                           ModelKind::kLvfK));
+
+TEST(RefitModel, EmptyGridReturnsNull) {
+  const stats::GridPdf empty;
+  EXPECT_EQ(refit_model(ModelKind::kLvf2, empty), nullptr);
+}
+
+TEST(ErrorFloors, ScaleWithSampleCount) {
+  EXPECT_GT(binning_error_floor(1000), binning_error_floor(100000));
+  EXPECT_GT(yield_error_floor(1000), yield_error_floor(100000));
+  EXPECT_GT(cdf_rmse_floor(1000), cdf_rmse_floor(100000));
+  EXPECT_NEAR(yield_error_floor(10000), 5e-5, 1e-12);
+}
+
+TEST(ErrorFloors, ClampBothSidesOfEquation12) {
+  // Sub-resolution errors on both sides give a ratio near 1, not inf.
+  const double floor = yield_error_floor(10000);
+  EXPECT_DOUBLE_EQ(error_reduction(floor / 10, floor / 100, floor), 1.0);
+  // A real baseline error against a sub-resolution model error is
+  // capped at baseline / floor.
+  EXPECT_DOUBLE_EQ(error_reduction(10 * floor, 0.0, floor), 10.0);
+}
+
+TEST(PathPropagationModes, BothProduceFiniteDecayingCurves) {
+  circuits::AdderOptions adder;
+  adder.bits = 4;
+  const ssta::TimingPath path =
+      circuits::build_adder_critical_path(adder, spice::ProcessCorner{});
+  ssta::PathAssessmentOptions options;
+  options.mc.samples = 4000;
+  options.model_grid_points = 1024;
+
+  options.refit_at_each_stage = true;
+  const ssta::PathAssessment refit =
+      ssta::assess_path(path, spice::ProcessCorner{}, options);
+  options.refit_at_each_stage = false;
+  const ssta::PathAssessment numeric =
+      ssta::assess_path(path, spice::ProcessCorner{}, options);
+
+  ASSERT_EQ(refit.binning_reduction.size(), path.depth());
+  ASSERT_EQ(numeric.binning_reduction.size(), path.depth());
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_TRUE(std::isfinite(refit.binning_reduction[i][k]));
+      EXPECT_TRUE(std::isfinite(numeric.binning_reduction[i][k]));
+      EXPECT_GT(refit.binning_reduction[i][k], 0.0);
+    }
+    // LVF is the unit baseline in both modes.
+    EXPECT_DOUBLE_EQ(refit.binning_reduction[i][3], 1.0);
+    EXPECT_DOUBLE_EQ(numeric.binning_reduction[i][3], 1.0);
+  }
+  // Stage 0 is identical in both modes (no propagation yet).
+  EXPECT_NEAR(refit.binning_reduction[0][0],
+              numeric.binning_reduction[0][0], 1e-9);
+}
+
+}  // namespace
+}  // namespace lvf2::core

@@ -1,0 +1,131 @@
+// Tests of the deterministic RNG layer: reproducibility, statistical
+// sanity of the uniform / normal generators, seed derivation.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace lvf2::stats {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatchTheory) {
+  Rng rng(11);
+  std::vector<double> xs(200000);
+  for (auto& x : xs) x = rng.uniform();
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.mean, 0.5, 0.005);
+  EXPECT_NEAR(m.stddev, std::sqrt(1.0 / 12.0), 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 7.0);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int draws = 140000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t idx = rng.uniform_index(7);
+    ASSERT_LT(idx, 7u);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, 5.0 * std::sqrt(draws / 7.0));
+  }
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatchTheory) {
+  Rng rng(13);
+  const std::vector<double> xs = rng.normal_vector(200000);
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.mean, 0.0, 0.01);
+  EXPECT_NEAR(m.stddev, 1.0, 0.01);
+  EXPECT_NEAR(m.skewness, 0.0, 0.03);
+  EXPECT_NEAR(m.kurtosis, 3.0, 0.08);
+}
+
+TEST(Rng, NormalLocationScale) {
+  Rng rng(17);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal(5.0, 2.0);
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.mean, 5.0, 0.05);
+  EXPECT_NEAR(m.stddev, 2.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(23);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  std::vector<double> a(50000), b(50000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = child1.normal();
+    b[i] = child2.normal();
+  }
+  double corr = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) corr += a[i] * b[i];
+  corr /= static_cast<double>(a.size());
+  EXPECT_NEAR(corr, 0.0, 0.02);
+}
+
+TEST(HashName, StableAndDistinguishing) {
+  EXPECT_EQ(hash_name("NAND2_X1"), hash_name("NAND2_X1"));
+  EXPECT_NE(hash_name("NAND2_X1"), hash_name("NAND2_X2"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+TEST(CombineSeed, OrderSensitive) {
+  EXPECT_NE(combine_seed(combine_seed(1, 2), 3),
+            combine_seed(combine_seed(1, 3), 2));
+  EXPECT_EQ(combine_seed(99, 7), combine_seed(99, 7));
+}
+
+TEST(Rng, StdDistributionCompatible) {
+  // Rng satisfies UniformRandomBitGenerator.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ull);
+  Rng rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 64u);  // no short cycles
+}
+
+}  // namespace
+}  // namespace lvf2::stats

@@ -1,0 +1,153 @@
+// Tests of the generic SSTA timing graph: topology, cycle detection
+// and distribution-valued arrival propagation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ssta/timing_graph.h"
+#include "stats/normal.h"
+#include "stats/special_functions.h"
+
+namespace lvf2::ssta {
+namespace {
+
+stats::GridPdf normal_grid(double mu, double sigma) {
+  const stats::Normal n(mu, sigma);
+  return stats::GridPdf::from_function([n](double x) { return n.pdf(x); },
+                                       mu - 9.0 * sigma, mu + 9.0 * sigma,
+                                       1024);
+}
+
+EdgeDelay dist_edge(double mu, double sigma) {
+  EdgeDelay d;
+  d.distribution = normal_grid(mu, sigma);
+  return d;
+}
+
+EdgeDelay const_edge(double c) {
+  EdgeDelay d;
+  d.constant_ns = c;
+  return d;
+}
+
+TEST(TimingGraph, TopologicalOrderRespectsEdges) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  g.add_edge(a, b, const_edge(1.0));
+  g.add_edge(b, c, const_edge(1.0));
+  g.add_edge(a, c, const_edge(1.0));
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[2], c);
+}
+
+TEST(TimingGraph, CycleDetected) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, const_edge(1.0));
+  g.add_edge(b, a, const_edge(1.0));
+  EXPECT_THROW(g.topological_order(), std::runtime_error);
+  EXPECT_THROW(g.compute_arrivals(), std::runtime_error);
+}
+
+TEST(TimingGraph, BadNodeIdThrows) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  EXPECT_THROW(g.add_edge(a, 99, const_edge(1.0)), std::out_of_range);
+}
+
+TEST(TimingGraph, ChainArrivalIsConvolution) {
+  TimingGraph g;
+  const auto in = g.add_node("in");
+  const auto mid = g.add_node("mid");
+  const auto out = g.add_node("out");
+  g.add_edge(in, mid, dist_edge(0.1, 0.01));
+  g.add_edge(mid, out, dist_edge(0.2, 0.02));
+  const auto arrivals = g.compute_arrivals();
+  ASSERT_TRUE(arrivals[out].distribution.has_value());
+  EXPECT_NEAR(arrivals[out].distribution->mean(), 0.3, 1e-4);
+  EXPECT_NEAR(arrivals[out].distribution->stddev(),
+              std::sqrt(0.01 * 0.01 + 0.02 * 0.02), 1e-4);
+  // Source arrival is zero.
+  EXPECT_FALSE(arrivals[in].distribution.has_value());
+  EXPECT_DOUBLE_EQ(arrivals[in].constant_ns, 0.0);
+}
+
+TEST(TimingGraph, MergeTakesStatisticalMax) {
+  TimingGraph g;
+  const auto s1 = g.add_node("s1");
+  const auto s2 = g.add_node("s2");
+  const auto join = g.add_node("join");
+  g.add_edge(s1, join, dist_edge(0.1, 0.01));
+  g.add_edge(s2, join, dist_edge(0.1, 0.01));
+  const auto arrivals = g.compute_arrivals();
+  ASSERT_TRUE(arrivals[join].distribution.has_value());
+  // max of two iid normals: mean mu + sigma/sqrt(pi).
+  EXPECT_NEAR(arrivals[join].distribution->mean(),
+              0.1 + 0.01 / std::sqrt(stats::kPi), 5e-4);
+}
+
+TEST(TimingGraph, ConstantEdgesAccumulate) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  g.add_edge(a, b, const_edge(0.5));
+  g.add_edge(b, c, const_edge(0.25));
+  const auto arrivals = g.compute_arrivals();
+  EXPECT_FALSE(arrivals[c].distribution.has_value());
+  EXPECT_DOUBLE_EQ(arrivals[c].constant_ns, 0.75);
+}
+
+TEST(TimingGraph, MixedConstantAndDistribution) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, dist_edge(0.2, 0.01));
+  // A second pure-constant path that always loses the max.
+  const auto c = g.add_node("c");
+  g.add_edge(c, b, const_edge(0.05));
+  const auto arrivals = g.compute_arrivals();
+  ASSERT_TRUE(arrivals[b].distribution.has_value());
+  EXPECT_NEAR(arrivals[b].distribution->mean(), 0.2, 2e-3);
+}
+
+TEST(TimingGraph, ConstantDominatesLowDistribution) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto j = g.add_node("j");
+  g.add_edge(a, j, dist_edge(0.1, 0.005));
+  g.add_edge(b, j, const_edge(0.5));
+  const auto arrivals = g.compute_arrivals();
+  ASSERT_TRUE(arrivals[j].distribution.has_value());
+  // The constant 0.5 truncates everything: arrival is ~0.5.
+  EXPECT_NEAR(arrivals[j].distribution->quantile(0.5), 0.5, 5e-3);
+}
+
+TEST(TimingGraph, DiamondReconvergence) {
+  TimingGraph g;
+  const auto in = g.add_node("in");
+  const auto u = g.add_node("u");
+  const auto v = g.add_node("v");
+  const auto out = g.add_node("out");
+  g.add_edge(in, u, dist_edge(0.1, 0.01));
+  g.add_edge(in, v, dist_edge(0.12, 0.01));
+  g.add_edge(u, out, dist_edge(0.1, 0.01));
+  g.add_edge(v, out, dist_edge(0.08, 0.01));
+  const auto arrivals = g.compute_arrivals();
+  ASSERT_TRUE(arrivals[out].distribution.has_value());
+  const double mean = arrivals[out].distribution->mean();
+  // Both paths sum to ~0.20; the max of two ~N(0.2, 0.014) is a bit
+  // above 0.20.
+  EXPECT_GT(mean, 0.20);
+  EXPECT_LT(mean, 0.22);
+}
+
+}  // namespace
+}  // namespace lvf2::ssta
