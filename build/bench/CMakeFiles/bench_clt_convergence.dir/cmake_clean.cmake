@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clt_convergence.dir/bench_clt_convergence.cpp.o"
+  "CMakeFiles/bench_clt_convergence.dir/bench_clt_convergence.cpp.o.d"
+  "bench_clt_convergence"
+  "bench_clt_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clt_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_scenarios.dir/bench_fig3_scenarios.cpp.o"
+  "CMakeFiles/bench_fig3_scenarios.dir/bench_fig3_scenarios.cpp.o.d"
+  "bench_fig3_scenarios"
+  "bench_fig3_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

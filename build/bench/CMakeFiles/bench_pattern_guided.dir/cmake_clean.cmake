@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_guided.dir/bench_pattern_guided.cpp.o"
+  "CMakeFiles/bench_pattern_guided.dir/bench_pattern_guided.cpp.o.d"
+  "bench_pattern_guided"
+  "bench_pattern_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

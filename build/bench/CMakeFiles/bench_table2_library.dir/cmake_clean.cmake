@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_library.dir/bench_table2_library.cpp.o"
+  "CMakeFiles/bench_table2_library.dir/bench_table2_library.cpp.o.d"
+  "bench_table2_library"
+  "bench_table2_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/characterize_library.cpp" "examples/CMakeFiles/characterize_library.dir/characterize_library.cpp.o" "gcc" "examples/CMakeFiles/characterize_library.dir/characterize_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lvf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lvf2_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lvf2_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/lvf2_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssta/CMakeFiles/lvf2_ssta.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/lvf2_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

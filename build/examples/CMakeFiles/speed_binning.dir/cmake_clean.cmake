@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_binning.dir/speed_binning.cpp.o"
+  "CMakeFiles/speed_binning.dir/speed_binning.cpp.o.d"
+  "speed_binning"
+  "speed_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_path.dir/ssta_path.cpp.o"
+  "CMakeFiles/ssta_path.dir/ssta_path.cpp.o.d"
+  "ssta_path"
+  "ssta_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

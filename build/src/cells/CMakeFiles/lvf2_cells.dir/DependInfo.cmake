@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell_types.cpp" "src/cells/CMakeFiles/lvf2_cells.dir/cell_types.cpp.o" "gcc" "src/cells/CMakeFiles/lvf2_cells.dir/cell_types.cpp.o.d"
+  "/root/repo/src/cells/characterize.cpp" "src/cells/CMakeFiles/lvf2_cells.dir/characterize.cpp.o" "gcc" "src/cells/CMakeFiles/lvf2_cells.dir/characterize.cpp.o.d"
+  "/root/repo/src/cells/library.cpp" "src/cells/CMakeFiles/lvf2_cells.dir/library.cpp.o" "gcc" "src/cells/CMakeFiles/lvf2_cells.dir/library.cpp.o.d"
+  "/root/repo/src/cells/pattern_guided.cpp" "src/cells/CMakeFiles/lvf2_cells.dir/pattern_guided.cpp.o" "gcc" "src/cells/CMakeFiles/lvf2_cells.dir/pattern_guided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lvf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lvf2_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_cells.dir/cell_types.cpp.o"
+  "CMakeFiles/lvf2_cells.dir/cell_types.cpp.o.d"
+  "CMakeFiles/lvf2_cells.dir/characterize.cpp.o"
+  "CMakeFiles/lvf2_cells.dir/characterize.cpp.o.d"
+  "CMakeFiles/lvf2_cells.dir/library.cpp.o"
+  "CMakeFiles/lvf2_cells.dir/library.cpp.o.d"
+  "CMakeFiles/lvf2_cells.dir/pattern_guided.cpp.o"
+  "CMakeFiles/lvf2_cells.dir/pattern_guided.cpp.o.d"
+  "liblvf2_cells.a"
+  "liblvf2_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

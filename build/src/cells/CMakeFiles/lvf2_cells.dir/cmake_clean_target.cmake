@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvf2_cells.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/adder.cpp" "src/circuits/CMakeFiles/lvf2_circuits.dir/adder.cpp.o" "gcc" "src/circuits/CMakeFiles/lvf2_circuits.dir/adder.cpp.o.d"
+  "/root/repo/src/circuits/htree.cpp" "src/circuits/CMakeFiles/lvf2_circuits.dir/htree.cpp.o" "gcc" "src/circuits/CMakeFiles/lvf2_circuits.dir/htree.cpp.o.d"
+  "/root/repo/src/circuits/netlist.cpp" "src/circuits/CMakeFiles/lvf2_circuits.dir/netlist.cpp.o" "gcc" "src/circuits/CMakeFiles/lvf2_circuits.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuits/wire.cpp" "src/circuits/CMakeFiles/lvf2_circuits.dir/wire.cpp.o" "gcc" "src/circuits/CMakeFiles/lvf2_circuits.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssta/CMakeFiles/lvf2_ssta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lvf2_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lvf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lvf2_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

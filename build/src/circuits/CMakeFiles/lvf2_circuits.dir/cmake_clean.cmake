@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_circuits.dir/adder.cpp.o"
+  "CMakeFiles/lvf2_circuits.dir/adder.cpp.o.d"
+  "CMakeFiles/lvf2_circuits.dir/htree.cpp.o"
+  "CMakeFiles/lvf2_circuits.dir/htree.cpp.o.d"
+  "CMakeFiles/lvf2_circuits.dir/netlist.cpp.o"
+  "CMakeFiles/lvf2_circuits.dir/netlist.cpp.o.d"
+  "CMakeFiles/lvf2_circuits.dir/wire.cpp.o"
+  "CMakeFiles/lvf2_circuits.dir/wire.cpp.o.d"
+  "liblvf2_circuits.a"
+  "liblvf2_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/circuits/CMakeFiles/lvf2_circuits.dir/wire.cpp.o: \
+ /root/repo/src/circuits/wire.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/circuits/wire.h

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binning.cpp" "src/core/CMakeFiles/lvf2_core.dir/binning.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/binning.cpp.o.d"
+  "/root/repo/src/core/em.cpp" "src/core/CMakeFiles/lvf2_core.dir/em.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/em.cpp.o.d"
+  "/root/repo/src/core/lesn_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/lesn_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/lesn_model.cpp.o.d"
+  "/root/repo/src/core/lvf2_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/lvf2_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/lvf2_model.cpp.o.d"
+  "/root/repo/src/core/lvf_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/lvf_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/lvf_model.cpp.o.d"
+  "/root/repo/src/core/lvfk_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/lvfk_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/lvfk_model.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/lvf2_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/mixture_ops.cpp" "src/core/CMakeFiles/lvf2_core.dir/mixture_ops.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/mixture_ops.cpp.o.d"
+  "/root/repo/src/core/model_factory.cpp" "src/core/CMakeFiles/lvf2_core.dir/model_factory.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/model_factory.cpp.o.d"
+  "/root/repo/src/core/norm2_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/norm2_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/norm2_model.cpp.o.d"
+  "/root/repo/src/core/timing_model.cpp" "src/core/CMakeFiles/lvf2_core.dir/timing_model.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/timing_model.cpp.o.d"
+  "/root/repo/src/core/yield.cpp" "src/core/CMakeFiles/lvf2_core.dir/yield.cpp.o" "gcc" "src/core/CMakeFiles/lvf2_core.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

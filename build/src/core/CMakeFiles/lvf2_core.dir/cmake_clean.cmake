@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_core.dir/binning.cpp.o"
+  "CMakeFiles/lvf2_core.dir/binning.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/em.cpp.o"
+  "CMakeFiles/lvf2_core.dir/em.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/lesn_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/lesn_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/lvf2_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/lvf2_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/lvf_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/lvf_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/lvfk_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/lvfk_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/metrics.cpp.o"
+  "CMakeFiles/lvf2_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/mixture_ops.cpp.o"
+  "CMakeFiles/lvf2_core.dir/mixture_ops.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/model_factory.cpp.o"
+  "CMakeFiles/lvf2_core.dir/model_factory.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/norm2_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/norm2_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/timing_model.cpp.o"
+  "CMakeFiles/lvf2_core.dir/timing_model.cpp.o.d"
+  "CMakeFiles/lvf2_core.dir/yield.cpp.o"
+  "CMakeFiles/lvf2_core.dir/yield.cpp.o.d"
+  "liblvf2_core.a"
+  "liblvf2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

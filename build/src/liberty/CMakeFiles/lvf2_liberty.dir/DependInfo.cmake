@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/ast.cpp" "src/liberty/CMakeFiles/lvf2_liberty.dir/ast.cpp.o" "gcc" "src/liberty/CMakeFiles/lvf2_liberty.dir/ast.cpp.o.d"
+  "/root/repo/src/liberty/lexer.cpp" "src/liberty/CMakeFiles/lvf2_liberty.dir/lexer.cpp.o" "gcc" "src/liberty/CMakeFiles/lvf2_liberty.dir/lexer.cpp.o.d"
+  "/root/repo/src/liberty/lvf_tables.cpp" "src/liberty/CMakeFiles/lvf2_liberty.dir/lvf_tables.cpp.o" "gcc" "src/liberty/CMakeFiles/lvf2_liberty.dir/lvf_tables.cpp.o.d"
+  "/root/repo/src/liberty/parser.cpp" "src/liberty/CMakeFiles/lvf2_liberty.dir/parser.cpp.o" "gcc" "src/liberty/CMakeFiles/lvf2_liberty.dir/parser.cpp.o.d"
+  "/root/repo/src/liberty/writer.cpp" "src/liberty/CMakeFiles/lvf2_liberty.dir/writer.cpp.o" "gcc" "src/liberty/CMakeFiles/lvf2_liberty.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lvf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lvf2_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lvf2_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

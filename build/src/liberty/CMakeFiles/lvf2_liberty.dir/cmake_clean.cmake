@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_liberty.dir/ast.cpp.o"
+  "CMakeFiles/lvf2_liberty.dir/ast.cpp.o.d"
+  "CMakeFiles/lvf2_liberty.dir/lexer.cpp.o"
+  "CMakeFiles/lvf2_liberty.dir/lexer.cpp.o.d"
+  "CMakeFiles/lvf2_liberty.dir/lvf_tables.cpp.o"
+  "CMakeFiles/lvf2_liberty.dir/lvf_tables.cpp.o.d"
+  "CMakeFiles/lvf2_liberty.dir/parser.cpp.o"
+  "CMakeFiles/lvf2_liberty.dir/parser.cpp.o.d"
+  "CMakeFiles/lvf2_liberty.dir/writer.cpp.o"
+  "CMakeFiles/lvf2_liberty.dir/writer.cpp.o.d"
+  "liblvf2_liberty.a"
+  "liblvf2_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

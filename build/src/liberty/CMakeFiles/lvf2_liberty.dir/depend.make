@@ -1,0 +1,2 @@
+# Empty dependencies file for lvf2_liberty.
+# This may be replaced when dependencies are built.

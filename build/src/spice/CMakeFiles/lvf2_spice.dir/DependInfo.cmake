@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/cellsim.cpp" "src/spice/CMakeFiles/lvf2_spice.dir/cellsim.cpp.o" "gcc" "src/spice/CMakeFiles/lvf2_spice.dir/cellsim.cpp.o.d"
+  "/root/repo/src/spice/device.cpp" "src/spice/CMakeFiles/lvf2_spice.dir/device.cpp.o" "gcc" "src/spice/CMakeFiles/lvf2_spice.dir/device.cpp.o.d"
+  "/root/repo/src/spice/montecarlo.cpp" "src/spice/CMakeFiles/lvf2_spice.dir/montecarlo.cpp.o" "gcc" "src/spice/CMakeFiles/lvf2_spice.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/spice/process.cpp" "src/spice/CMakeFiles/lvf2_spice.dir/process.cpp.o" "gcc" "src/spice/CMakeFiles/lvf2_spice.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_spice.dir/cellsim.cpp.o"
+  "CMakeFiles/lvf2_spice.dir/cellsim.cpp.o.d"
+  "CMakeFiles/lvf2_spice.dir/device.cpp.o"
+  "CMakeFiles/lvf2_spice.dir/device.cpp.o.d"
+  "CMakeFiles/lvf2_spice.dir/montecarlo.cpp.o"
+  "CMakeFiles/lvf2_spice.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/lvf2_spice.dir/process.cpp.o"
+  "CMakeFiles/lvf2_spice.dir/process.cpp.o.d"
+  "liblvf2_spice.a"
+  "liblvf2_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

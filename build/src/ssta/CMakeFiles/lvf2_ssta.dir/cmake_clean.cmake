@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_ssta.dir/block_ssta.cpp.o"
+  "CMakeFiles/lvf2_ssta.dir/block_ssta.cpp.o.d"
+  "CMakeFiles/lvf2_ssta.dir/mc_ssta.cpp.o"
+  "CMakeFiles/lvf2_ssta.dir/mc_ssta.cpp.o.d"
+  "CMakeFiles/lvf2_ssta.dir/path_analysis.cpp.o"
+  "CMakeFiles/lvf2_ssta.dir/path_analysis.cpp.o.d"
+  "CMakeFiles/lvf2_ssta.dir/timing_graph.cpp.o"
+  "CMakeFiles/lvf2_ssta.dir/timing_graph.cpp.o.d"
+  "liblvf2_ssta.a"
+  "liblvf2_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/extended_skew_normal.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/extended_skew_normal.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/extended_skew_normal.cpp.o.d"
+  "/root/repo/src/stats/grid_pdf.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/grid_pdf.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/grid_pdf.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/lhs.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/lhs.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/lhs.cpp.o.d"
+  "/root/repo/src/stats/log_normal.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/log_normal.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/log_normal.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/skew_normal.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/skew_normal.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/skew_normal.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/lvf2_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/lvf2_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

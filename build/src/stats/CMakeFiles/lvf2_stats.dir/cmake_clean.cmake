@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvf2_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/extended_skew_normal.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/extended_skew_normal.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/grid_pdf.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/grid_pdf.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/lhs.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/lhs.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/log_normal.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/log_normal.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/normal.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/optimize.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/rng.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/skew_normal.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/skew_normal.cpp.o.d"
+  "CMakeFiles/lvf2_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/lvf2_stats.dir/special_functions.cpp.o.d"
+  "liblvf2_stats.a"
+  "liblvf2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvf2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

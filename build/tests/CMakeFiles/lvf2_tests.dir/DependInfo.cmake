@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_ssta.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_block_ssta.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_block_ssta.cpp.o.d"
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_cellsim.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_cellsim.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_cellsim.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_circuits.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_circuits.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_circuits.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_em.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_em.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_em.cpp.o.d"
+  "/root/repo/tests/test_extended_skew_normal.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_extended_skew_normal.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_extended_skew_normal.cpp.o.d"
+  "/root/repo/tests/test_grid_pdf.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_grid_pdf.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_grid_pdf.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kmeans.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_kmeans.cpp.o.d"
+  "/root/repo/tests/test_lhs.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_lhs.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_lhs.cpp.o.d"
+  "/root/repo/tests/test_liberty_parse.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_liberty_parse.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_liberty_parse.cpp.o.d"
+  "/root/repo/tests/test_log_normal.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_log_normal.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_log_normal.cpp.o.d"
+  "/root/repo/tests/test_lvf_tables.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_lvf_tables.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_lvf_tables.cpp.o.d"
+  "/root/repo/tests/test_lvfk_model.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_lvfk_model.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_lvfk_model.cpp.o.d"
+  "/root/repo/tests/test_mc_ssta.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_mc_ssta.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_mc_ssta.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mixture_ops.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_mixture_ops.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_mixture_ops.cpp.o.d"
+  "/root/repo/tests/test_montecarlo.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_normal.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_normal.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_normal.cpp.o.d"
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_optimize.cpp.o.d"
+  "/root/repo/tests/test_path_analysis.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_path_analysis.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_path_analysis.cpp.o.d"
+  "/root/repo/tests/test_pattern_guided.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_pattern_guided.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_pattern_guided.cpp.o.d"
+  "/root/repo/tests/test_process_device.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_process_device.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_process_device.cpp.o.d"
+  "/root/repo/tests/test_refit.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_refit.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_refit.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_skew_normal.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_skew_normal.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_skew_normal.cpp.o.d"
+  "/root/repo/tests/test_special_functions.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_special_functions.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_special_functions.cpp.o.d"
+  "/root/repo/tests/test_timing_graph.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_timing_graph.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_timing_graph.cpp.o.d"
+  "/root/repo/tests/test_timing_models.cpp" "tests/CMakeFiles/lvf2_tests.dir/test_timing_models.cpp.o" "gcc" "tests/CMakeFiles/lvf2_tests.dir/test_timing_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lvf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lvf2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lvf2_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lvf2_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/lvf2_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssta/CMakeFiles/lvf2_ssta.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/lvf2_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
