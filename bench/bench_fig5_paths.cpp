@@ -22,7 +22,8 @@ using namespace lvf2;
 namespace {
 
 void run_benchmark(const char* title, const ssta::TimingPath& path,
-                   std::size_t samples, std::uint64_t seed) {
+                   std::size_t samples, std::uint64_t seed,
+                   bench::PerfRecord& perf, const char* perf_prefix) {
   ssta::PathAssessmentOptions options;
   options.mc.samples = samples;
   options.mc.seed = seed;
@@ -51,6 +52,9 @@ void run_benchmark(const char* title, const ssta::TimingPath& path,
       "(paper adder: 2x at 8 FO4, 1.15x at the end;\n"
       "paper H-tree: 8x at 8 FO4, 2.68x at the end).\n",
       at_8fo4, a.binning_reduction.back()[0]);
+  perf.set(std::string(perf_prefix) + ".lvf2_at_8fo4", at_8fo4);
+  perf.set(std::string(perf_prefix) + ".lvf2_at_end",
+           a.binning_reduction.back()[0]);
 }
 
 }  // namespace
@@ -58,6 +62,8 @@ void run_benchmark(const char* title, const ssta::TimingPath& path,
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const std::size_t samples = args.pick_samples(12000, 50000);
+  bench::PerfRecord perf("fig5_paths");
+  perf.set("samples_per_stage", static_cast<double>(samples));
 
   std::printf("Figure 5. Binning error reduction along two circuit "
               "critical paths.\n");
@@ -65,11 +71,11 @@ int main(int argc, char** argv) {
   const ssta::TimingPath adder = circuits::build_adder_critical_path(
       {}, spice::ProcessCorner{});
   run_benchmark("(a) 16-bit carry adder critical path", adder, samples,
-                args.seed);
+                args.seed, perf, "adder");
 
   const ssta::TimingPath htree =
       circuits::build_htree_path({}, spice::ProcessCorner{});
   run_benchmark("(b) 6-stage H-tree (Pi-model wires)", htree, samples,
-                args.seed + 1);
+                args.seed + 1, perf, "htree");
   return 0;
 }

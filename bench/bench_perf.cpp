@@ -7,6 +7,7 @@
 #include "core/lvf2_model.h"
 #include "core/mixture_ops.h"
 #include "core/model_factory.h"
+#include "obs/obs.h"
 #include "spice/montecarlo.h"
 #include "stats/grid_pdf.h"
 #include "stats/lhs.h"
@@ -150,6 +151,59 @@ void BM_AnalyticMixtureConvolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyticMixtureConvolve);
+
+// Disabled-path cost of the observability layer: the README promises
+// a disabled span or counter is a single relaxed atomic load
+// (< 5 ns/call). Run without LVF2_TRACE to measure the guarantee.
+void BM_DisabledSpan(benchmark::State& state) {
+  if (obs::trace_enabled()) {
+    state.SkipWithError("LVF2_TRACE is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_DisabledSpan);
+
+void BM_DisabledSpanWithArgs(benchmark::State& state) {
+  if (obs::trace_enabled()) {
+    state.SkipWithError("LVF2_TRACE is set; disabled-path bench is void");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.disabled", [&] {
+      return obs::ArgsBuilder().add("i", i).str();
+    });
+    benchmark::DoNotOptimize(&span);
+    ++i;
+  }
+}
+BENCHMARK(BM_DisabledSpanWithArgs);
+
+void BM_DisabledTraceCounter(benchmark::State& state) {
+  if (obs::trace_enabled()) {
+    state.SkipWithError("LVF2_TRACE is set; disabled-path bench is void");
+    return;
+  }
+  double v = 0.0;
+  for (auto _ : state) {
+    obs::trace_counter("bench.disabled", v);
+    v += 1.0;
+  }
+}
+BENCHMARK(BM_DisabledTraceCounter);
+
+// Always-on cost of a registry counter increment (relaxed fetch_add).
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+  }
+}
+BENCHMARK(BM_MetricsCounterAdd);
 
 void BM_StatisticalMax(benchmark::State& state) {
   const stats::SkewNormal sn(0.1, 0.01, 2.0);

@@ -20,6 +20,8 @@ using namespace lvf2;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const std::size_t samples = args.pick_samples(20000, 50000);
+  bench::PerfRecord perf("table1_scenarios");
+  perf.set("samples_per_scenario", static_cast<double>(samples));
 
   std::printf("Table 1. Scenarios Assessment among Models.\n");
   std::printf("(binning error reduction vs LVF, %zu MC samples/scenario)\n\n",
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
       "LVF2 vs best baseline, worst scenario ratio: %.2fx "
       "(paper: LVF2 leads every row)\n",
       worst_ratio);
+  perf.set("worst_ratio", worst_ratio);
   return 0;
 }

@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const std::size_t samples = args.pick_samples(5000, 20000);
   const std::size_t max_arcs_per_cell = args.full ? 4 : 2;
+  bench::PerfRecord perf("table2_library");
+  perf.set("samples_per_distribution", static_cast<double>(samples));
 
   cells::LibraryOptions lib_options;
   lib_options.drives = args.full ? std::vector<double>{1.0, 2.0}
@@ -138,5 +140,10 @@ int main(int argc, char** argv) {
   std::printf("\n\nPaper averages: delay binning 7.74x (LVF2), transition "
               "binning 9.56x,\ndelay 3s-yield 4.79x, transition 3s-yield "
               "7.18x; LVF2 leads every column.\n");
+  perf.set("conditions", gn);
+  perf.set("delay_binning_lvf2", grand[0][0] / gn);
+  perf.set("tran_binning_lvf2", grand[1][0] / gn);
+  perf.set("delay_yield_lvf2", grand[2][0] / gn);
+  perf.set("tran_yield_lvf2", grand[3][0] / gn);
   return 0;
 }

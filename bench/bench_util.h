@@ -5,12 +5,15 @@
 // printers.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "spice/cellsim.h"
 #include "stats/descriptive.h"
 
@@ -102,6 +105,61 @@ inline BenchArgs parse_args(int argc, char** argv) {
   }
   return args;
 }
+
+/// Machine-readable perf record of one bench run. When the
+/// LVF2_BENCH_JSON environment variable names a directory, the
+/// destructor writes `<dir>/BENCH_<name>.json` with the wall time,
+/// every metric set through `set()`, and a snapshot of the process
+/// metrics registry (mc.samples, em.iterations, ...). With the env
+/// var unset this is inert and the bench output stays text-only.
+///
+///   {"bench":"table1_scenarios","wall_s":1.23,
+///    "metrics":{"samples":20000,"worst_ratio":1.7},
+///    "registry":{"counters":{...},"gauges":{...},"histograms":{...}}}
+class PerfRecord {
+ public:
+  explicit PerfRecord(std::string name)
+      : name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  PerfRecord(const PerfRecord&) = delete;
+  PerfRecord& operator=(const PerfRecord&) = delete;
+
+  /// Records one named result value (rates, errors, sample counts...).
+  void set(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  ~PerfRecord() {
+    const char* dir = std::getenv("LVF2_BENCH_JSON");
+    if (dir == nullptr || dir[0] == '\0') return;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"wall_s\":%.6f,\"metrics\":{",
+                 name_.c_str(), wall_s);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%.9g", (i > 0) ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    const std::string registry = obs::MetricsRegistry::instance().to_json();
+    std::fprintf(f, "},\"registry\":%s}\n", registry.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Horizontal rule sized to a table width.
 inline void print_rule(int width) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build (warnings-as-errors on the
+# instrumented targets) + ctest, then an end-to-end smoke test of the
+# observability sinks (LVF2_TRACE / LVF2_METRICS / LVF2_LOG) against
+# a real pipeline run.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DLVF2_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "== observability smoke test =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+LVF2_TRACE="$SMOKE_DIR/trace.json" \
+LVF2_METRICS="$SMOKE_DIR/metrics.json" \
+LVF2_METRICS_SUMMARY=1 \
+LVF2_LOG=info \
+LVF2_BENCH_JSON="$SMOKE_DIR" \
+  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 >/dev/null
+
+for f in trace.json metrics.json BENCH_table1_scenarios.json; do
+  [ -s "$SMOKE_DIR/$f" ] || { echo "FAIL: $f was not written"; exit 1; }
+done
+
+if command -v python3 >/dev/null; then
+  python3 - "$SMOKE_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "trace.json")))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], \
+    "trace has no events"
+metrics = json.load(open(os.path.join(d, "metrics.json")))
+for key in ("mc.samples", "em.iterations", "em.nonconverged"):
+    assert key in metrics["counters"], f"metrics missing {key}"
+assert metrics["counters"]["mc.samples"] > 0
+bench = json.load(open(os.path.join(d, "BENCH_table1_scenarios.json")))
+assert bench["wall_s"] > 0 and "registry" in bench
+print(f"ok: {len(trace['traceEvents'])} trace events, "
+      f"mc.samples={metrics['counters']['mc.samples']}, "
+      f"bench wall={bench['wall_s']:.2f}s")
+EOF
+else
+  echo "python3 unavailable; skipped JSON validation (files exist and are non-empty)"
+fi
+
+echo "check.sh: all green"

@@ -2,9 +2,35 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "stats/rng.h"
 
 namespace lvf2::cells {
+
+namespace {
+
+// Non-convergence accounting of one LVF^2 fit, with full table-entry
+// context. The em.* counters are incremented inside the fit itself;
+// this layer owns the per-entry warn log and the characterization-
+// scoped counter.
+void audit_fit_report(const core::EmReport& report, const std::string& cell,
+                      const std::string& arc, std::size_t load_idx,
+                      std::size_t slew_idx, const char* which) {
+  if (report.converged) return;
+  static obs::Counter& nonconverged =
+      obs::counter("characterize.em_nonconverged");
+  nonconverged.add(1);
+  obs::log_warn("em.nonconverged",
+                {{"cell", cell},
+                 {"arc", arc},
+                 {"load_idx", load_idx},
+                 {"slew_idx", slew_idx},
+                 {"fit", which},
+                 {"iterations", report.iterations},
+                 {"collapsed", report.collapsed}});
+}
+
+}  // namespace
 
 SlewLoadGrid SlewLoadGrid::paper_grid() {
   SlewLoadGrid g;
@@ -54,6 +80,14 @@ spice::McResult Characterizer::golden_samples(const Cell& cell,
 
 ArcCharacterization Characterizer::characterize_arc(
     const Cell& cell, const TimingArc& arc) const {
+  obs::TraceSpan arc_span("characterize.arc", [&] {
+    return obs::ArgsBuilder()
+        .add("cell", cell.name)
+        .add("arc", arc.label())
+        .str();
+  });
+  static obs::Counter& entries_counter = obs::counter("characterize.entries");
+
   ArcCharacterization out;
   out.cell_name = cell.name;
   out.arc_label = arc.label();
@@ -62,6 +96,16 @@ ArcCharacterization Characterizer::characterize_arc(
 
   for (std::size_t li = 0; li < out.grid.rows(); ++li) {
     for (std::size_t si = 0; si < out.grid.cols(); ++si) {
+      obs::TraceSpan entry_span("characterize.entry", [&] {
+        return obs::ArgsBuilder()
+            .add("cell", cell.name)
+            .add("arc", arc.label())
+            .add("load_idx", li)
+            .add("slew_idx", si)
+            .str();
+      });
+      entries_counter.add(1);
+
       ConditionCharacterization cc;
       cc.condition = spice::ArcCondition{out.grid.slews_ns[si],
                                          out.grid.loads_pf[li]};
@@ -80,12 +124,18 @@ ArcCharacterization Characterizer::characterize_arc(
       if (auto lvf = stats::SkewNormal::fit_moments(mc.transition_ns)) {
         cc.lvf_transition = lvf->to_moments();
       }
-      if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit)) {
+      if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit,
+                                        &cc.lvf2_delay_report)) {
         cc.lvf2_delay = m->parameters();
       }
-      if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit)) {
+      audit_fit_report(cc.lvf2_delay_report, cell.name, out.arc_label, li,
+                       si, "delay");
+      if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit,
+                                        &cc.lvf2_transition_report)) {
         cc.lvf2_transition = m->parameters();
       }
+      audit_fit_report(cc.lvf2_transition_report, cell.name, out.arc_label,
+                       li, si, "transition");
       out.entries.push_back(std::move(cc));
     }
   }
@@ -93,6 +143,9 @@ ArcCharacterization Characterizer::characterize_arc(
 }
 
 CellCharacterization Characterizer::characterize_cell(const Cell& cell) const {
+  obs::TraceSpan span("characterize.cell", [&] {
+    return obs::ArgsBuilder().add("cell", cell.name).str();
+  });
   CellCharacterization out;
   out.cell_name = cell.name;
   out.arcs.reserve(cell.arcs.size());

@@ -48,6 +48,11 @@ struct ConditionCharacterization {
   // LVF^2 mixture parameters.
   core::Lvf2Parameters lvf2_delay;
   core::Lvf2Parameters lvf2_transition;
+  // EM convergence reports of the two LVF^2 fits (iterations, final
+  // log-likelihood, converged/collapsed flags) — surfaced instead of
+  // discarded so callers can audit fit quality per table entry.
+  core::EmReport lvf2_delay_report;
+  core::EmReport lvf2_transition_report;
 };
 
 /// Characterized table of one timing arc (row-major: load x slew).

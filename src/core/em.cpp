@@ -1,18 +1,34 @@
 #include "core/em.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "stats/grid_pdf.h"
 
 namespace lvf2::core {
 
+namespace {
+
+// Compression telemetry: raw observations in, weighted points out.
+void record_compression(std::size_t samples_in, std::size_t points_out) {
+  static obs::Counter& in = obs::counter("em.binning.samples_in");
+  static obs::Counter& out = obs::counter("em.binning.points_out");
+  in.add(samples_in);
+  out.add(points_out);
+}
+
+}  // namespace
+
 WeightedData make_weighted_data(std::span<const double> samples,
                                 const FitOptions& options) {
+  obs::TraceSpan span("em.bin");
   WeightedData data;
   if (options.likelihood_bins == 0 ||
       samples.size() <= options.likelihood_bins) {
     data.x.assign(samples.begin(), samples.end());
     data.w.assign(samples.size(), 1.0);
     data.total_weight = static_cast<double>(samples.size());
+    record_compression(samples.size(), data.size());
     return data;
   }
   const stats::BinnedSamples bins =
@@ -26,6 +42,7 @@ WeightedData make_weighted_data(std::span<const double> samples,
       data.total_weight += bins.counts[i];
     }
   }
+  record_compression(samples.size(), data.size());
   return data;
 }
 

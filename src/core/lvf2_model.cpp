@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "stats/kmeans.h"
 #include "stats/optimize.h"
@@ -231,6 +232,7 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
       ll += data.w[i] * lse;
     }
     run.report.log_likelihood = ll;
+    obs::trace_counter("em.loglik", ll);
 
     // M-step (Eq. 9): lambda closed-form, components by weighted MLE.
     double sum2 = 0.0;
@@ -267,6 +269,23 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
   return run;
 }
 
+// Folds one finished fit into the process metrics registry. All
+// instruments are created on the first fit so a metrics dump always
+// carries the full em.* set, zeros included.
+void record_em_metrics(const EmReport& report) {
+  static obs::Counter& fits = obs::counter("em.fits");
+  static obs::Counter& iterations = obs::counter("em.iterations");
+  static obs::Counter& nonconverged = obs::counter("em.nonconverged");
+  static obs::Counter& collapsed = obs::counter("em.collapsed");
+  static obs::Histogram& iter_hist = obs::histogram(
+      "em.iterations.per_fit", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  fits.add(1);
+  iterations.add(report.iterations);
+  if (!report.converged) nonconverged.add(1);
+  if (report.collapsed) collapsed.add(1);
+  iter_hist.observe(static_cast<double>(report.iterations));
+}
+
 }  // namespace
 
 std::optional<Lvf2Model> Lvf2Model::fit(std::span<const double> samples,
@@ -280,6 +299,13 @@ std::optional<Lvf2Model> Lvf2Model::fit(std::span<const double> samples,
 std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
                                                  const FitOptions& options,
                                                  EmReport* report) {
+  obs::TraceSpan span("em.fit", [&] {
+    return obs::ArgsBuilder().add("points", data.size()).str();
+  });
+  EmReport scratch;
+  EmReport& rep = (report != nullptr) ? *report : scratch;
+  rep = EmReport{};
+
   const stats::Moments global =
       stats::compute_weighted_moments(data.x, data.w);
   if (data.size() < 8 || !(global.stddev > 0.0)) return std::nullopt;
@@ -297,6 +323,8 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
   if (auto tail = tail_split_init(data, global, 0.15)) {
     inits.push_back(*tail);
   }
+  static obs::Counter& em_restarts = obs::counter("em.restarts");
+  em_restarts.add(inits.size());
 
   // Staged multi-start: a short EM burst per initialization, then the
   // remaining iteration budget on the best burst only. EM raises the
@@ -330,12 +358,11 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
   }
 
   if (!best) {
-    if (report != nullptr) {
-      report->collapsed = true;
-    }
+    rep.collapsed = true;
+    record_em_metrics(rep);
     return from_lvf(fallback_sn);
   }
-  if (report != nullptr) *report = best->report;
+  rep = best->report;
 
   // Canonical order: component 1 has the smaller mean, so LVF-style
   // consumers that read only component 1 see the dominant early mode.
@@ -371,9 +398,11 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
   // mixture and the plain LVF fit.
   const Lvf2Model single = from_lvf(fallback_sn);
   if (single.log_likelihood(data) > model.log_likelihood(data)) {
-    if (report != nullptr) report->collapsed = true;
+    rep.collapsed = true;
+    record_em_metrics(rep);
     return single;
   }
+  record_em_metrics(rep);
   return model;
 }
 

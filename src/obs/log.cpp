@@ -1,0 +1,112 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace lvf2::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kOff)};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_log_mutex;
+std::FILE* g_log_stream = nullptr;  // nullptr -> stderr
+
+const std::chrono::steady_clock::time_point g_log_epoch =
+    std::chrono::steady_clock::now();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct LogEnvInit {
+  LogEnvInit() {
+    if (const char* level = std::getenv("LVF2_LOG")) {
+      set_log_level(parse_log_level(level));
+    }
+  }
+} g_log_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void set_log_stream(std::FILE* stream) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_stream = stream;
+}
+
+void log(LogLevel level, std::string_view event,
+         std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_log_epoch)
+          .count();
+  std::string line;
+  line.reserve(64 + event.size());
+  char head[48];
+  std::snprintf(head, sizeof(head), "[lvf2 %.3fs %s] ", elapsed_s,
+                level_name(level));
+  line += head;
+  line.append(event);
+  for (const LogField& f : fields) {
+    line += ' ';
+    line.append(f.key);
+    line += '=';
+    if (f.quoted && needs_quoting(f.value)) {
+      line += '"';
+      for (char c : f.value) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += f.value;
+    }
+  }
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::FILE* out = (g_log_stream != nullptr) ? g_log_stream : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace lvf2::obs

@@ -1,0 +1,90 @@
+#pragma once
+// Leveled structured logger: `event` plus key=value fields, one line
+// per record, single writer behind a mutex. The level comes from
+// LVF2_LOG=debug|info|warn|error at startup and defaults to off, so
+// an uninstrumented run emits nothing. Hot call sites should guard
+// with log_enabled() before building fields; warn/error sites may
+// call directly (the fields are cheap relative to how rarely they
+// fire).
+//
+// Line format (elapsed time in seconds since process start):
+//   [lvf2 12.345s warn] em.nonconverged cell=NAND2_X1 arc="A -> Y"
+
+#include <atomic>
+#include <concepts>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace lvf2::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+/// True when records at `level` pass the filter (relaxed load).
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// Sets the filter level (kOff silences everything).
+void set_log_level(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error" (anything else means kOff).
+LogLevel parse_log_level(std::string_view text);
+
+/// Redirects log output (default stderr; pass nullptr to restore).
+/// For tests — not synchronized with concurrent loggers.
+void set_log_stream(std::FILE* stream);
+
+/// One key=value field of a log record.
+struct LogField {
+  LogField(std::string_view k, std::string_view v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), value(v) {}
+  template <std::integral T>
+  LogField(std::string_view k, T v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  template <std::floating_point T>
+  LogField(std::string_view k, T v)
+      : key(k), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), quoted(false) {}
+
+  std::string_view key;
+  std::string value;
+  bool quoted = true;  ///< string values are quoted when they need it
+};
+
+/// Emits one record if `level` passes the filter.
+void log(LogLevel level, std::string_view event,
+         std::initializer_list<LogField> fields = {});
+
+inline void log_debug(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, event, fields);
+}
+inline void log_info(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, event, fields);
+}
+inline void log_warn(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, event, fields);
+}
+inline void log_error(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, event, fields);
+}
+
+}  // namespace lvf2::obs

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lvf2::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+// Registers the exit-time sinks when the metrics env vars are set.
+struct MetricsEnvInit {
+  MetricsEnvInit() {
+    const char* path = std::getenv("LVF2_METRICS");
+    if (path != nullptr && path[0] != '\0') {
+      static std::string sink_path;
+      sink_path = path;
+      std::atexit(
+          [] { MetricsRegistry::instance().write_json(sink_path); });
+    }
+    const char* summary = std::getenv("LVF2_METRICS_SUMMARY");
+    if (summary != nullptr && summary[0] != '\0' &&
+        std::string_view(summary) != "0") {
+      std::atexit([] { MetricsRegistry::instance().write_text(stderr); });
+    }
+  }
+} g_metrics_env_init;
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name), std::move(bounds)).first;
+  }
+  return it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":[";
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      append_json_number(out, bounds[i]);
+    }
+    out += "],\"counts\":[";
+    const auto counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    append_json_number(out, h.sum());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "lvf2-obs: cannot open metrics sink %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void MetricsRegistry::write_text(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(out, "--- lvf2 metrics ---\n");
+  for (const auto& [name, c] : counters_) {
+    std::fprintf(out, "counter   %-32s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::fprintf(out, "gauge     %-32s %g\n", name.c_str(), g.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const double mean =
+        (h.count() > 0) ? h.sum() / static_cast<double>(h.count()) : 0.0;
+    std::fprintf(out, "histogram %-32s count=%llu mean=%g\n", name.c_str(),
+                 static_cast<unsigned long long>(h.count()), mean);
+  }
+}
+
+}  // namespace lvf2::obs

@@ -1,0 +1,110 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and
+// fixed-bucket histograms. Instruments are created on first access
+// and live for the whole process (stable addresses — cache a
+// reference in hot paths). Updates are lock-free relaxed atomics;
+// only name lookup takes the registry mutex.
+//
+// Sinks, both driven by environment variables read at startup:
+//   LVF2_METRICS=<path>     JSON dump at process exit
+//   LVF2_METRICS_SUMMARY=1  plain-text summary to stderr at exit
+// With neither set, the registry still counts (a relaxed fetch_add)
+// but emits nothing.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvf2::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets; one overflow bucket is appended implicitly.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process-wide registry (leaked singleton, never destroyed).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First call fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram regardless of `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Full registry state as a JSON object
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Writes to_json() to `path` (best-effort; logs to stderr on
+  /// failure).
+  void write_json(const std::string& path) const;
+  /// Human-readable summary, one instrument per line.
+  void write_text(std::FILE* out) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Convenience accessors against the process registry.
+inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+inline Histogram& histogram(std::string_view name,
+                            std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+}  // namespace lvf2::obs

@@ -1,11 +1,23 @@
 #include "spice/montecarlo.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lvf2::spice {
 
 McResult run_monte_carlo(const StageElectrical& stage,
                          const ArcCondition& condition,
                          const ProcessCorner& corner,
                          const McConfig& config) {
+  obs::TraceSpan span("spice.mc", [&] {
+    return obs::ArgsBuilder()
+        .add("samples", config.samples)
+        .add("lhs", config.use_lhs ? 1 : 0)
+        .str();
+  });
+  static obs::Counter& mc_samples = obs::counter("mc.samples");
+  mc_samples.add(config.samples);
+
   stats::Rng rng(config.seed);
   const VariationSampler sampler(corner);
   const std::vector<VariationSample> draws =

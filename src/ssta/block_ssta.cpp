@@ -2,15 +2,34 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lvf2::ssta {
 
 stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,
                         const SstaOptions& options) {
+  obs::TraceSpan span("ssta.sum", [&] {
+    return obs::ArgsBuilder()
+        .add("x_points", x.size())
+        .add("y_points", y.size())
+        .str();
+  });
+  static obs::Counter& sums = obs::counter("ssta.sum.count");
+  sums.add(1);
   return stats::GridPdf::convolve(x, y, options.max_conv_points);
 }
 
 stats::GridPdf ssta_max(const stats::GridPdf& x, const stats::GridPdf& y,
                         const SstaOptions& options) {
+  obs::TraceSpan span("ssta.max", [&] {
+    return obs::ArgsBuilder()
+        .add("x_points", x.size())
+        .add("y_points", y.size())
+        .str();
+  });
+  static obs::Counter& maxes = obs::counter("ssta.max.count");
+  maxes.add(1);
   return stats::GridPdf::statistical_max(x, y, options.grid_points);
 }
 
@@ -20,6 +39,9 @@ std::vector<stats::GridPdf> propagate_chain(
   if (!wire_delays.empty() && wire_delays.size() != stage_pdfs.size()) {
     throw std::invalid_argument("propagate_chain: wire delay size mismatch");
   }
+  obs::TraceSpan span("ssta.propagate_chain", [&] {
+    return obs::ArgsBuilder().add("stages", stage_pdfs.size()).str();
+  });
   std::vector<stats::GridPdf> cumulative;
   cumulative.reserve(stage_pdfs.size());
   for (std::size_t i = 0; i < stage_pdfs.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "ssta/mc_ssta.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/montecarlo.h"
 #include "stats/rng.h"
 
@@ -8,6 +10,16 @@ namespace lvf2::ssta {
 PathMcResult run_path_monte_carlo(const TimingPath& path,
                                   const spice::ProcessCorner& corner,
                                   const PathMcConfig& config) {
+  obs::TraceSpan span("ssta.mc.path", [&] {
+    return obs::ArgsBuilder()
+        .add("path", path.name)
+        .add("depth", path.stages.size())
+        .add("samples", config.samples)
+        .str();
+  });
+  static obs::Counter& mc_samples = obs::counter("ssta.mc.samples");
+  mc_samples.add(path.stages.size() * config.samples);
+
   PathMcResult result;
   const std::size_t depth = path.stages.size();
   result.stage_delays.resize(depth);
@@ -16,6 +28,12 @@ PathMcResult run_path_monte_carlo(const TimingPath& path,
   const spice::VariationSampler sampler(corner);
   for (std::size_t i = 0; i < depth; ++i) {
     const PathStage& stage = path.stages[i];
+    obs::TraceSpan stage_span("ssta.mc.stage", [&] {
+      return obs::ArgsBuilder()
+          .add("instance", stage.instance_name)
+          .add("index", i)
+          .str();
+    });
     // Independent per-instance seed: local mismatch is uncorrelated
     // across instances.
     stats::Rng rng(stats::combine_seed(

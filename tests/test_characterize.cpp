@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cells/characterize.h"
 #include "stats/descriptive.h"
 
@@ -100,6 +102,23 @@ TEST(Characterizer, NominalDelayMonotoneInLoad) {
       EXPECT_GT(arc.at(li, si).nominal_delay_ns,
                 arc.at(li - 1, si).nominal_delay_ns)
           << "slew " << si << " load " << li;
+    }
+  }
+}
+
+TEST(Characterizer, SurfacesEmReportsPerEntry) {
+  const Cell inv = build_cell(CellFamily::kInv, 1, 1.0);
+  const Characterizer ch(spice::ProcessCorner{}, fast_options());
+  const ArcCharacterization arc = ch.characterize_arc(inv, inv.arcs[0]);
+  for (const ConditionCharacterization& e : arc.entries) {
+    // Every entry ran EM (or its fallback): the report must carry a
+    // real iteration count unless the fit collapsed immediately.
+    EXPECT_TRUE(e.lvf2_delay_report.iterations > 0 ||
+                e.lvf2_delay_report.collapsed);
+    EXPECT_TRUE(e.lvf2_transition_report.iterations > 0 ||
+                e.lvf2_transition_report.collapsed);
+    if (e.lvf2_delay_report.converged) {
+      EXPECT_TRUE(std::isfinite(e.lvf2_delay_report.log_likelihood));
     }
   }
 }

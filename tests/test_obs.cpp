@@ -1,0 +1,456 @@
+// Observability subsystem: metrics registry semantics, Chrome-trace
+// JSON well-formedness (the emitted file must actually parse), log
+// level filtering and structured formatting, and the guarantee that
+// every sink is a no-op when its environment variable is unset.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace {
+
+using namespace lvf2;
+
+// --- A minimal strict JSON parser (objects, arrays, strings,
+// numbers, true/false/null), enough to prove the emitted files are
+// well-formed and to navigate them. ---
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      ADD_FAILURE() << "missing JSON key: " << key;
+      static const JsonValue null_value;
+      return null_value;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end");
+      return '\0';
+    }
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.type = JsonValue::Type::kObject;
+      ++pos_;
+      if (consume('}')) return v;
+      do {
+        skip_ws();
+        if (peek() != '"') {
+          fail("expected object key");
+          return v;
+        }
+        const std::string key = parse_string();
+        if (!consume(':')) {
+          fail("expected ':'");
+          return v;
+        }
+        v.object.emplace(key, parse_value());
+      } while (consume(','));
+      if (!consume('}')) fail("expected '}'");
+    } else if (c == '[') {
+      v.type = JsonValue::Type::kArray;
+      ++pos_;
+      if (consume(']')) return v;
+      do {
+        v.array.push_back(parse_value());
+      } while (consume(','));
+      if (!consume(']')) fail("expected ']'");
+    } else if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string();
+    } else if (c == 't' || c == 'f') {
+      v.type = JsonValue::Type::kBool;
+      const std::string_view word = (c == 't') ? "true" : "false";
+      if (text_.substr(pos_, word.size()) != word) {
+        fail("bad literal");
+      } else {
+        pos_ += word.size();
+        v.boolean = (c == 't');
+      }
+    } else if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") {
+        fail("bad literal");
+      } else {
+        pos_ += 4;
+      }
+    } else {
+      v.type = JsonValue::Type::kNumber;
+      v.number = parse_number();
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              fail("bad \\u escape");
+              return out;
+            }
+            out += '?';  // enough for well-formedness checking
+            pos_ += 4;
+            break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return 0.0;
+    }
+    return std::atof(std::string(text_.substr(start, pos_ - start)).c_str());
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// --- Metrics registry ---
+
+TEST(MetricsRegistry, CounterAccumulatesAndIsStable) {
+  obs::Counter& c = obs::counter("test.counter.a");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  // Same name -> same instrument (stable address).
+  EXPECT_EQ(&c, &obs::counter("test.counter.a"));
+  EXPECT_NE(&c, &obs::counter("test.counter.b"));
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndOverflow) {
+  obs::Histogram& h = obs::histogram("test.hist", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(3.0);   // bucket 2 (<= 4)
+  h.observe(100.0); // overflow bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  // Re-lookup keeps the original bounds.
+  obs::Histogram& again = obs::histogram("test.hist", {99.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, JsonDumpParsesAndContainsInstruments) {
+  obs::counter("test.json.counter").add(7);
+  obs::gauge("test.json.gauge").set(3.5);
+  obs::histogram("test.json.hist", {10.0}).observe(5.0);
+
+  const std::string json = obs::MetricsRegistry::instance().to_json();
+  JsonParser parser(json);
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error() << "\n" << json;
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  EXPECT_GE(root.at("counters").at("test.json.counter").number, 7.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("test.json.gauge").number, 3.5);
+  const JsonValue& hist = root.at("histograms").at("test.json.hist");
+  EXPECT_EQ(hist.at("bounds").array.size(), 1u);
+  EXPECT_EQ(hist.at("counts").array.size(), 2u);
+  EXPECT_GE(hist.at("count").number, 1.0);
+}
+
+TEST(MetricsRegistry, WriteJsonRoundTrips) {
+  const std::string path = temp_path("lvf2_metrics_test.json");
+  obs::counter("test.file.counter").add(1);
+  obs::MetricsRegistry::instance().write_json(path);
+  JsonParser parser(read_file(path));
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  EXPECT_TRUE(root.at("counters").has("test.file.counter"));
+  std::remove(path.c_str());
+}
+
+// --- Tracer ---
+
+TEST(Tracer, DisabledByDefaultWhenEnvUnset) {
+  if (std::getenv("LVF2_TRACE") != nullptr) {
+    GTEST_SKIP() << "LVF2_TRACE is set in this environment";
+  }
+  EXPECT_FALSE(obs::trace_enabled());
+}
+
+TEST(Tracer, EmitsParseableChromeTraceJson) {
+  if (obs::trace_enabled()) {
+    GTEST_SKIP() << "a trace session is already active";
+  }
+  const std::string path = temp_path("lvf2_trace_test.json");
+  obs::Tracer::instance().start(path);
+  ASSERT_TRUE(obs::trace_enabled());
+  {
+    obs::TraceSpan outer("outer", [] {
+      return obs::ArgsBuilder()
+          .add("cell", "NAND2 \"X1\"")  // exercises escaping
+          .add("samples", 123)
+          .add("ratio", 0.5)
+          .str();
+    });
+    obs::TraceSpan inner("inner");
+    obs::trace_counter("test.counter", -1.5);
+  }
+  obs::Tracer::instance().stop();
+  EXPECT_FALSE(obs::trace_enabled());
+
+  JsonParser parser(read_file(path));
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  ASSERT_EQ(events.array.size(), 3u);
+
+  int spans = 0, counters = 0;
+  for (const JsonValue& e : events.array) {
+    ASSERT_EQ(e.type, JsonValue::Type::kObject);
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").number, -1.5);
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(counters, 1);
+
+  // The outer span's args survived with escaping intact.
+  bool found_outer = false;
+  for (const JsonValue& e : events.array) {
+    if (e.at("name").string == "outer") {
+      found_outer = true;
+      EXPECT_EQ(e.at("args").at("cell").string, "NAND2 \"X1\"");
+      EXPECT_DOUBLE_EQ(e.at("args").at("samples").number, 123.0);
+    }
+  }
+  EXPECT_TRUE(found_outer);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, SpanArgsCallbackNotInvokedWhenDisabled) {
+  if (obs::trace_enabled()) {
+    GTEST_SKIP() << "a trace session is already active";
+  }
+  bool invoked = false;
+  {
+    obs::TraceSpan span("disabled", [&] {
+      invoked = true;
+      return std::string("{}");
+    });
+  }
+  EXPECT_FALSE(invoked);
+}
+
+TEST(Tracer, ArgsBuilderRendersJsonObject) {
+  const std::string json =
+      obs::ArgsBuilder().add("a", "x").add("b", 2).add("c", 1.5).str();
+  JsonParser parser(json);
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error() << "\n" << json;
+  EXPECT_EQ(root.at("a").string, "x");
+  EXPECT_DOUBLE_EQ(root.at("b").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("c").number, 1.5);
+}
+
+// --- Logger ---
+
+class LogCapture {
+ public:
+  LogCapture() : path_(temp_path("lvf2_log_test.txt")) {
+    stream_ = std::fopen(path_.c_str(), "w+");
+    obs::set_log_stream(stream_);
+  }
+  ~LogCapture() {
+    obs::set_log_stream(nullptr);
+    std::fclose(stream_);
+    std::remove(path_.c_str());
+  }
+  std::string text() {
+    std::fflush(stream_);
+    return read_file(path_);
+  }
+
+ private:
+  std::string path_;
+  std::FILE* stream_;
+};
+
+TEST(Logger, OffByDefaultWhenEnvUnset) {
+  if (std::getenv("LVF2_LOG") != nullptr) {
+    GTEST_SKIP() << "LVF2_LOG is set in this environment";
+  }
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kError));
+}
+
+TEST(Logger, ParseLogLevel) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("bogus"), obs::LogLevel::kOff);
+}
+
+TEST(Logger, LevelFiltering) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kWarn);
+  obs::log_debug("dropped.debug");
+  obs::log_info("dropped.info");
+  obs::log_warn("kept.warn");
+  obs::log_error("kept.error");
+  obs::set_log_level(obs::LogLevel::kOff);
+
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("dropped."), std::string::npos);
+  EXPECT_NE(text.find("kept.warn"), std::string::npos);
+  EXPECT_NE(text.find("kept.error"), std::string::npos);
+}
+
+TEST(Logger, StructuredFieldsAndQuoting) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kInfo);
+  obs::log_info("em.fit", {{"cell", "NAND2 X1"},
+                           {"arc", "A->Y"},
+                           {"iterations", std::size_t{17}},
+                           {"converged", true},
+                           {"ll", -42.5}});
+  obs::set_log_level(obs::LogLevel::kOff);
+
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("em.fit"), std::string::npos);
+  EXPECT_NE(text.find("cell=\"NAND2 X1\""), std::string::npos);  // quoted
+  EXPECT_NE(text.find("arc=A->Y"), std::string::npos);  // no quoting needed
+  EXPECT_NE(text.find("iterations=17"), std::string::npos);
+  EXPECT_NE(text.find("converged=true"), std::string::npos);
+  EXPECT_NE(text.find("info] "), std::string::npos) << text;
+}
+
+TEST(Logger, DisabledLevelEmitsNothing) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kOff);
+  obs::log_error("should.not.appear");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+}  // namespace
