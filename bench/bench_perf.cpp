@@ -8,6 +8,7 @@
 #include "core/mixture_ops.h"
 #include "core/model_factory.h"
 #include "obs/obs.h"
+#include "robust/faults.h"
 #include "spice/montecarlo.h"
 #include "stats/grid_pdf.h"
 #include "stats/lhs.h"
@@ -195,6 +196,20 @@ void BM_DisabledTraceCounter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DisabledTraceCounter);
+
+// Disabled-path cost of the fault-injection harness: with LVF2_FAULTS
+// unset every robust::fire() hook is a single relaxed atomic load —
+// the same contract as the disabled trace span above.
+void BM_DisabledFaultHook(benchmark::State& state) {
+  if (robust::faults_enabled()) {
+    state.SkipWithError("LVF2_FAULTS is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::fire(robust::Fault::kSamplesNan));
+  }
+}
+BENCHMARK(BM_DisabledFaultHook);
 
 // Always-on cost of a registry counter increment (relaxed fetch_add).
 void BM_MetricsCounterAdd(benchmark::State& state) {

@@ -4,17 +4,44 @@
 # observability sinks (LVF2_TRACE / LVF2_METRICS / LVF2_LOG) against
 # a real pipeline run.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Tier-1.5 (--sanitize): the same gate rebuilt under ASan + UBSan in
+# its own build directory, plus an everything-armed fault-injection
+# pass (LVF2_FAULTS) — the acceptance run for the robustness layer.
+#
+# Usage: scripts/check.sh [--sanitize] [build-dir]
+#        (default build-dir: build, or build-asan with --sanitize)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+if [ "$SANITIZE" = 1 ]; then
+  BUILD_DIR="${1:-build-asan}"
+else
+  BUILD_DIR="${1:-build}"
+fi
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DLVF2_WERROR=ON
+CMAKE_FLAGS=(-DLVF2_WERROR=ON)
+if [ "$SANITIZE" = 1 ]; then
+  CMAKE_FLAGS+=(-DLVF2_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+if [ "$SANITIZE" = 1 ]; then
+  echo "== fault-injection smoke test (all faults armed, ASan+UBSan) =="
+  LVF2_FAULTS="all;seed=3" \
+    "$BUILD_DIR/tests/lvf2_tests" \
+    --gtest_filter='FaultMatrixTest.AllFaultsAtOnceStillSurvive' >/dev/null
+  echo "ok: armed pipeline survived under sanitizers"
+fi
 
 echo "== observability smoke test =="
 SMOKE_DIR="$(mktemp -d)"

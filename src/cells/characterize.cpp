@@ -1,8 +1,13 @@
 #include "cells/characterize.h"
 
+#include <cmath>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/obs.h"
+#include "robust/faults.h"
+#include "stats/descriptive.h"
 #include "stats/rng.h"
 
 namespace lvf2::cells {
@@ -28,6 +33,32 @@ void audit_fit_report(const core::EmReport& report, const std::string& cell,
                  {"fit", which},
                  {"iterations", report.iterations},
                  {"collapsed", report.collapsed}});
+}
+
+// LVF moment fit with a degradation fallback: non-finite samples are
+// dropped first (one NaN must not poison the whole moment triple),
+// and when the skew-normal moment fit rejects what remains (constant
+// / near-constant data), the entry still gets a usable point-mass
+// moment triple at the sample mean instead of an all-zero placeholder.
+stats::SnMoments fit_lvf_moments(std::span<const double> samples) {
+  std::size_t bad = 0;
+  for (const double x : samples) bad += std::isfinite(x) ? 0 : 1;
+  std::vector<double> finite;
+  std::span<const double> clean = samples;
+  if (bad > 0) {
+    obs::counter("robust.samples.nonfinite_dropped").add(bad);
+    finite.reserve(samples.size() - bad);
+    for (const double x : samples) {
+      if (std::isfinite(x)) finite.push_back(x);
+    }
+    clean = finite;
+  }
+  if (auto lvf = stats::SkewNormal::fit_moments(clean)) {
+    return lvf->to_moments();
+  }
+  obs::counter("robust.characterize.lvf_degenerate").add(1);
+  const stats::Moments m = stats::compute_moments(clean);
+  return stats::SnMoments{m.count > 0 ? m.mean : 0.0, 0.0, 0.0};
 }
 
 }  // namespace
@@ -109,33 +140,44 @@ ArcCharacterization Characterizer::characterize_arc(
       ConditionCharacterization cc;
       cc.condition = spice::ArcCondition{out.grid.slews_ns[si],
                                          out.grid.loads_pf[li]};
-      const spice::StageTimes nominal =
-          spice::nominal_stage_times(arc.stage, cc.condition, corner_);
-      cc.nominal_delay_ns = nominal.delay_ns;
-      cc.nominal_transition_ns = nominal.transition_ns;
+      try {
+        const spice::StageTimes nominal =
+            spice::nominal_stage_times(arc.stage, cc.condition, corner_);
+        cc.nominal_delay_ns = nominal.delay_ns;
+        cc.nominal_transition_ns = nominal.transition_ns;
 
-      const spice::McResult mc = golden_samples(cell, arc, li, si);
-      core::FitOptions fit = options_.fit;
-      fit.seed = stats::combine_seed(fit.seed, li * 17 + si);
+        spice::McResult mc = golden_samples(cell, arc, li, si);
+        robust::corrupt_samples(mc.delay_ns);
+        robust::corrupt_samples(mc.transition_ns);
+        core::FitOptions fit = options_.fit;
+        fit.seed = stats::combine_seed(fit.seed, li * 17 + si);
 
-      if (auto lvf = stats::SkewNormal::fit_moments(mc.delay_ns)) {
-        cc.lvf_delay = lvf->to_moments();
+        cc.lvf_delay = fit_lvf_moments(mc.delay_ns);
+        cc.lvf_transition = fit_lvf_moments(mc.transition_ns);
+        if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit,
+                                          &cc.lvf2_delay_report)) {
+          cc.lvf2_delay = m->parameters();
+        }
+        audit_fit_report(cc.lvf2_delay_report, cell.name, out.arc_label, li,
+                         si, "delay");
+        if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit,
+                                          &cc.lvf2_transition_report)) {
+          cc.lvf2_transition = m->parameters();
+        }
+        audit_fit_report(cc.lvf2_transition_report, cell.name, out.arc_label,
+                         li, si, "transition");
+      } catch (const std::exception& e) {
+        // A failed entry degrades to its nominal values; the library
+        // table stays complete and the Status records the cause.
+        obs::counter("robust.characterize.entry_failed").add(1);
+        obs::log_warn("characterize.entry_failed",
+                      {{"cell", cell.name},
+                       {"arc", out.arc_label},
+                       {"load_idx", li},
+                       {"slew_idx", si},
+                       {"error", e.what()}});
+        cc.status = core::Status::internal(e.what());
       }
-      if (auto lvf = stats::SkewNormal::fit_moments(mc.transition_ns)) {
-        cc.lvf_transition = lvf->to_moments();
-      }
-      if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit,
-                                        &cc.lvf2_delay_report)) {
-        cc.lvf2_delay = m->parameters();
-      }
-      audit_fit_report(cc.lvf2_delay_report, cell.name, out.arc_label, li,
-                       si, "delay");
-      if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit,
-                                        &cc.lvf2_transition_report)) {
-        cc.lvf2_transition = m->parameters();
-      }
-      audit_fit_report(cc.lvf2_transition_report, cell.name, out.arc_label,
-                       li, si, "transition");
       out.entries.push_back(std::move(cc));
     }
   }

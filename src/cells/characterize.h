@@ -13,6 +13,7 @@
 #include "cells/cell_types.h"
 #include "cells/library.h"
 #include "core/lvf2_model.h"
+#include "core/status.h"
 #include "core/timing_model.h"
 #include "spice/montecarlo.h"
 #include "spice/process.h"
@@ -53,6 +54,10 @@ struct ConditionCharacterization {
   // discarded so callers can audit fit quality per table entry.
   core::EmReport lvf2_delay_report;
   core::EmReport lvf2_transition_report;
+  // Outcome of the entry as a whole. A failed entry keeps its nominal
+  // values and degrades the statistical fields (the table stays
+  // complete); the Status says what went wrong.
+  core::Status status;
 };
 
 /// Characterized table of one timing arc (row-major: load x slew).

@@ -19,6 +19,16 @@ void record_compression(std::size_t samples_in, std::size_t points_out) {
 
 }  // namespace
 
+const char* to_string(FitDegradation degradation) {
+  switch (degradation) {
+    case FitDegradation::kNone: return "none";
+    case FitDegradation::kSingleSn: return "single_sn";
+    case FitDegradation::kMomentNormal: return "moment_normal";
+    case FitDegradation::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
 WeightedData make_weighted_data(std::span<const double> samples,
                                 const FitOptions& options) {
   obs::TraceSpan span("em.bin");

@@ -33,12 +33,33 @@ WeightedData make_weighted_data(std::span<const double> samples,
 /// (convolved) distribution in block-based SSTA.
 WeightedData make_weighted_data(const stats::GridPdf& pdf);
 
+/// How far down the graceful-degradation chain a fit had to walk:
+///   validated samples -> mixture EM -> lambda = 0 single SN ->
+///   moment-matched normal / point mass.
+/// Every downgrade is also counted under a robust.downgrade.* metric.
+enum class FitDegradation : int {
+  kNone = 0,       ///< full two-component mixture fit
+  kSingleSn,       ///< fell back to the lambda = 0 single skew-normal
+                   ///< (paper Eq. 10 backward-compatibility target)
+  kMomentNormal,   ///< moment-matched normal / point mass (last rung)
+  kRejected,       ///< nothing fittable at all (fit returned nullopt)
+};
+
+/// Stable short name ("none", "single_sn", "moment_normal",
+/// "rejected") — used for counter names and logs.
+const char* to_string(FitDegradation degradation);
+
 /// Convergence report of an EM run.
 struct EmReport {
   std::size_t iterations = 0;
   double log_likelihood = 0.0;
   bool converged = false;
-  bool collapsed = false;  ///< a component degenerated; fit fell back
+  bool collapsed = false;   ///< a component degenerated; fit fell back
+  bool oscillated = false;  ///< log-likelihood decreased repeatedly
+                            ///< (numerical pathology; treated as collapse)
+  std::size_t dropped_samples = 0;  ///< non-finite samples removed
+  std::size_t clipped_samples = 0;  ///< outlier samples winsorized
+  FitDegradation degradation = FitDegradation::kNone;
 };
 
 }  // namespace lvf2::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "robust/faults.h"
 #include "stats/descriptive.h"
 #include "stats/kmeans.h"
 #include "stats/optimize.h"
@@ -216,9 +217,15 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
   std::vector<double> resp(n);       // responsibility of component 2
   std::vector<double> w1(n), w2(n);  // per-component weights
   double prev_ll = -std::numeric_limits<double>::infinity();
+  std::size_t ll_decreases = 0;
   constexpr double kWeightFloor = 1e-6;
   for (std::size_t iter = 0; iter < options.em_max_iterations; ++iter) {
     run.report.iterations = iter + 1;
+
+    if (robust::fire(robust::Fault::kEmCollapse)) {
+      run.report.collapsed = true;
+      return run;
+    }
 
     // E-step (Eq. 6): posterior responsibility of each component.
     const double l1 = std::log(std::max(1.0 - run.lambda, 1e-300));
@@ -231,8 +238,31 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
       resp[i] = std::exp(b - lse);
       ll += data.w[i] * lse;
     }
+    if (robust::fire(robust::Fault::kEmOscillate)) {
+      ll += ((iter % 2 == 0) ? -0.5 : 0.5) * (std::fabs(ll) + 1.0);
+    }
     run.report.log_likelihood = ll;
     obs::trace_counter("em.loglik", ll);
+
+    // EM raises the binned likelihood monotonically up to M-step
+    // optimizer noise; a *large* repeated decrease means the surface
+    // has gone numerically pathological (unbounded-likelihood spikes,
+    // oscillation). Bail to the fallback chain instead of looping.
+    if (std::isfinite(prev_ll) &&
+        ll < prev_ll - 0.01 * (std::fabs(prev_ll) + 1.0)) {
+      if (++ll_decreases >= 3) {
+        static obs::Counter& oscillations =
+            obs::counter("robust.em.oscillation_detected");
+        oscillations.add(1);
+        run.report.oscillated = true;
+        run.report.collapsed = true;
+        return run;
+      }
+    }
+    if (!std::isfinite(ll)) {
+      run.report.collapsed = true;
+      return run;
+    }
 
     // M-step (Eq. 9): lambda closed-form, components by weighted MLE.
     double sum2 = 0.0;
@@ -259,7 +289,8 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
 
     if (std::isfinite(prev_ll) &&
         std::fabs(ll - prev_ll) <=
-            options.em_tolerance * (std::fabs(prev_ll) + 1.0)) {
+            options.em_tolerance * (std::fabs(prev_ll) + 1.0) &&
+        !robust::fire(robust::Fault::kEmExhaust)) {
       run.report.converged = true;
       break;
     }
@@ -281,9 +312,23 @@ void record_em_metrics(const EmReport& report) {
       "em.iterations.per_fit", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
   fits.add(1);
   iterations.add(report.iterations);
-  if (!report.converged) nonconverged.add(1);
+  if (!report.converged) {
+    nonconverged.add(1);
+    // Accepting a non-converged fit is itself a (mild) downgrade; the
+    // counter is created lazily so clean traces stay unchanged.
+    obs::counter("robust.downgrade.em_nonconverged").add(1);
+  }
   if (report.collapsed) collapsed.add(1);
   iter_hist.observe(static_cast<double>(report.iterations));
+}
+
+// Tags a report with the rung of the degradation chain it landed on
+// and counts it. Counters are created lazily: a run that never
+// degrades registers no robust.downgrade.* instruments.
+void record_downgrade(EmReport& rep, FitDegradation degradation) {
+  rep.degradation = degradation;
+  obs::counter(std::string("robust.downgrade.") + to_string(degradation))
+      .add(1);
 }
 
 }  // namespace
@@ -291,9 +336,96 @@ void record_em_metrics(const EmReport& report) {
 std::optional<Lvf2Model> Lvf2Model::fit(std::span<const double> samples,
                                         const FitOptions& options,
                                         EmReport* report) {
-  const stats::Moments global = stats::compute_moments(samples);
-  if (global.count < 8 || !(global.stddev > 0.0)) return std::nullopt;
-  return fit_weighted(make_weighted_data(samples, options), options, report);
+  EmReport scratch;
+  EmReport& rep = (report != nullptr) ? *report : scratch;
+  rep = EmReport{};
+
+  // Rung 0 of the degradation chain: validate the sample set. Clean
+  // data — the overwhelmingly common case — passes through without a
+  // copy, so the fit is bit-identical to an unguarded one.
+  std::size_t nonfinite = 0;
+  for (double x : samples) {
+    if (!std::isfinite(x)) ++nonfinite;
+  }
+  std::vector<double> cleaned;
+  std::span<const double> use = samples;
+  if (nonfinite > 0) {
+    cleaned.reserve(samples.size() - nonfinite);
+    for (double x : samples) {
+      if (std::isfinite(x)) cleaned.push_back(x);
+    }
+    obs::counter("robust.samples.nonfinite_dropped").add(nonfinite);
+    use = cleaned;
+  }
+
+  // Winsorize absurd outliers at quantile fences 50 IQRs out: clean
+  // Monte-Carlo data never reaches them (~67 sigma for a normal), a
+  // poisoned spike always does. An unbounded spike would otherwise
+  // wreck the binned-likelihood grid for every honest sample.
+  std::size_t clipped = 0;
+  if (use.size() >= 8) {
+    std::vector<double> sorted(use.begin(), use.end());
+    const std::size_t q1i = sorted.size() / 4;
+    const std::size_t q3i = (3 * sorted.size()) / 4;
+    std::nth_element(sorted.begin(), sorted.begin() + q1i, sorted.end());
+    const double q1 = sorted[q1i];
+    std::nth_element(sorted.begin(), sorted.begin() + q3i, sorted.end());
+    const double q3 = sorted[q3i];
+    const double iqr = q3 - q1;
+    if (iqr > 0.0) {
+      const double fence_lo = q1 - 50.0 * iqr;
+      const double fence_hi = q3 + 50.0 * iqr;
+      bool any_outlier = false;
+      for (double x : use) {
+        if (x < fence_lo || x > fence_hi) {
+          any_outlier = true;
+          break;
+        }
+      }
+      if (any_outlier) {
+        if (cleaned.empty()) cleaned.assign(use.begin(), use.end());
+        for (double& x : cleaned) {
+          if (x < fence_lo) {
+            x = fence_lo;
+            ++clipped;
+          } else if (x > fence_hi) {
+            x = fence_hi;
+            ++clipped;
+          }
+        }
+        obs::counter("robust.samples.outlier_clipped").add(clipped);
+        use = cleaned;
+      }
+    }
+  }
+
+  const stats::Moments global = stats::compute_moments(use);
+  if (global.count >= 8 && global.stddev > 0.0) {
+    auto result = fit_weighted(make_weighted_data(use, options), options,
+                               report);
+    // fit_weighted reset the report; restore sanitization accounting.
+    rep.dropped_samples = nonfinite;
+    rep.clipped_samples = clipped;
+    return result;
+  }
+
+  // Degenerate data: walk the rest of the chain instead of failing.
+  rep.dropped_samples = nonfinite;
+  rep.clipped_samples = clipped;
+  if (global.count == 0) {
+    record_downgrade(rep, FitDegradation::kRejected);
+    return std::nullopt;
+  }
+  if (global.stddev > 0.0) {
+    // Too few samples for EM but a real spread: lambda = 0 single
+    // skew-normal by method of moments (paper Eq. 10 target).
+    record_downgrade(rep, FitDegradation::kSingleSn);
+    return from_lvf(stats::SkewNormal::from_moments(
+        global.mean, global.stddev, global.skewness));
+  }
+  // Constant / near-constant data: moment-matched point mass.
+  record_downgrade(rep, FitDegradation::kMomentNormal);
+  return from_lvf(stats::SkewNormal::from_moments(global.mean, 0.0, 0.0));
 }
 
 std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
@@ -308,7 +440,21 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
 
   const stats::Moments global =
       stats::compute_weighted_moments(data.x, data.w);
-  if (data.size() < 8 || !(global.stddev > 0.0)) return std::nullopt;
+  if (data.size() < 8 || !(global.stddev > 0.0)) {
+    // Degenerate weighted data (e.g. a refit of a collapsed propagated
+    // PDF): walk the degradation chain instead of failing outright.
+    if (data.size() == 0 || !std::isfinite(global.mean)) {
+      record_downgrade(rep, FitDegradation::kRejected);
+      return std::nullopt;
+    }
+    if (global.stddev > 0.0 && std::isfinite(global.stddev)) {
+      record_downgrade(rep, FitDegradation::kSingleSn);
+      return from_lvf(stats::SkewNormal::from_moments(
+          global.mean, global.stddev, global.skewness));
+    }
+    record_downgrade(rep, FitDegradation::kMomentNormal);
+    return from_lvf(stats::SkewNormal::from_moments(global.mean, 0.0, 0.0));
+  }
 
   const auto fallback_sn = stats::SkewNormal::from_moments(
       global.mean, global.stddev, global.skewness);
@@ -359,6 +505,7 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
 
   if (!best) {
     rep.collapsed = true;
+    record_downgrade(rep, FitDegradation::kSingleSn);
     record_em_metrics(rep);
     return from_lvf(fallback_sn);
   }
@@ -399,6 +546,7 @@ std::optional<Lvf2Model> Lvf2Model::fit_weighted(const WeightedData& data,
   const Lvf2Model single = from_lvf(fallback_sn);
   if (single.log_likelihood(data) > model.log_likelihood(data)) {
     rep.collapsed = true;
+    record_downgrade(rep, FitDegradation::kSingleSn);
     record_em_metrics(rep);
     return single;
   }

@@ -44,9 +44,13 @@ class Lvf2Model final : public TimingModel {
   /// Construction from Liberty moment-space parameters.
   static Lvf2Model from_parameters(const Lvf2Parameters& p);
 
-  /// EM fit per paper Section 3.2. Returns nullopt for degenerate
-  /// data; collapses to a single skew-normal (lambda = 0) when one
-  /// component degenerates during EM.
+  /// EM fit per paper Section 3.2, hardened by a graceful-degradation
+  /// chain: non-finite samples are dropped and absurd outliers
+  /// winsorized first; if EM cannot hold a mixture the fit falls back
+  /// to a lambda = 0 single skew-normal (Eq. 10), then to a
+  /// moment-matched point mass for constant data. Only an empty
+  /// sample set returns nullopt. `report->degradation` (and the
+  /// robust.downgrade.* counters) record which rung was used.
   static std::optional<Lvf2Model> fit(std::span<const double> samples,
                                       const FitOptions& options = {},
                                       EmReport* report = nullptr);

@@ -1,0 +1,113 @@
+#pragma once
+// Lightweight error propagation for the recoverable paths of the
+// pipeline (per-entry characterization, EM fits, Liberty number
+// parsing, degenerate statistics). Unlike exceptions, a Status makes
+// the failure part of the data flow: callers must decide whether to
+// degrade, skip, or abort — which is what the graceful-degradation
+// chain needs. Header-only and dependency-free so every layer
+// (including lvf2_stats, which sits below lvf2_core in the link
+// graph) can use it.
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lvf2::core {
+
+/// Coarse failure classes; the message carries the specifics.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,  ///< caller error (bad option, size mismatch)
+  kDegenerateData,   ///< empty / constant / too-small sample set
+  kNonFinite,        ///< NaN or Inf where a finite value is required
+  kParseError,       ///< malformed input text
+  kInternal,         ///< contained failure of a lower layer
+};
+
+/// Short stable name of a code ("ok", "invalid_argument", ...).
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kDegenerateData: return "degenerate_data";
+    case StatusCode::kNonFinite: return "non_finite";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Success-or-error value; cheap to copy on the success path (no
+/// message allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status degenerate_data(std::string message) {
+    return Status(StatusCode::kDegenerateData, std::move(message));
+  }
+  static Status non_finite(std::string message) {
+    return Status(StatusCode::kNonFinite, std::move(message));
+  }
+  static Status parse_error(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = core::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence. Minimal by design:
+/// exactly the surface the degradation chain needs, not a general
+/// expected<> replacement.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)), has_value_(true) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool is_ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  /// Valid only when is_ok().
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return has_value_ ? value_ : fallback; }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace lvf2::core

@@ -1,0 +1,24 @@
+#pragma once
+// Parse diagnostics for the lenient Liberty reading mode: instead of
+// aborting on the first malformed construct, the lenient lexer and
+// parser record what was wrong (with the 1-based source line) and
+// resynchronize at the next statement or group boundary.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lvf2::liberty {
+
+/// One recovered-from defect in a Liberty source.
+struct ParseDiagnostic {
+  std::size_t line = 0;  ///< 1-based source line of the defect
+  std::string message;
+};
+
+/// "line N: message" — for logs and test failure output.
+inline std::string to_string(const ParseDiagnostic& diag) {
+  return "line " + std::to_string(diag.line) + ": " + diag.message;
+}
+
+}  // namespace lvf2::liberty

@@ -21,9 +21,14 @@ bool is_identifier_char(char c) {
                            "): " + message);
 }
 
-}  // namespace
-
-std::vector<Token> tokenize(std::string_view source) {
+// Shared scanner. In strict mode (`diagnostics == nullptr`) malformed
+// input throws; in lenient mode it is repaired and recorded.
+std::vector<Token> tokenize_impl(std::string_view source,
+                                 std::vector<ParseDiagnostic>* diagnostics) {
+  const auto report = [&](std::size_t line, std::string message) {
+    if (diagnostics == nullptr) fail(line, message);
+    diagnostics->push_back(ParseDiagnostic{line, std::move(message)});
+  };
   std::vector<Token> tokens;
   std::size_t line = 1;
   std::size_t i = 0;
@@ -56,7 +61,11 @@ std::vector<Token> tokenize(std::string_view source) {
         if (source[i] == '\n') ++line;
         ++i;
       }
-      if (i + 1 >= n) fail(start_line, "unterminated block comment");
+      if (i + 1 >= n) {
+        report(start_line, "unterminated block comment");
+        i = n;  // lenient: the comment swallows the rest of the input
+        continue;
+      }
       i += 2;
       continue;
     }
@@ -80,8 +89,12 @@ std::vector<Token> tokenize(std::string_view source) {
         text.push_back(source[i]);
         ++i;
       }
-      if (i >= n) fail(start_line, "unterminated string");
-      ++i;
+      if (i >= n) {
+        report(start_line, "unterminated string");
+        // lenient: close the string at end of input and keep it.
+      } else {
+        ++i;
+      }
       tokens.push_back(Token{TokenKind::kString, std::move(text), start_line});
       continue;
     }
@@ -109,10 +122,22 @@ std::vector<Token> tokenize(std::string_view source) {
       i = j;
       continue;
     }
-    fail(line, std::string("unexpected character '") + c + "'");
+    report(line, std::string("unexpected character '") + c + "'");
+    ++i;  // lenient: skip the stray byte
   }
   tokens.push_back(Token{TokenKind::kEnd, "", line});
   return tokens;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return tokenize_impl(source, nullptr);
+}
+
+std::vector<Token> tokenize_lenient(
+    std::string_view source, std::vector<ParseDiagnostic>& diagnostics) {
+  return tokenize_impl(source, &diagnostics);
 }
 
 }  // namespace lvf2::liberty

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "liberty/diagnostics.h"
+
 namespace lvf2::liberty {
 
 enum class TokenKind {
@@ -32,5 +34,12 @@ struct Token {
 /// number on malformed input (unterminated string / comment, stray
 /// characters).
 std::vector<Token> tokenize(std::string_view source);
+
+/// Lenient tokenizer: never throws. Malformed constructs are repaired
+/// (unterminated strings and comments close at end of input, stray
+/// characters are skipped) and each repair is recorded in
+/// `diagnostics`.
+std::vector<Token> tokenize_lenient(std::string_view source,
+                                    std::vector<ParseDiagnostic>& diagnostics);
 
 }  // namespace lvf2::liberty

@@ -1,10 +1,14 @@
 #include "liberty/lvf_tables.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace lvf2::liberty {
 
@@ -25,16 +29,36 @@ std::string join_csv(const std::vector<double>& values) {
   return out;
 }
 
+// Parses a comma-separated number list. Unparsable or non-finite
+// entries are skipped (counted under robust.liberty.bad_number and
+// logged) instead of aborting the whole table read: the caller's
+// rectangularity check then decides whether the table is still
+// usable.
 std::vector<double> parse_csv(const std::string& text) {
   std::vector<double> out;
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {
+    bool ok = false;
+    double value = 0.0;
     try {
-      out.push_back(std::stod(item));
+      std::size_t consumed = 0;
+      value = std::stod(item, &consumed);
+      // Reject trailing junk after the number ("1.2x3"); units and
+      // whitespace are not stored in these tables.
+      while (consumed < item.size() &&
+             std::isspace(static_cast<unsigned char>(item[consumed]))) {
+        ++consumed;
+      }
+      ok = consumed == item.size() && std::isfinite(value);
     } catch (const std::exception&) {
-      throw std::runtime_error("liberty: bad number in table: '" + item +
-                               "'");
+      ok = false;
+    }
+    if (ok) {
+      out.push_back(value);
+    } else {
+      obs::counter("robust.liberty.bad_number").add(1);
+      obs::log_warn("liberty.bad_number", {{"entry", item}});
     }
   }
   return out;
@@ -59,6 +83,10 @@ void write_table(Group& timing, const std::string& name,
 }
 
 // Extracts one LUT group into a TimingTable; empty result if absent.
+// A structurally broken table (ragged rows, row/index size mismatch —
+// e.g. after bad numbers were dropped) degrades to the empty table,
+// which downstream consumers treat as "attribute absent" and cover
+// with the Section 3.3 defaulting rules.
 TimingTable read_table(const Group& timing, const std::string& name) {
   TimingTable table;
   const Group* lut = timing.find_child(name);
@@ -73,6 +101,24 @@ TimingTable read_table(const Group& timing, const std::string& name) {
     for (const std::string& row : a->values) {
       table.values.push_back(parse_csv(row));
     }
+  }
+  bool rectangular = !table.values.empty();
+  for (const std::vector<double>& row : table.values) {
+    if (row.size() != table.values.front().size() || row.empty()) {
+      rectangular = false;
+      break;
+    }
+  }
+  if (rectangular && !table.index_1.empty() &&
+      (table.values.size() != table.index_1.size() ||
+       (!table.index_2.empty() &&
+        table.values.front().size() != table.index_2.size()))) {
+    rectangular = false;
+  }
+  if (!rectangular && !table.values.empty()) {
+    obs::counter("robust.liberty.malformed_table").add(1);
+    obs::log_warn("liberty.malformed_table", {{"table", name}});
+    table = TimingTable{};
   }
   return table;
 }

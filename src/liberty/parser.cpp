@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "liberty/lexer.h"
+#include "obs/metrics.h"
+#include "robust/faults.h"
 
 namespace lvf2::liberty {
 
@@ -12,19 +14,76 @@ namespace {
 
 class Parser {
  public:
+  /// Strict mode: any syntax error throws std::runtime_error.
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  /// Lenient mode: syntax errors are recorded in `diagnostics` and
+  /// parsing resynchronizes at the next statement / group boundary.
+  Parser(std::vector<Token> tokens, std::vector<ParseDiagnostic>* diagnostics)
+      : tokens_(std::move(tokens)), diagnostics_(diagnostics) {}
+
   Group parse_root() {
-    Group root = parse_group();
-    expect(TokenKind::kEnd, "end of input");
+    if (diagnostics_ == nullptr) {
+      Group root = parse_group();
+      expect(TokenKind::kEnd, "end of input");
+      return root;
+    }
+    // Lenient: salvage a root group, then fold any trailing content
+    // back into it (a stray '}' mid-file would otherwise discard the
+    // rest of the library).
+    Group root;
+    bool have_root = false;
+    bool trailing_diagnosed = false;
+    while (peek().kind != TokenKind::kEnd) {
+      try {
+        if (!have_root) {
+          root = parse_group();
+          have_root = true;
+          continue;
+        }
+        if (!trailing_diagnosed) {
+          diagnose("content after the root group; folding into it");
+          trailing_diagnosed = true;
+        }
+        if (peek().kind == TokenKind::kRBrace) {
+          advance();  // stray closer with no open group
+          continue;
+        }
+        parse_statement(root);
+      } catch (const Recovery&) {
+        synchronize();
+        // synchronize stops *before* a '}' (the enclosing group's
+        // recovery point); at the top level there is no enclosing
+        // group, so consume it to guarantee progress.
+        if (peek().kind == TokenKind::kRBrace) advance();
+      }
+    }
+    if (!have_root) diagnose("no parsable root group");
     return root;
   }
 
  private:
+  // Thrown in lenient mode to unwind to the nearest recovery point;
+  // never escapes parse_root.
+  struct Recovery {};
+
   const Token& peek() const { return tokens_[pos_]; }
-  const Token& advance() { return tokens_[pos_++]; }
+
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (t.kind != TokenKind::kEnd) ++pos_;  // never step past the end
+    return t;
+  }
+
+  void diagnose(std::string message) const {
+    diagnostics_->push_back(ParseDiagnostic{peek().line, std::move(message)});
+  }
 
   [[noreturn]] void fail(const std::string& message) const {
+    if (diagnostics_ != nullptr) {
+      diagnose(message);
+      throw Recovery{};
+    }
     throw std::runtime_error("liberty parser (line " +
                              std::to_string(peek().line) + "): " + message);
   }
@@ -32,6 +91,37 @@ class Parser {
   const Token& expect(TokenKind kind, const std::string& what) {
     if (peek().kind != kind) fail("expected " + what);
     return advance();
+  }
+
+  // Lenient recovery: skip ahead until a statement boundary — just
+  // past a ';', or in front of a '}' / end of input. A '{' opens a
+  // block whose whole balanced body is skipped, so one bad group
+  // header drops exactly that group.
+  void synchronize() {
+    while (true) {
+      switch (peek().kind) {
+        case TokenKind::kEnd:
+        case TokenKind::kRBrace:
+          return;
+        case TokenKind::kSemicolon:
+          advance();
+          return;
+        case TokenKind::kLBrace: {
+          std::size_t depth = 0;
+          do {
+            const TokenKind kind = peek().kind;
+            if (kind == TokenKind::kEnd) return;
+            if (kind == TokenKind::kLBrace) ++depth;
+            if (kind == TokenKind::kRBrace) --depth;
+            advance();
+          } while (depth > 0);
+          return;
+        }
+        default:
+          advance();
+          break;
+      }
+    }
   }
 
   // value := IDENT | STRING
@@ -53,11 +143,33 @@ class Parser {
     }
     advance();  // ')'
     expect(TokenKind::kLBrace, "'{'");
+    parse_group_body(group);
+    return group;
+  }
+
+  // statement* up to the matching '}' (which is consumed). In lenient
+  // mode each statement is its own recovery scope, and a missing '}'
+  // at end of input is diagnosed instead of looping or throwing.
+  void parse_group_body(Group& group) {
     while (peek().kind != TokenKind::kRBrace) {
-      parse_statement(group);
+      if (peek().kind == TokenKind::kEnd) {
+        if (diagnostics_ == nullptr) {
+          fail("unexpected end of input inside group '" + group.type + "'");
+        }
+        diagnose("unterminated group '" + group.type + "'");
+        return;
+      }
+      if (diagnostics_ == nullptr) {
+        parse_statement(group);
+        continue;
+      }
+      try {
+        parse_statement(group);
+      } catch (const Recovery&) {
+        synchronize();
+      }
     }
     advance();  // '}'
-    return group;
   }
 
   void parse_statement(Group& parent) {
@@ -88,10 +200,7 @@ class Parser {
       child.type = name.text;
       child.args = std::move(values);
       advance();  // '{'
-      while (peek().kind != TokenKind::kRBrace) {
-        parse_statement(child);
-      }
-      advance();  // '}'
+      parse_group_body(child);
       parent.children.push_back(std::move(child));
       return;
     }
@@ -106,22 +215,58 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::vector<ParseDiagnostic>* diagnostics_ = nullptr;
 };
 
-}  // namespace
-
-Group parse(std::string_view source) {
-  return Parser(tokenize(source)).parse_root();
+// Fault hook: returns the (possibly corrupted) source to parse. Only
+// copies the input when fault injection is enabled.
+std::string maybe_corrupt(std::string_view source) {
+  std::string mutated(source);
+  robust::corrupt_liberty_text(mutated);
+  return mutated;
 }
 
-Group parse_file(const std::string& path) {
+std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("liberty: cannot open file: " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  return buffer.str();
+}
+
+}  // namespace
+
+Group parse(std::string_view source) {
+  if (robust::faults_enabled()) {
+    return Parser(tokenize(maybe_corrupt(source))).parse_root();
+  }
+  return Parser(tokenize(source)).parse_root();
+}
+
+Group parse_file(const std::string& path) {
+  return parse(read_file(path));
+}
+
+ParseResult parse_lenient(std::string_view source) {
+  ParseResult result;
+  std::vector<Token> tokens;
+  if (robust::faults_enabled()) {
+    tokens = tokenize_lenient(maybe_corrupt(source), result.diagnostics);
+  } else {
+    tokens = tokenize_lenient(source, result.diagnostics);
+  }
+  result.root =
+      Parser(std::move(tokens), &result.diagnostics).parse_root();
+  if (!result.diagnostics.empty()) {
+    obs::counter("robust.liberty.recovered").add(result.diagnostics.size());
+  }
+  return result;
+}
+
+ParseResult parse_file_lenient(const std::string& path) {
+  return parse_lenient(read_file(path));
 }
 
 }  // namespace lvf2::liberty

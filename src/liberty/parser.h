@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "liberty/ast.h"
+#include "liberty/diagnostics.h"
 
 namespace lvf2::liberty {
 
@@ -21,5 +22,26 @@ Group parse(std::string_view source);
 
 /// Reads and parses a .lib file from disk.
 Group parse_file(const std::string& path);
+
+/// Result of a lenient parse: whatever AST could be salvaged plus one
+/// diagnostic per defect that was recovered from.
+struct ParseResult {
+  Group root;
+  std::vector<ParseDiagnostic> diagnostics;
+
+  /// True when the source parsed without a single repair.
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Lenient parse: never throws on malformed source. Defective
+/// statements are skipped and parsing resynchronizes at the next
+/// `;` or group boundary; every repair is recorded in
+/// `diagnostics` and counted under robust.liberty.recovered.
+ParseResult parse_lenient(std::string_view source);
+
+/// Reads and leniently parses a .lib file from disk. Still throws
+/// std::runtime_error when the file cannot be opened (there is
+/// nothing to salvage).
+ParseResult parse_file_lenient(const std::string& path);
 
 }  // namespace lvf2::liberty

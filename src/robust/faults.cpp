@@ -1,0 +1,332 @@
+#include "robust/faults.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace lvf2::robust {
+
+namespace detail {
+std::atomic<bool> g_faults_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct FaultName {
+  Fault fault;
+  const char* name;
+};
+
+constexpr FaultName kFaultNames[] = {
+    {Fault::kSamplesNan, "samples.nan"},
+    {Fault::kSamplesInf, "samples.inf"},
+    {Fault::kSamplesConstant, "samples.constant"},
+    {Fault::kSamplesOutlier, "samples.outlier"},
+    {Fault::kSamplesTruncate, "samples.truncate"},
+    {Fault::kSamplesEmpty, "samples.empty"},
+    {Fault::kEmCollapse, "em.collapse"},
+    {Fault::kEmExhaust, "em.exhaust"},
+    {Fault::kEmOscillate, "em.oscillate"},
+    {Fault::kLibertyToken, "liberty.token"},
+    {Fault::kLibertyTruncate, "liberty.truncate"},
+    {Fault::kLibertyBadNumber, "liberty.badnum"},
+    {Fault::kSstaNonfinite, "ssta.nonfinite"},
+    {Fault::kSstaEmptyPdf, "ssta.empty_pdf"},
+};
+static_assert(sizeof(kFaultNames) / sizeof(kFaultNames[0]) ==
+              static_cast<std::size_t>(kFaultCount));
+
+// splitmix64: the decision function must be a bijective, well-mixed
+// hash of (seed, fault, call index) so injections are reproducible
+// and uncorrelated across sites.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t seed, Fault fault, std::uint64_t call) {
+  return splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(fault) +
+                                      0x51ed2700ULL) ^
+                    splitmix64(call));
+}
+
+void strip_spaces(std::string_view& s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+}
+
+// Reads LVF2_FAULTS at static-initialization time, mirroring the obs
+// sinks, so an armed process needs no opt-in from the program itself.
+struct FaultEnvInit {
+  FaultEnvInit() {
+    if (const char* spec = std::getenv("LVF2_FAULTS")) {
+      if (spec[0] != '\0') {
+        const core::Status status = FaultInjector::instance().configure(spec);
+        if (!status.is_ok()) {
+          std::fprintf(stderr, "lvf2-robust: bad LVF2_FAULTS: %s\n",
+                       status.to_string().c_str());
+        }
+      }
+    }
+  }
+} g_fault_env_init;
+
+}  // namespace
+
+const char* to_string(Fault fault) {
+  const int i = static_cast<int>(fault);
+  if (i < 0 || i >= kFaultCount) return "unknown";
+  return kFaultNames[i].name;
+}
+
+std::optional<Fault> fault_from_name(std::string_view name) {
+  for (const FaultName& entry : kFaultNames) {
+    if (name == entry.name) return entry.fault;
+  }
+  return std::nullopt;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();  // leaked: see header
+  return *injector;
+}
+
+core::Status FaultInjector::configure(std::string_view spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) {
+    slot.armed.store(false, std::memory_order_relaxed);
+    slot.probability = 1.0;
+    slot.calls.store(0, std::memory_order_relaxed);
+    slot.fired.store(0, std::memory_order_relaxed);
+  }
+  seed_ = 0;
+  bool any_armed = false;
+
+  const auto arm = [&](Fault fault, double probability) {
+    Slot& slot = slots_[static_cast<int>(fault)];
+    slot.probability = probability;
+    slot.armed.store(true, std::memory_order_relaxed);
+    any_armed = true;
+  };
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view segment = rest.substr(0, semi);
+    rest = (semi == std::string_view::npos) ? std::string_view()
+                                            : rest.substr(semi + 1);
+    strip_spaces(segment);
+    if (segment.empty()) continue;
+    if (segment.rfind("seed=", 0) == 0) {
+      const std::string digits(segment.substr(5));
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(digits.c_str(), &end, 10);
+      if (end == digits.c_str() || *end != '\0') {
+        detail::g_faults_enabled.store(false, std::memory_order_relaxed);
+        return core::Status::parse_error("bad seed: '" + digits + "'");
+      }
+      seed_ = value;
+      continue;
+    }
+    // A comma-separated fault list.
+    while (!segment.empty()) {
+      const std::size_t comma = segment.find(',');
+      std::string_view item = segment.substr(0, comma);
+      segment = (comma == std::string_view::npos) ? std::string_view()
+                                                  : segment.substr(comma + 1);
+      strip_spaces(item);
+      if (item.empty()) continue;
+      double probability = 1.0;
+      const std::size_t colon = item.find(':');
+      if (colon != std::string_view::npos) {
+        const std::string number(item.substr(colon + 1));
+        char* end = nullptr;
+        probability = std::strtod(number.c_str(), &end);
+        if (end == number.c_str() || *end != '\0' ||
+            !(probability >= 0.0 && probability <= 1.0)) {
+          detail::g_faults_enabled.store(false, std::memory_order_relaxed);
+          return core::Status::parse_error("bad probability in '" +
+                                           std::string(item) + "'");
+        }
+        item = item.substr(0, colon);
+        strip_spaces(item);
+      }
+      if (item == "all") {
+        for (const FaultName& entry : kFaultNames) {
+          arm(entry.fault, probability);
+        }
+        continue;
+      }
+      if (item.size() > 2 && item.substr(item.size() - 2) == ".*") {
+        const std::string_view prefix = item.substr(0, item.size() - 1);
+        bool matched = false;
+        for (const FaultName& entry : kFaultNames) {
+          if (std::string_view(entry.name).rfind(prefix, 0) == 0) {
+            arm(entry.fault, probability);
+            matched = true;
+          }
+        }
+        if (matched) continue;
+      }
+      const std::optional<Fault> fault = fault_from_name(item);
+      if (!fault) {
+        detail::g_faults_enabled.store(false, std::memory_order_relaxed);
+        return core::Status::parse_error("unknown fault '" +
+                                         std::string(item) + "'");
+      }
+      arm(*fault, probability);
+    }
+  }
+  detail::g_faults_enabled.store(any_armed, std::memory_order_relaxed);
+  if (any_armed) {
+    obs::log_info("robust.faults_armed", {{"spec", spec}, {"seed", seed_}});
+  }
+  return core::Status::ok();
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::g_faults_enabled.store(false, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.armed.store(false, std::memory_order_relaxed);
+    slot.probability = 1.0;
+    slot.calls.store(0, std::memory_order_relaxed);
+    slot.fired.store(0, std::memory_order_relaxed);
+  }
+  seed_ = 0;
+}
+
+bool FaultInjector::armed(Fault fault) const {
+  return slots_[static_cast<int>(fault)].armed.load(
+      std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(Fault fault) {
+  Slot& slot = slots_[static_cast<int>(fault)];
+  if (!slot.armed.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t call =
+      slot.calls.fetch_add(1, std::memory_order_relaxed);
+  if (slot.probability < 1.0) {
+    const double u =
+        static_cast<double>(mix(seed_, fault, call) >> 11) * 0x1.0p-53;
+    if (u >= slot.probability) return false;
+  }
+  slot.fired.fetch_add(1, std::memory_order_relaxed);
+  obs::counter(std::string("robust.fault.injected.") + to_string(fault))
+      .add(1);
+  return true;
+}
+
+std::uint64_t FaultInjector::draw(Fault fault) {
+  Slot& slot = slots_[static_cast<int>(fault)];
+  const std::uint64_t call =
+      slot.calls.fetch_add(1, std::memory_order_relaxed);
+  return mix(seed_, fault, call);
+}
+
+std::uint64_t FaultInjector::injected_count(Fault fault) const {
+  return slots_[static_cast<int>(fault)].fired.load(
+      std::memory_order_relaxed);
+}
+
+bool corrupt_samples(std::vector<double>& xs) {
+  if (!faults_enabled() || xs.empty()) return false;
+  FaultInjector& injector = FaultInjector::instance();
+  bool corrupted = false;
+
+  if (injector.should_fire(Fault::kSamplesNan)) {
+    // Scatter NaN over ~1/7 of the set, offset deterministically.
+    const std::size_t start = injector.draw(Fault::kSamplesNan) % 7;
+    for (std::size_t i = start; i < xs.size(); i += 7) {
+      xs[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+    corrupted = true;
+  }
+  if (!xs.empty() && injector.should_fire(Fault::kSamplesInf)) {
+    const std::size_t start = injector.draw(Fault::kSamplesInf) % 11;
+    bool negative = false;
+    for (std::size_t i = start; i < xs.size(); i += 11) {
+      xs[i] = negative ? -std::numeric_limits<double>::infinity()
+                       : std::numeric_limits<double>::infinity();
+      negative = !negative;
+    }
+    corrupted = true;
+  }
+  if (!xs.empty() && injector.should_fire(Fault::kSamplesConstant)) {
+    const double value = xs[injector.draw(Fault::kSamplesConstant) %
+                            xs.size()];
+    const double fill = std::isfinite(value) ? value : 1.0;
+    for (double& x : xs) x = fill;
+    corrupted = true;
+  }
+  if (!xs.empty() && injector.should_fire(Fault::kSamplesOutlier)) {
+    // Three spikes, six orders of magnitude out.
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t i = injector.draw(Fault::kSamplesOutlier) % xs.size();
+      xs[i] = (std::isfinite(xs[i]) ? xs[i] : 1.0) * 1e6 + 1e6;
+    }
+    corrupted = true;
+  }
+  if (!xs.empty() && injector.should_fire(Fault::kSamplesTruncate)) {
+    xs.resize(std::min<std::size_t>(xs.size(), 3));
+    corrupted = true;
+  }
+  if (injector.should_fire(Fault::kSamplesEmpty)) {
+    xs.clear();
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+bool corrupt_liberty_text(std::string& text) {
+  if (!faults_enabled() || text.empty()) return false;
+  FaultInjector& injector = FaultInjector::instance();
+  bool corrupted = false;
+
+  if (injector.should_fire(Fault::kLibertyToken)) {
+    static constexpr char kNasty[] = {'{', '}', '(', ')', '"', ';', '\\'};
+    const std::uint64_t r = injector.draw(Fault::kLibertyToken);
+    text[r % text.size()] = kNasty[(r >> 32) % sizeof(kNasty)];
+    corrupted = true;
+  }
+  if (!text.empty() && injector.should_fire(Fault::kLibertyBadNumber)) {
+    // Corrupt the first digit at/after a deterministic offset that
+    // continues a number (previous char is a digit or '.'): that
+    // targets numeric payloads, not digits inside identifier names.
+    const std::size_t start =
+        injector.draw(Fault::kLibertyBadNumber) % text.size();
+    for (std::size_t k = 0; k < text.size(); ++k) {
+      const std::size_t i = (start + k) % text.size();
+      if (i == 0 || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+        continue;
+      }
+      const char prev = text[i - 1];
+      if (std::isdigit(static_cast<unsigned char>(prev)) || prev == '.') {
+        text[i] = 'x';
+        corrupted = true;
+        break;
+      }
+    }
+  }
+  if (!text.empty() && injector.should_fire(Fault::kLibertyTruncate)) {
+    // Keep between 30% and 90% of the source.
+    const std::uint64_t r = injector.draw(Fault::kLibertyTruncate);
+    const double keep = 0.3 + 0.6 * (static_cast<double>(r % 1000) / 1000.0);
+    text.resize(static_cast<std::size_t>(
+        static_cast<double>(text.size()) * keep));
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+}  // namespace lvf2::robust

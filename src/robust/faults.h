@@ -1,0 +1,134 @@
+#pragma once
+// Deterministic fault-injection harness. Faults are armed from the
+// environment at startup:
+//
+//   LVF2_FAULTS=<spec>              e.g. "samples.nan,em.collapse:0.5;seed=7"
+//
+// spec grammar (';'-separated segments):
+//   segment  := "seed=" integer | fault-list
+//   fault    := name [":" probability]        (probability defaults to 1)
+//   name     := exact fault name | group wildcard ("samples.*") | "all"
+//
+// With LVF2_FAULTS unset the whole subsystem costs one relaxed atomic
+// load per hook (same contract as src/obs/, verified by
+// BM_DisabledFaultHook). When armed, every injection decision is a
+// pure function of (seed, fault, per-fault call index), so runs are
+// reproducible bit-for-bit; every actual injection bumps the
+// "robust.fault.injected.<name>" metrics counter.
+//
+// The harness corrupts three layers:
+//   samples.*  Monte-Carlo sample sets before fitting
+//   em.*       EM internals (collapse / iteration exhaustion /
+//              oscillating log-likelihood)
+//   liberty.*  Liberty source text before lexing
+//   ssta.*     propagation inputs (non-finite delays, empty PDFs)
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lvf2::robust {
+
+/// Every injectable fault mode. Keep to_string / fault_from_name in
+/// faults.cpp in sync when extending.
+enum class Fault : int {
+  kSamplesNan = 0,    ///< scatter NaN into a sample set
+  kSamplesInf,        ///< scatter +/-Inf into a sample set
+  kSamplesConstant,   ///< collapse a sample set to a constant
+  kSamplesOutlier,    ///< multiply a few samples into huge spikes
+  kSamplesTruncate,   ///< shrink a sample set to a tiny N
+  kSamplesEmpty,      ///< clear a sample set entirely
+  kEmCollapse,        ///< force component collapse inside EM
+  kEmExhaust,         ///< suppress convergence until iterations run out
+  kEmOscillate,       ///< perturb the log-likelihood into oscillation
+  kLibertyToken,      ///< mutate a byte of Liberty source into punctuation
+  kLibertyTruncate,   ///< chop the tail off Liberty source
+  kLibertyBadNumber,  ///< corrupt a digit inside Liberty source
+  kSstaNonfinite,     ///< poison a delay constant with NaN
+  kSstaEmptyPdf,      ///< replace a stage PDF with an empty grid
+  kCount,
+};
+
+inline constexpr int kFaultCount = static_cast<int>(Fault::kCount);
+
+/// Stable spec name ("samples.nan", "em.collapse", ...).
+const char* to_string(Fault fault);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<Fault> fault_from_name(std::string_view name);
+
+namespace detail {
+extern std::atomic<bool> g_faults_enabled;
+}  // namespace detail
+
+/// True when any fault is armed. Relaxed load: the only cost paid by
+/// instrumented code when injection is off.
+inline bool faults_enabled() {
+  return detail::g_faults_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide injector (leaked singleton, like obs::Tracer).
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Parses and applies a spec (see header comment). Replaces the
+  /// current plan wholesale; an empty spec equals clear().
+  core::Status configure(std::string_view spec);
+
+  /// Disarms everything and resets per-fault call counters.
+  void clear();
+
+  bool armed(Fault fault) const;
+  std::uint64_t seed() const { return seed_; }
+
+  /// Deterministic injection decision: advances the per-fault call
+  /// counter and fires per the armed probability. Counts the
+  /// injection when it fires.
+  bool should_fire(Fault fault);
+
+  /// Deterministic 64-bit variate for shaping a fired fault (which
+  /// index to poison, where to truncate, ...). Advances the same
+  /// per-fault sequence.
+  std::uint64_t draw(Fault fault);
+
+  /// Number of times `fault` actually fired since configure/clear.
+  std::uint64_t injected_count(Fault fault) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Slot {
+    std::atomic<bool> armed{false};
+    double probability = 1.0;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  std::mutex mutex_;  ///< guards configure/clear
+  Slot slots_[kFaultCount];
+  std::uint64_t seed_ = 0;
+};
+
+/// Hot-path hook: false with one relaxed load when injection is off.
+inline bool fire(Fault fault) {
+  if (!faults_enabled()) return false;
+  return FaultInjector::instance().should_fire(fault);
+}
+
+/// Applies every armed samples.* fault to `xs` in place. Returns true
+/// when anything was corrupted. No-op (one relaxed load) when
+/// injection is off.
+bool corrupt_samples(std::vector<double>& xs);
+
+/// Applies every armed liberty.* fault to Liberty source text in
+/// place. Returns true when anything was corrupted.
+bool corrupt_liberty_text(std::string& text);
+
+}  // namespace lvf2::robust

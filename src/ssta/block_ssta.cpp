@@ -1,11 +1,26 @@
 #include "ssta/block_ssta.h"
 
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/faults.h"
 
 namespace lvf2::ssta {
+
+namespace {
+
+// Containment for a poisoned operand of a binary SSTA operator: the
+// result is the other operand (identity element semantics), so one
+// bad arc degrades one path instead of sinking the whole analysis.
+bool contain_poisoned(const stats::GridPdf& x, const stats::GridPdf& y) {
+  if (!pdf_poisoned(x) && !pdf_poisoned(y)) return false;
+  obs::counter("robust.ssta.poisoned_operand").add(1);
+  return true;
+}
+
+}  // namespace
 
 stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,
                         const SstaOptions& options) {
@@ -17,6 +32,7 @@ stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,
   });
   static obs::Counter& sums = obs::counter("ssta.sum.count");
   sums.add(1);
+  if (contain_poisoned(x, y)) return pdf_poisoned(x) ? y : x;
   return stats::GridPdf::convolve(x, y, options.max_conv_points);
 }
 
@@ -30,6 +46,7 @@ stats::GridPdf ssta_max(const stats::GridPdf& x, const stats::GridPdf& y,
   });
   static obs::Counter& maxes = obs::counter("ssta.max.count");
   maxes.add(1);
+  if (contain_poisoned(x, y)) return pdf_poisoned(x) ? y : x;
   return stats::GridPdf::statistical_max(x, y, options.grid_points);
 }
 
@@ -46,10 +63,30 @@ std::vector<stats::GridPdf> propagate_chain(
   cumulative.reserve(stage_pdfs.size());
   for (std::size_t i = 0; i < stage_pdfs.size(); ++i) {
     stats::GridPdf stage = stage_pdfs[i];
-    if (!wire_delays.empty() && wire_delays[i] != 0.0) {
-      stage = stage.shifted(wire_delays[i]);
+    if (robust::fire(robust::Fault::kSstaEmptyPdf)) {
+      stage = stats::GridPdf();
     }
-    if (cumulative.empty()) {
+    if (pdf_poisoned(stage)) {
+      // Containment: a dead stage contributes zero delay — carry the
+      // previous cumulative forward instead of poisoning the rest of
+      // the chain.
+      obs::counter("robust.ssta.poisoned_stage").add(1);
+      cumulative.push_back(cumulative.empty() ? stats::GridPdf()
+                                              : cumulative.back());
+      continue;
+    }
+    if (!wire_delays.empty()) {
+      double wire = wire_delays[i];
+      if (robust::fire(robust::Fault::kSstaNonfinite)) {
+        wire = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(wire)) {
+        obs::counter("robust.ssta.nonfinite_delay").add(1);
+        wire = 0.0;
+      }
+      if (wire != 0.0) stage = stage.shifted(wire);
+    }
+    if (cumulative.empty() || pdf_poisoned(cumulative.back())) {
       cumulative.push_back(std::move(stage));
     } else {
       cumulative.push_back(ssta_sum(cumulative.back(), stage, options));

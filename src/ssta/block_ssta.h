@@ -5,6 +5,7 @@
 // independent arrivals. Used both for generic timing graphs and for
 // the per-stage critical-path propagation of paper Section 4.4.
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,13 @@ struct SstaOptions {
   std::size_t grid_points = 2048;    ///< per-operand resample resolution
   std::size_t max_conv_points = 4096;  ///< result cap for convolutions
 };
+
+/// True when a PDF cannot participate in SUM/MAX: empty or with a
+/// non-finite support. The SSTA operators contain such operands
+/// (returning the other one) instead of propagating the poison.
+inline bool pdf_poisoned(const stats::GridPdf& pdf) {
+  return pdf.empty() || !std::isfinite(pdf.lo()) || !std::isfinite(pdf.hi());
+}
 
 /// SUM operator: distribution of X + Y for independent X, Y.
 stats::GridPdf ssta_sum(const stats::GridPdf& x, const stats::GridPdf& y,

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "robust/faults.h"
 
 namespace lvf2::ssta {
 
@@ -44,6 +48,22 @@ std::vector<TimingGraph::NodeId> TimingGraph::topological_order() const {
 
 namespace {
 
+// Repairs a non-finite deterministic delay to zero (counted): one bad
+// wire annotation must not turn every downstream arrival into NaN.
+double sanitize_constant(double c) {
+  if (std::isfinite(c)) return c;
+  obs::counter("robust.ssta.nonfinite_delay").add(1);
+  return 0.0;
+}
+
+// A distribution that cannot participate in SUM/MAX is dropped
+// (counted) and the arrival falls back to its constant part.
+bool drop_poisoned(const std::optional<stats::GridPdf>& d) {
+  if (!d.has_value() || !pdf_poisoned(*d)) return false;
+  obs::counter("robust.ssta.poisoned_arrival").add(1);
+  return true;
+}
+
 // max(X, c) for a distribution X and a constant c: the density is
 // truncated below c and the probability mass F(c) collapses onto the
 // grid bin at c (narrow-triangle approximation of the point mass).
@@ -65,14 +85,27 @@ stats::GridPdf max_with_constant(const stats::GridPdf& x, double c,
 
 EdgeDelay sum_arrival(const EdgeDelay& arrival, const EdgeDelay& edge,
                       const SstaOptions& options) {
+  double edge_constant = edge.constant_ns;
+  if (robust::fire(robust::Fault::kSstaNonfinite)) {
+    edge_constant = std::numeric_limits<double>::quiet_NaN();
+  }
+  const bool arrival_dead = drop_poisoned(arrival.distribution);
+  bool edge_dead = drop_poisoned(edge.distribution);
+  if (robust::fire(robust::Fault::kSstaEmptyPdf) && edge.distribution) {
+    obs::counter("robust.ssta.poisoned_arrival").add(1);
+    edge_dead = true;
+  }
   EdgeDelay out;
-  out.constant_ns = arrival.constant_ns + edge.constant_ns;
-  if (arrival.distribution && edge.distribution) {
+  out.constant_ns =
+      sanitize_constant(arrival.constant_ns) + sanitize_constant(edge_constant);
+  const bool have_arrival = arrival.distribution && !arrival_dead;
+  const bool have_edge = edge.distribution && !edge_dead;
+  if (have_arrival && have_edge) {
     out.distribution =
         ssta_sum(*arrival.distribution, *edge.distribution, options);
-  } else if (arrival.distribution) {
+  } else if (have_arrival) {
     out.distribution = arrival.distribution;
-  } else if (edge.distribution) {
+  } else if (have_edge) {
     out.distribution = edge.distribution;
   }
   return out;
@@ -80,12 +113,15 @@ EdgeDelay sum_arrival(const EdgeDelay& arrival, const EdgeDelay& edge,
 
 EdgeDelay max_arrival(const EdgeDelay& a, const EdgeDelay& b,
                       const SstaOptions& options) {
-  // Fold constants into the distributions, then take the max.
+  // Fold constants into the distributions, then take the max. A
+  // poisoned distribution degrades to its constant part.
   const auto materialize = [](const EdgeDelay& d)
       -> std::optional<stats::GridPdf> {
-    if (!d.distribution) return std::nullopt;
-    return (d.constant_ns != 0.0) ? d.distribution->shifted(d.constant_ns)
-                                  : *d.distribution;
+    if (!d.distribution || drop_poisoned(d.distribution)) {
+      return std::nullopt;
+    }
+    const double c = sanitize_constant(d.constant_ns);
+    return (c != 0.0) ? d.distribution->shifted(c) : *d.distribution;
   };
   const std::optional<stats::GridPdf> da = materialize(a);
   const std::optional<stats::GridPdf> db = materialize(b);
@@ -93,11 +129,14 @@ EdgeDelay max_arrival(const EdgeDelay& a, const EdgeDelay& b,
   if (da && db) {
     out.distribution = ssta_max(*da, *db, options);
   } else if (da) {
-    out.distribution = max_with_constant(*da, b.constant_ns, options);
+    out.distribution =
+        max_with_constant(*da, sanitize_constant(b.constant_ns), options);
   } else if (db) {
-    out.distribution = max_with_constant(*db, a.constant_ns, options);
+    out.distribution =
+        max_with_constant(*db, sanitize_constant(a.constant_ns), options);
   } else {
-    out.constant_ns = std::max(a.constant_ns, b.constant_ns);
+    out.constant_ns = std::max(sanitize_constant(a.constant_ns),
+                               sanitize_constant(b.constant_ns));
   }
   return out;
 }

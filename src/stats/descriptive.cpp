@@ -82,6 +82,17 @@ double quantile(std::span<const double> samples, double q) {
   return quantile_sorted(copy, q);
 }
 
+core::StatusOr<double> try_quantile(std::span<const double> samples,
+                                    double q) {
+  if (!std::isfinite(q)) {
+    return core::Status::invalid_argument("try_quantile: non-finite q");
+  }
+  if (samples.empty()) {
+    return core::Status::degenerate_data("try_quantile: empty sample set");
+  }
+  return quantile(samples, q);
+}
+
 EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
     : sorted_(samples.begin(), samples.end()) {
   std::sort(sorted_.begin(), sorted_.end());
@@ -112,9 +123,16 @@ BinnedSamples bin_samples(std::span<const double> samples,
                           std::size_t bin_count, double pad_fraction) {
   BinnedSamples out;
   if (samples.empty() || bin_count == 0) return out;
-  auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
-  double lo = *min_it;
-  double hi = *max_it;
+  // Range over finite samples only: a single NaN would otherwise
+  // poison the bin width and turn every index computation undefined.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double x : samples) {
+    if (!std::isfinite(x)) continue;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (!(lo <= hi)) return out;  // no finite sample at all
   double span = hi - lo;
   if (span <= 0.0) {
     // Degenerate constant data: one occupied bin of nominal width.
@@ -130,12 +148,13 @@ BinnedSamples bin_samples(std::span<const double> samples,
     out.centers[i] = lo + (static_cast<double>(i) + 0.5) * width;
   }
   for (double x : samples) {
+    if (!std::isfinite(x)) continue;
     auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
     idx = std::clamp<std::ptrdiff_t>(idx, 0,
                                      static_cast<std::ptrdiff_t>(bin_count) - 1);
     out.counts[static_cast<std::size_t>(idx)] += 1.0;
+    out.total += 1.0;
   }
-  out.total = static_cast<double>(samples.size());
   return out;
 }
 

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
+
 namespace lvf2::stats {
 
 /// First four standardized sample moments.
@@ -36,6 +38,12 @@ double quantile_sorted(std::span<const double> sorted, double q);
 
 /// Convenience: copies, sorts and evaluates `quantile_sorted`.
 double quantile(std::span<const double> samples, double q);
+
+/// Status-reporting quantile for callers on the degradation chain:
+/// empty input is kDegenerateData and a non-finite q is
+/// kInvalidArgument instead of a silent NaN. A single sample is
+/// well-defined (every quantile is that sample).
+core::StatusOr<double> try_quantile(std::span<const double> samples, double q);
 
 /// Empirical CDF of a sample set. Construction sorts a copy of the
 /// samples; evaluation is O(log n).
@@ -80,7 +88,10 @@ struct BinnedSamples {
 
 /// Bins `samples` into `bin_count` equal-width bins. `pad_fraction`
 /// widens the covered range by that fraction of the span on each side
-/// (so boundary samples do not sit exactly on the edge).
+/// (so boundary samples do not sit exactly on the edge). Non-finite
+/// samples are ignored (the range and counts cover finite samples
+/// only); if no finite sample exists the result is empty. Constant
+/// data yields a single occupied bin of nominal width.
 BinnedSamples bin_samples(std::span<const double> samples,
                           std::size_t bin_count, double pad_fraction = 0.0);
 

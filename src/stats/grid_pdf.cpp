@@ -42,11 +42,53 @@ GridPdf GridPdf::from_samples(std::span<const double> samples,
     throw std::invalid_argument("GridPdf::from_samples: bad input");
   }
   const BinnedSamples bins = bin_samples(samples, points, pad_fraction);
+  if (bins.centers.empty()) {
+    throw std::invalid_argument("GridPdf::from_samples: no finite samples");
+  }
   std::vector<double> values(points);
   for (std::size_t i = 0; i < points; ++i) values[i] = bins.density(i);
   const double lo = bins.centers.front();
   const double hi = bins.centers.back();
   return from_values(lo, hi, std::move(values));
+}
+
+core::StatusOr<GridPdf> GridPdf::try_from_samples(
+    std::span<const double> samples, std::size_t points,
+    double pad_fraction) {
+  if (points < 8) {
+    return core::Status::invalid_argument(
+        "GridPdf::try_from_samples: fewer than 8 grid points");
+  }
+  bool any_finite = false;
+  for (double x : samples) {
+    if (std::isfinite(x)) {
+      any_finite = true;
+      break;
+    }
+  }
+  if (!any_finite) {
+    return core::Status::degenerate_data(
+        "GridPdf::try_from_samples: no finite samples");
+  }
+  return from_samples(samples, points, pad_fraction);
+}
+
+core::StatusOr<GridPdf> GridPdf::try_from_values(double lo, double hi,
+                                                 std::vector<double> density) {
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !(hi > lo)) {
+    return core::Status::invalid_argument(
+        "GridPdf::try_from_values: bad range");
+  }
+  if (density.size() < 2) {
+    return core::Status::degenerate_data(
+        "GridPdf::try_from_values: fewer than 2 grid points");
+  }
+  GridPdf out = from_values(lo, hi, std::move(density));
+  if (!(out.cdf_.back() > 0.0)) {
+    return core::Status::degenerate_data(
+        "GridPdf::try_from_values: density integrates to zero");
+  }
+  return out;
 }
 
 GridPdf GridPdf::from_values(double lo, double hi,

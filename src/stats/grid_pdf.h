@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
+
 namespace lvf2::stats {
 
 /// Probability density tabulated on a uniform grid [lo, hi] with
@@ -31,6 +33,18 @@ class GridPdf {
   /// Raw construction from a value array (normalizes internally).
   static GridPdf from_values(double lo, double hi,
                              std::vector<double> density);
+
+  /// Status-reporting variants for callers on the degradation chain:
+  /// instead of throwing, degenerate input (no finite samples, a
+  /// density that integrates to zero, a collapsed range) comes back
+  /// as a kDegenerateData / kInvalidArgument Status. Non-finite
+  /// samples and density values are ignored / scrubbed as in the
+  /// throwing factories.
+  static core::StatusOr<GridPdf> try_from_samples(
+      std::span<const double> samples, std::size_t points = 1024,
+      double pad_fraction = 0.05);
+  static core::StatusOr<GridPdf> try_from_values(double lo, double hi,
+                                                 std::vector<double> density);
 
   bool empty() const { return density_.size() < 2; }
   std::size_t size() const { return density_.size(); }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "stats/optimize.h"
 #include "stats/special_functions.h"
 
@@ -52,11 +53,22 @@ SkewNormal SkewNormal::from_moments(const SnMoments& m) {
 
 SkewNormal SkewNormal::from_moments(double mean, double stddev,
                                     double skewness) {
-  if (!(stddev > 0.0)) {
-    throw std::invalid_argument("SkewNormal::from_moments: stddev must be > 0");
+  if (!std::isfinite(mean)) {
+    throw std::invalid_argument("SkewNormal::from_moments: non-finite mean");
+  }
+  if (!(stddev > 0.0) || !std::isfinite(stddev)) {
+    // Degenerate (near-constant) data, e.g. fed by the EM fallback
+    // chain: degrade to a point mass at `mean` — a symmetric SN whose
+    // scale is far below any resolvable timing quantity — instead of
+    // throwing out of a deep characterization loop.
+    static obs::Counter& point_masses =
+        obs::counter("robust.stats.point_mass");
+    point_masses.add(1);
+    return SkewNormal(mean, std::max(std::fabs(mean) * 1e-9, 1e-12), 0.0);
   }
   const double max_skew = skewness_of_delta(kSkewClamp);
-  const double gamma = std::clamp(skewness, -max_skew, max_skew);
+  const double gamma = std::clamp(std::isfinite(skewness) ? skewness : 0.0,
+                                  -max_skew, max_skew);
   const double delta = delta_of_skewness(gamma);
   const double bd = kB * delta;
   const double omega = stddev / std::sqrt(1.0 - bd * bd);

@@ -37,7 +37,12 @@ class SkewNormal {
   SkewNormal(double xi, double omega, double alpha);
 
   /// The bijection g: theta -> Theta (paper Eq. 2). Skewness is
-  /// clamped into the attainable open interval; stddev must be > 0.
+  /// clamped into the attainable open interval (non-finite skewness
+  /// reads as 0). A degenerate spread (stddev <= 0 or non-finite)
+  /// degrades to a point mass at `mean` — counted under
+  /// robust.stats.point_mass — so the EM degradation chain can keep
+  /// going on near-constant sample sets. A non-finite mean still
+  /// throws: that is a caller bug, not recoverable data.
   static SkewNormal from_moments(const SnMoments& m);
   static SkewNormal from_moments(double mean, double stddev, double skewness);
 

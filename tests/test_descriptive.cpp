@@ -2,6 +2,7 @@
 // quantiles, empirical CDF and sample binning.
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -140,6 +141,42 @@ TEST(BinSamples, PadWidensRange) {
   const BinnedSamples padded = bin_samples(xs, 8, 0.25);
   EXPECT_LT(padded.centers.front(), 0.0 + padded.bin_width);
   EXPECT_GT(padded.centers.back(), 1.0 - padded.bin_width);
+}
+
+TEST(BinSamples, IgnoresNonFiniteSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs = {nan, 1.0, 2.0, inf, 3.0, -inf};
+  const BinnedSamples bins = bin_samples(xs, 8);
+  EXPECT_DOUBLE_EQ(bins.total, 3.0);
+  // Range is set by the finite samples only.
+  EXPECT_GT(bins.centers.front(), 0.5);
+  EXPECT_LT(bins.centers.back(), 3.5);
+  // All-non-finite input yields an empty (not poisoned) histogram.
+  const std::vector<double> poisoned = {nan, inf, -inf};
+  EXPECT_TRUE(bin_samples(poisoned, 8).centers.empty());
+}
+
+TEST(TryQuantile, StatusOnDegenerateInput) {
+  const auto empty = try_quantile({}, 0.5);
+  EXPECT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), core::StatusCode::kDegenerateData);
+
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const auto bad_q =
+      try_quantile(xs, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(bad_q.is_ok());
+  EXPECT_EQ(bad_q.status().code(), core::StatusCode::kInvalidArgument);
+
+  // A single sample is well-defined: every quantile is that sample.
+  const std::vector<double> one = {7.0};
+  const auto single = try_quantile(one, 0.99);
+  ASSERT_TRUE(single.is_ok());
+  EXPECT_DOUBLE_EQ(single.value(), 7.0);
+
+  const auto median = try_quantile(xs, 0.5);
+  ASSERT_TRUE(median.is_ok());
+  EXPECT_DOUBLE_EQ(median.value(), quantile(xs, 0.5));
 }
 
 }  // namespace

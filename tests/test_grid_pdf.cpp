@@ -3,6 +3,7 @@
 // independent RVs), the statistical max, shifting and resampling.
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -167,6 +168,45 @@ TEST(GridPdf, ChainOfConvolutionsApproachesGaussianByClT) {
   for (double z : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
     EXPECT_NEAR(sum.cdf(6.0 + z), normal_cdf(z), 5e-3) << z;
   }
+}
+
+TEST(GridPdf, TryFactoriesReportDegenerateInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // No finite sample at all: a Status, not a throw.
+  const std::vector<double> poisoned = {nan, nan, nan};
+  const auto no_finite = GridPdf::try_from_samples(poisoned);
+  EXPECT_FALSE(no_finite.is_ok());
+  EXPECT_EQ(no_finite.status().code(), core::StatusCode::kDegenerateData);
+  EXPECT_FALSE(GridPdf::try_from_samples({}).is_ok());
+
+  // All-equal samples still produce a usable (near point mass) grid.
+  const std::vector<double> constant(64, 3.0);
+  const auto point_mass = GridPdf::try_from_samples(constant);
+  ASSERT_TRUE(point_mass.is_ok());
+  EXPECT_NEAR(point_mass.value().mean(), 3.0, 1e-9);
+
+  // A mixed set ignores the poison and matches the clean histogram.
+  std::vector<double> mixed = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const GridPdf clean = GridPdf::from_samples(mixed, 64);
+  mixed.push_back(nan);
+  const auto repaired = GridPdf::try_from_samples(mixed, 64);
+  ASSERT_TRUE(repaired.is_ok());
+  EXPECT_DOUBLE_EQ(repaired.value().mean(), clean.mean());
+
+  // from_values guards: bad range, too few points, zero density.
+  EXPECT_EQ(GridPdf::try_from_values(1.0, 1.0, {1.0, 1.0}).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridPdf::try_from_values(nan, 1.0, {1.0, 1.0}).status().code(),
+            core::StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridPdf::try_from_values(0.0, 1.0, {1.0}).status().code(),
+            core::StatusCode::kDegenerateData);
+  EXPECT_EQ(
+      GridPdf::try_from_values(0.0, 1.0, {0.0, 0.0, 0.0}).status().code(),
+      core::StatusCode::kDegenerateData);
+  const auto ok = GridPdf::try_from_values(0.0, 1.0, {1.0, 1.0, 1.0});
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_NEAR(ok.value().cdf(1.0), 1.0, 1e-12);
 }
 
 }  // namespace

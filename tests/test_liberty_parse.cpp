@@ -1,11 +1,15 @@
 // Tests of the Liberty lexer / parser / writer: token classes,
-// comments, strings, error reporting, and parse(write(x)) fixpoints.
+// comments, strings, error reporting, parse(write(x)) fixpoints, and
+// the lenient (never-throw) recovery mode under fuzzed input.
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "liberty/lexer.h"
 #include "liberty/parser.h"
 #include "liberty/writer.h"
+#include "stats/rng.h"
 
 namespace lvf2::liberty {
 namespace {
@@ -173,6 +177,106 @@ TEST(Writer, QuotesValuesWithSpecialCharacters) {
   const std::string text = write(g);
   EXPECT_NE(text.find("simple : plain_value;"), std::string::npos);
   EXPECT_NE(text.find("spaced : \"has spaces\";"), std::string::npos);
+}
+
+TEST(LenientParser, CleanSourceHasNoDiagnostics) {
+  const ParseResult result = parse_lenient(
+      "library (t) { cell (c) { area : 1.2; } }");
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.root.name(), "t");
+  EXPECT_NE(result.root.find_child("cell", "c"), nullptr);
+}
+
+TEST(LenientParser, RecoversPastBrokenStatements) {
+  // "a b;" is malformed; the surrounding attributes must survive.
+  const ParseResult result = parse_lenient(
+      "library (t) { good1 : 1; a b; good2 : 2; }");
+  EXPECT_FALSE(result.clean());
+  EXPECT_NE(result.root.find_attribute("good1"), nullptr);
+  EXPECT_NE(result.root.find_attribute("good2"), nullptr);
+}
+
+TEST(LenientParser, DiagnosesTruncatedSource) {
+  const ParseResult result = parse_lenient("library (t) { cell (c) {");
+  EXPECT_FALSE(result.clean());
+  EXPECT_EQ(result.root.type, "library");
+}
+
+TEST(LenientLexer, RepairsWhatStrictRejects) {
+  std::vector<ParseDiagnostic> diagnostics;
+  const auto tokens = tokenize_lenient("ok\n\"unterminated", diagnostics);
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_EQ(diagnostics.front().line, 2u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+// Fuzz-lite: 500 seeded byte-level mutations of a golden library. For
+// every mutant that the strict parser rejects, the lenient parser
+// must neither crash nor throw, and must report at least one
+// diagnostic (a corrupted input never passes silently).
+TEST(LenientParser, FuzzLiteNeverCrashesAndAlwaysDiagnoses) {
+  const std::string golden = R"(
+    library (fuzz_lite) {
+      delay_model : table_lookup;
+      time_unit : "1ns";
+      capacitive_load_unit (1, pf);
+      lu_table_template (tmpl) {
+        variable_1 : input_net_transition;
+        index_1 ("0.1, 0.2, 0.4");
+      }
+      cell (NAND2_X1) {
+        area : 1.2;
+        pin (Y) {
+          direction : output;
+          timing () {
+            related_pin : A;
+            cell_rise (tmpl) {
+              index_1 ("0.1, 0.2");
+              index_2 ("0.01, 0.02");
+              values ("1.5, 2.5", "3.5, 4.5");
+            }
+          }
+        }
+      }
+    }
+  )";
+  static constexpr char kInserts[] = {'{', '}', '(', ')', '"',
+                                      ';', ':', '\\', '\n'};
+  stats::Rng rng(0xF0221);
+  int corrupted_inputs = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = golden;
+    const std::uint64_t edits = 1 + rng.uniform_index(4);
+    for (std::uint64_t e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_index(text.size()));
+      switch (rng.uniform_index(3)) {
+        case 0:  // overwrite with an arbitrary byte
+          text[pos] = static_cast<char>(rng.uniform_index(256));
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        default:  // insert structural punctuation
+          text.insert(pos, 1,
+                      kInserts[rng.uniform_index(sizeof(kInserts))]);
+          break;
+      }
+    }
+    bool strict_ok = true;
+    try {
+      parse(text);
+    } catch (const std::exception&) {
+      strict_ok = false;
+    }
+    if (strict_ok) continue;  // the mutation happened to stay legal
+    ++corrupted_inputs;
+    const ParseResult result = parse_lenient(text);  // must not throw
+    EXPECT_FALSE(result.diagnostics.empty())
+        << "silent recovery at iteration " << iter;
+  }
+  // The mutation schedule must actually exercise the recovery path.
+  EXPECT_GT(corrupted_inputs, 100);
 }
 
 TEST(Ast, GroupHelpers) {

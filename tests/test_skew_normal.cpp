@@ -4,6 +4,7 @@
 // M-step.
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -119,8 +120,26 @@ TEST(SkewNormal, SkewnessClampedAtFeasibleBound) {
 TEST(SkewNormal, RejectsInvalidParameters) {
   EXPECT_THROW(SkewNormal(0.0, 0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(SkewNormal(0.0, -2.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(SkewNormal::from_moments(0.0, 0.0, 0.1),
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(SkewNormal::from_moments(nan, 1.0, 0.0),
                std::invalid_argument);
+}
+
+TEST(SkewNormal, DegenerateSpreadDegradesToPointMass) {
+  // stddev <= 0 (a near-constant sample set on the EM fallback path)
+  // must not throw: it degrades to a point mass at the mean.
+  for (double bad_sd : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN()}) {
+    const SkewNormal sn = SkewNormal::from_moments(5.0, bad_sd, 0.3);
+    EXPECT_NEAR(sn.mean(), 5.0, 1e-6);
+    EXPECT_GT(sn.stddev(), 0.0);
+    EXPECT_LT(sn.stddev(), 1e-7);
+    EXPECT_NEAR(sn.cdf(5.0 + 1e-6), 1.0, 1e-9);
+    EXPECT_NEAR(sn.cdf(5.0 - 1e-6), 0.0, 1e-9);
+  }
+  // Non-finite skewness reads as symmetric rather than throwing.
+  const SkewNormal sn = SkewNormal::from_moments(
+      1.0, 0.5, std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(sn.stddev(), 0.5, 1e-12);
 }
 
 TEST(SkewNormal, SamplingMatchesAnalyticMoments) {

@@ -1,0 +1,66 @@
+// Tests of the Status / StatusOr error-propagation vocabulary used by
+// the graceful-degradation chain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/status.h"
+
+namespace lvf2::core {
+namespace {
+
+TEST(Status, DefaultAndFactoryOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::degenerate_data("empty sample set");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kDegenerateData);
+  EXPECT_EQ(s.message(), "empty sample set");
+  EXPECT_EQ(s.to_string(), "degenerate_data: empty sample set");
+
+  EXPECT_EQ(Status::invalid_argument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::non_finite("x").code(), StatusCode::kNonFinite);
+  EXPECT_EQ(Status::parse_error("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(StatusCode::kDegenerateData), "degenerate_data");
+  EXPECT_STREQ(to_string(StatusCode::kNonFinite), "non_finite");
+  EXPECT_STREQ(to_string(StatusCode::kParseError), "parse_error");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusOr, HoldsValue) {
+  const StatusOr<double> v(2.5);
+  EXPECT_TRUE(v.is_ok());
+  EXPECT_TRUE(v.status().is_ok());
+  EXPECT_DOUBLE_EQ(v.value(), 2.5);
+  EXPECT_DOUBLE_EQ(v.value_or(-1.0), 2.5);
+}
+
+TEST(StatusOr, HoldsStatus) {
+  const StatusOr<std::string> v(Status::parse_error("bad token"));
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(v.value_or("fallback"), "fallback");
+}
+
+TEST(StatusOr, MoveExtractsValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  const std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+}  // namespace
+}  // namespace lvf2::core

@@ -3,6 +3,7 @@
 // LVF^2 EM recovery and backward compatibility (paper Eq. 10).
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -241,10 +242,49 @@ TEST(Lvf2Model, LogPdfMatchesPdf) {
   }
 }
 
-TEST(Lvf2Model, DegenerateDataReturnsNull) {
-  EXPECT_FALSE(Lvf2Model::fit({}).has_value());
+TEST(Lvf2Model, DegenerateDataWalksDegradationChain) {
+  // Empty input: nothing fittable, the chain ends at rejection.
+  EmReport rep;
+  EXPECT_FALSE(Lvf2Model::fit({}, {}, &rep).has_value());
+  EXPECT_EQ(rep.degradation, FitDegradation::kRejected);
+
+  // Constant data: last usable rung — a moment-matched point mass.
   const std::vector<double> constant(100, 5.0);
-  EXPECT_FALSE(Lvf2Model::fit(constant).has_value());
+  const auto m = Lvf2Model::fit(constant, {}, &rep);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(rep.degradation, FitDegradation::kMomentNormal);
+  EXPECT_NEAR(m->mean(), 5.0, 1e-6);
+  EXPECT_LT(m->stddev(), 1e-7);
+  EXPECT_NEAR(m->cdf(5.0 + 1e-6), 1.0, 1e-9);
+
+  // A handful of spread-out samples: too few for EM, lambda = 0
+  // single skew-normal by method of moments.
+  const std::vector<double> few{1.0, 2.0, 3.0, 4.0};
+  const auto f = Lvf2Model::fit(few, {}, &rep);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(rep.degradation, FitDegradation::kSingleSn);
+  EXPECT_DOUBLE_EQ(f->lambda(), 0.0);
+  EXPECT_NEAR(f->mean(), 2.5, 1e-9);
+}
+
+TEST(Lvf2Model, FitSanitizesPoisonedSamples) {
+  // A clean bimodal set with injected NaN/Inf and one absurd spike
+  // must still fit, and the report must account for the repairs.
+  const auto c1 = stats::SkewNormal::from_moments(1.0, 0.05, 0.0);
+  const auto c2 = stats::SkewNormal::from_moments(1.5, 0.05, 0.0);
+  std::vector<double> xs = sn_mixture_samples(0.5, c1, c2, 20000, 21);
+  xs[10] = std::numeric_limits<double>::quiet_NaN();
+  xs[500] = std::numeric_limits<double>::infinity();
+  xs[900] = -std::numeric_limits<double>::infinity();
+  xs[1234] = 1e9;  // absurd outlier spike
+  EmReport rep;
+  const auto m = Lvf2Model::fit(xs, {}, &rep);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(rep.dropped_samples, 3u);
+  EXPECT_GE(rep.clipped_samples, 1u);
+  EXPECT_TRUE(std::isfinite(m->mean()));
+  EXPECT_NEAR(m->mean(), 1.25, 0.1);
+  EXPECT_LT(m->stddev(), 1.0);
 }
 
 TEST(ModelFactory, FitsAllKinds) {
