@@ -197,6 +197,25 @@ void BM_DisabledTraceCounter(benchmark::State& state) {
 }
 BENCHMARK(BM_DisabledTraceCounter);
 
+// Disabled-path cost of a manifest hook: with LVF2_MANIFEST unset,
+// with_manifest() is a single relaxed atomic load and the record
+// lambda is never invoked — same contract as the disabled span.
+void BM_DisabledManifest(benchmark::State& state) {
+  if (obs::manifest_enabled()) {
+    state.SkipWithError("LVF2_MANIFEST is set; disabled-path bench is void");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    obs::with_manifest([&](obs::ManifestRecorder& m) {
+      m.set_config("bench.never", static_cast<std::uint64_t>(i));
+    });
+    benchmark::DoNotOptimize(i);
+    ++i;
+  }
+}
+BENCHMARK(BM_DisabledManifest);
+
 // Disabled-path cost of the fault-injection harness: with LVF2_FAULTS
 // unset every robust::fire() hook is a single relaxed atomic load —
 // the same contract as the disabled trace span above.

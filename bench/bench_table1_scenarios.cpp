@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
   const std::size_t samples = args.pick_samples(20000, 50000);
   bench::PerfRecord perf("table1_scenarios");
   perf.set("samples_per_scenario", static_cast<double>(samples));
+  obs::with_manifest([&](obs::ManifestRecorder& m) {
+    m.set_config("bench", "table1_scenarios");
+    m.set_config("table1.samples", static_cast<std::uint64_t>(samples));
+    m.set_config("table1.seed", args.seed);
+  });
 
   std::printf("Table 1. Scenarios Assessment among Models.\n");
   std::printf("(binning error reduction vs LVF, %zu MC samples/scenario)\n\n",
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
     const spice::McResult mc = spice::run_monte_carlo(
         scenario.stage, scenario.condition, spice::ProcessCorner{}, cfg);
     const core::ModelEvaluation eval = core::evaluate_models(mc.delay_ns);
+    bench::manifest_evaluation("table1", scenario.name, eval);
     const double r2 = eval.reduction_of(core::ModelKind::kLvf2).binning;
     const double rn = eval.reduction_of(core::ModelKind::kNorm2).binning;
     const double rl = eval.reduction_of(core::ModelKind::kLesn).binning;

@@ -13,7 +13,8 @@
 #include <utility>
 #include <vector>
 
-#include "obs/metrics.h"
+#include "core/metrics.h"
+#include "obs/obs.h"
 #include "spice/cellsim.h"
 #include "stats/descriptive.h"
 
@@ -160,6 +161,21 @@ class PerfRecord {
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Streams one bench evaluation row into the run manifest (no-op
+/// when LVF2_MANIFEST is unset): `table` names the bench table,
+/// `cell` the scenario / row label. EM health fields stay at their
+/// defaults — bench rows attribute accuracy, not fit internals.
+inline void manifest_evaluation(const std::string& table,
+                                const std::string& cell,
+                                const core::ModelEvaluation& eval) {
+  obs::with_manifest([&](obs::ManifestRecorder& m) {
+    obs::ArcQor row = core::to_arc_qor(eval);
+    row.table = table;
+    row.cell = cell;
+    m.add_arc(std::move(row));
+  });
+}
 
 /// Horizontal rule sized to a table width.
 inline void print_rule(int width) {

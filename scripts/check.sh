@@ -2,23 +2,31 @@
 # Tier-1 gate: configure + build (warnings-as-errors on the
 # instrumented targets) + ctest, then an end-to-end smoke test of the
 # observability sinks (LVF2_TRACE / LVF2_METRICS / LVF2_LOG) against
-# a real pipeline run.
+# a real pipeline run, then the QoR regression gate: a fixed-seed
+# manifest run diffed arc-by-arc against scripts/golden/
+# qor_manifest.json with lvf2_report.
 #
 # Tier-1.5 (--sanitize): the same gate rebuilt under ASan + UBSan in
 # its own build directory, plus an everything-armed fault-injection
 # pass (LVF2_FAULTS) — the acceptance run for the robustness layer.
 #
-# Usage: scripts/check.sh [--sanitize] [build-dir]
+# Usage: scripts/check.sh [--sanitize] [--update-golden] [build-dir]
 #        (default build-dir: build, or build-asan with --sanitize)
+#        --update-golden: re-record scripts/golden/qor_manifest.json
+#        from the current build instead of diffing against it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
-if [ "${1:-}" = "--sanitize" ]; then
-  SANITIZE=1
-  shift
-fi
+UPDATE_GOLDEN=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sanitize) SANITIZE=1; shift ;;
+    --update-golden) UPDATE_GOLDEN=1; shift ;;
+    *) break ;;
+  esac
+done
 if [ "$SANITIZE" = 1 ]; then
   BUILD_DIR="${1:-build-asan}"
 else
@@ -29,6 +37,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 CMAKE_FLAGS=(-DLVF2_WERROR=ON)
 if [ "$SANITIZE" = 1 ]; then
   CMAKE_FLAGS+=(-DLVF2_SANITIZE=ON)
+fi
+if command -v ccache >/dev/null; then
+  CMAKE_FLAGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
@@ -52,9 +63,11 @@ LVF2_METRICS="$SMOKE_DIR/metrics.json" \
 LVF2_METRICS_SUMMARY=1 \
 LVF2_LOG=info \
 LVF2_BENCH_JSON="$SMOKE_DIR" \
-  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 >/dev/null
+LVF2_MANIFEST="$SMOKE_DIR/manifest.json" \
+  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 --seed 2024 \
+  >/dev/null
 
-for f in trace.json metrics.json BENCH_table1_scenarios.json; do
+for f in trace.json metrics.json BENCH_table1_scenarios.json manifest.json; do
   [ -s "$SMOKE_DIR/$f" ] || { echo "FAIL: $f was not written"; exit 1; }
 done
 
@@ -71,12 +84,36 @@ for key in ("mc.samples", "em.iterations", "em.nonconverged"):
 assert metrics["counters"]["mc.samples"] > 0
 bench = json.load(open(os.path.join(d, "BENCH_table1_scenarios.json")))
 assert bench["wall_s"] > 0 and "registry" in bench
+manifest = json.load(open(os.path.join(d, "manifest.json")))
+assert manifest["schema_version"] == 1 and len(manifest["arcs"]) == 5, \
+    "manifest missing arc rows"
+assert manifest["stages"], "manifest has no stage rollups"
 print(f"ok: {len(trace['traceEvents'])} trace events, "
       f"mc.samples={metrics['counters']['mc.samples']}, "
+      f"{len(manifest['arcs'])} manifest arcs, "
       f"bench wall={bench['wall_s']:.2f}s")
 EOF
 else
   echo "python3 unavailable; skipped JSON validation (files exist and are non-empty)"
+fi
+
+echo "== QoR regression gate =="
+GOLDEN=scripts/golden/qor_manifest.json
+REPORT="$BUILD_DIR/tools/lvf2_report"
+if [ "$UPDATE_GOLDEN" = 1 ]; then
+  mkdir -p scripts/golden
+  "$REPORT" canon "$SMOKE_DIR/manifest.json" > "$GOLDEN"
+  echo "re-recorded $GOLDEN from this run"
+elif [ -f "$GOLDEN" ]; then
+  # The run above is fixed-seed, so model-fit QoR is deterministic up
+  # to libm/platform noise; the tolerances absorb that, and anything
+  # beyond them is a genuine accuracy regression.
+  "$REPORT" diff "$GOLDEN" "$SMOKE_DIR/manifest.json" \
+      --rtol 0.35 --atol 1e-6 \
+    || { echo "FAIL: QoR drifted vs $GOLDEN (rerun with --update-golden" \
+              "if the change is intentional)"; exit 1; }
+else
+  echo "WARN: $GOLDEN missing; run scripts/check.sh --update-golden"
 fi
 
 echo "check.sh: all green"

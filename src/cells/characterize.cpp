@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/metrics.h"
 #include "obs/obs.h"
 #include "robust/faults.h"
 #include "stats/descriptive.h"
@@ -59,6 +60,31 @@ stats::SnMoments fit_lvf_moments(std::span<const double> samples) {
   obs::counter("robust.characterize.lvf_degenerate").add(1);
   const stats::Moments m = stats::compute_moments(clean);
   return stats::SnMoments{m.count > 0 ? m.mean : 0.0, 0.0, 0.0};
+}
+
+// QoR attribution of one table entry for the run manifest: the
+// delay samples are re-assessed against all four models (the extra
+// fits are the price of attribution, and only paid when
+// LVF2_MANIFEST armed a manifest).
+void manifest_entry_qor(const std::string& cell, const std::string& arc,
+                        std::size_t load_idx, std::size_t slew_idx,
+                        std::span<const double> delay_samples,
+                        const core::FitOptions& fit,
+                        const core::EmReport& report) {
+  const core::ModelEvaluation eval =
+      core::evaluate_models(delay_samples, fit);
+  obs::ArcQor row = core::to_arc_qor(eval);
+  row.table = "characterize";
+  row.cell = cell;
+  row.arc = arc;
+  row.metric = "delay";
+  row.load_idx = static_cast<int>(load_idx);
+  row.slew_idx = static_cast<int>(slew_idx);
+  row.em_iterations = report.iterations;
+  row.em_log_likelihood = report.log_likelihood;
+  row.em_converged = report.converged;
+  row.degradation = core::to_string(report.degradation);
+  obs::ManifestRecorder::instance().add_arc(std::move(row));
 }
 
 }  // namespace
@@ -118,6 +144,16 @@ ArcCharacterization Characterizer::characterize_arc(
         .str();
   });
   static obs::Counter& entries_counter = obs::counter("characterize.entries");
+  obs::with_manifest([&](obs::ManifestRecorder& m) {
+    m.set_config("characterize.grid_rows",
+                 static_cast<std::uint64_t>(options_.grid.rows()));
+    m.set_config("characterize.grid_cols",
+                 static_cast<std::uint64_t>(options_.grid.cols()));
+    m.set_config("characterize.mc_samples",
+                 static_cast<std::uint64_t>(options_.mc_samples));
+    m.set_config("characterize.seed_base", options_.seed_base);
+    m.set_config("characterize.use_lhs", options_.use_lhs);
+  });
 
   ArcCharacterization out;
   out.cell_name = cell.name;
@@ -166,6 +202,10 @@ ArcCharacterization Characterizer::characterize_arc(
         }
         audit_fit_report(cc.lvf2_transition_report, cell.name, out.arc_label,
                          li, si, "transition");
+        if (obs::manifest_enabled()) {
+          manifest_entry_qor(cell.name, out.arc_label, li, si, mc.delay_ns,
+                            fit, cc.lvf2_delay_report);
+        }
       } catch (const std::exception& e) {
         // A failed entry degrades to its nominal values; the library
         // table stays complete and the Status records the cause.
@@ -177,6 +217,17 @@ ArcCharacterization Characterizer::characterize_arc(
                        {"slew_idx", si},
                        {"error", e.what()}});
         cc.status = core::Status::internal(e.what());
+        obs::with_manifest([&](obs::ManifestRecorder& m) {
+          obs::ArcQor row;
+          row.table = "characterize";
+          row.cell = cell.name;
+          row.arc = out.arc_label;
+          row.metric = "delay";
+          row.load_idx = static_cast<int>(li);
+          row.slew_idx = static_cast<int>(si);
+          row.status = cc.status.to_string();
+          m.add_arc(std::move(row));
+        });
       }
       out.entries.push_back(std::move(cc));
     }

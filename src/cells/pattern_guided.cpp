@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/norm2_model.h"
+#include "obs/obs.h"
 #include "stats/rng.h"
 
 namespace lvf2::cells {
@@ -29,6 +30,19 @@ PatternGuidedResult pattern_guided_characterize_arc(
     const Cell& cell, const TimingArc& arc,
     const spice::ProcessCorner& corner,
     const PatternGuidedOptions& options) {
+  obs::TraceSpan arc_span("pattern_guided.arc", [&] {
+    return obs::ArgsBuilder()
+        .add("cell", cell.name)
+        .add("arc", arc.label())
+        .str();
+  });
+  static obs::Counter& entries_counter =
+      obs::counter("pattern_guided.entries");
+  static obs::Counter& full_counter =
+      obs::counter("pattern_guided.full_fits");
+  static obs::Counter& screened_counter =
+      obs::counter("pattern_guided.screened_out");
+
   PatternGuidedResult result;
   result.grid = options.grid;
   result.entries.reserve(options.grid.rows() * options.grid.cols());
@@ -39,6 +53,14 @@ PatternGuidedResult pattern_guided_characterize_arc(
 
   for (std::size_t li = 0; li < options.grid.rows(); ++li) {
     for (std::size_t si = 0; si < options.grid.cols(); ++si) {
+      obs::TraceSpan entry_span("pattern_guided.entry", [&] {
+        return obs::ArgsBuilder()
+            .add("load_idx", li)
+            .add("slew_idx", si)
+            .str();
+      });
+      entries_counter.add(1);
+
       PatternGuidedEntry entry;
       entry.condition = spice::ArcCondition{options.grid.slews_ns[si],
                                             options.grid.loads_pf[li]};
@@ -70,6 +92,7 @@ PatternGuidedResult pattern_guided_characterize_arc(
         entry.full_fit = true;
         entry.samples_used = options.pilot_samples + options.full_samples;
         ++result.full_fits;
+        full_counter.add(1);
       } else {
         // Screened out: plain LVF from the pilot samples (lambda = 0).
         if (auto sn = stats::SkewNormal::fit_moments(pilot.delay_ns)) {
@@ -79,6 +102,7 @@ PatternGuidedResult pattern_guided_characterize_arc(
         }
         entry.samples_used = options.pilot_samples;
         ++result.screened_out;
+        screened_counter.add(1);
       }
       result.samples_spent += entry.samples_used;
       result.samples_full_run +=

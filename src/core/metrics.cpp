@@ -7,6 +7,7 @@
 #include "core/binning.h"
 #include "core/model_factory.h"
 #include "core/yield.h"
+#include "obs/metrics.h"
 
 namespace lvf2::core {
 
@@ -106,7 +107,43 @@ ModelEvaluation evaluate_models(std::span<const double> samples,
     eval.reductions[i].cdf_rmse = error_reduction(
         base.cdf_rmse, eval.errors[i].cdf_rmse, cdf_rmse_floor(count));
   }
+
+  // QoR attribution: the paper's headline metrics (for the LVF2
+  // model) always land in the registry histograms, so any run of
+  // evaluations yields an accuracy distribution next to the em.*
+  // fit-health instruments. Same always-on policy as the counters.
+  static obs::Histogram& h_rmse = obs::histogram(
+      "qor.cdf_rmse", {1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1});
+  static obs::Histogram& h_binning = obs::histogram(
+      "qor.binning_err", {1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1});
+  static obs::Histogram& h_yield = obs::histogram(
+      "qor.yield_err", {1e-5, 1e-4, 1e-3, 0.01, 0.1});
+  const ModelErrors& lvf2 = eval.errors_of(ModelKind::kLvf2);
+  h_rmse.observe(lvf2.cdf_rmse);
+  h_binning.observe(lvf2.binning);
+  h_yield.observe(lvf2.yield_3sigma);
   return eval;
+}
+
+obs::ArcQor to_arc_qor(const ModelEvaluation& eval) {
+  obs::ArcQor row;
+  row.golden_mean = eval.golden_moments.mean;
+  row.golden_stddev = eval.golden_moments.stddev;
+  row.golden_skewness = eval.golden_moments.skewness;
+  const auto kinds = all_model_kinds();
+  row.models.reserve(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    obs::ModelQor m;
+    m.model = to_string(kinds[i]);
+    m.binning = eval.errors[i].binning;
+    m.yield_3sigma = eval.errors[i].yield_3sigma;
+    m.cdf_rmse = eval.errors[i].cdf_rmse;
+    m.x_binning = eval.reductions[i].binning;
+    m.x_yield_3sigma = eval.reductions[i].yield_3sigma;
+    m.x_cdf_rmse = eval.reductions[i].cdf_rmse;
+    row.models.push_back(std::move(m));
+  }
+  return row;
 }
 
 }  // namespace lvf2::core

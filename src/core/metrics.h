@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/timing_model.h"
+#include "obs/manifest.h"
 #include "stats/descriptive.h"
 
 namespace lvf2::core {
@@ -57,8 +58,17 @@ struct ModelEvaluation {
 };
 
 /// Fits all four models to `samples` and computes every metric and
-/// its error reduction vs LVF.
+/// its error reduction vs LVF. Every evaluation also streams the
+/// LVF2 raw errors into the qor.cdf_rmse / qor.binning_err /
+/// qor.yield_err histograms of the process metrics registry.
 ModelEvaluation evaluate_models(std::span<const double> samples,
                                 const FitOptions& options = {});
+
+/// Converts an evaluation into a run-manifest QoR row: golden
+/// moments plus the four models' raw errors and error-reduction
+/// multiples. Identity fields (table / cell / arc / grid indices)
+/// and the EM report are the caller's to fill — they carry the
+/// attribution context this layer does not have.
+obs::ArcQor to_arc_qor(const ModelEvaluation& eval);
 
 }  // namespace lvf2::core

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON document model shared by the observability sinks and
+// the tools that read them back (tools/lvf2_report, tests). Objects
+// preserve insertion order — the manifest writer emits keys in a
+// documented, stable order and the parser must not destroy it, so
+// a parse/serialize round trip is byte-stable.
+//
+// The parser is strict (no comments, no trailing commas); numbers are
+// stored as double, which is exact for every value the sinks emit
+// (%.9g renderings and counters below 2^53).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lvf2::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Key/value pairs in insertion (= document) order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// `number` of member `key`, or `fallback` when absent / non-number.
+  double number_or(std::string_view key, double fallback) const;
+  /// `string` of member `key`, or `fallback` when absent / non-string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parses strict JSON. On failure returns nullopt and, when `error`
+/// is non-null, stores a one-line description with the byte offset.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+/// Appends `s` to `out` as a quoted JSON string with escaping.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Appends `v` to `out` as a JSON number (%.9g); non-finite values
+/// are not representable in JSON and degrade to null.
+void json_append_number(std::string& out, double v);
+
+/// Serializes `value` (compact, no whitespace), preserving object key
+/// order. Numbers render as %.9g, matching the sink writers.
+void json_write(const JsonValue& value, std::string& out);
+std::string json_write(const JsonValue& value);
+
+}  // namespace lvf2::obs

@@ -1,0 +1,256 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lvf2::obs {
+
+namespace detail {
+std::atomic<bool> g_manifest_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Arms the recorder at static-initialization time so a manifest
+// covers main() end to end, mirroring LVF2_TRACE / LVF2_METRICS.
+struct ManifestEnvInit {
+  ManifestEnvInit() {
+    if (const char* path = std::getenv("LVF2_MANIFEST")) {
+      if (path[0] != '\0') ManifestRecorder::instance().start(path);
+    }
+  }
+} g_manifest_env_init;
+
+void append_model_qor(std::string& out, const ModelQor& m) {
+  json_append_string(out, m.model);
+  out += ":{\"binning\":";
+  json_append_number(out, m.binning);
+  out += ",\"yield_3sigma\":";
+  json_append_number(out, m.yield_3sigma);
+  out += ",\"cdf_rmse\":";
+  json_append_number(out, m.cdf_rmse);
+  out += ",\"x_binning\":";
+  json_append_number(out, m.x_binning);
+  out += ",\"x_yield_3sigma\":";
+  json_append_number(out, m.x_yield_3sigma);
+  out += ",\"x_cdf_rmse\":";
+  json_append_number(out, m.x_cdf_rmse);
+  out += '}';
+}
+
+void append_models(std::string& out, const std::vector<ModelQor>& models) {
+  out += "\"models\":{";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (i > 0) out += ',';
+    append_model_qor(out, models[i]);
+  }
+  out += '}';
+}
+
+void append_arc(std::string& out, const ArcQor& a) {
+  out += "{\"table\":";
+  json_append_string(out, a.table);
+  out += ",\"cell\":";
+  json_append_string(out, a.cell);
+  out += ",\"arc\":";
+  json_append_string(out, a.arc);
+  out += ",\"metric\":";
+  json_append_string(out, a.metric);
+  out += ",\"load_idx\":";
+  json_append_number(out, a.load_idx);
+  out += ",\"slew_idx\":";
+  json_append_number(out, a.slew_idx);
+  out += ",\"status\":";
+  json_append_string(out, a.status);
+  out += ",\"golden\":{\"mean\":";
+  json_append_number(out, a.golden_mean);
+  out += ",\"stddev\":";
+  json_append_number(out, a.golden_stddev);
+  out += ",\"skewness\":";
+  json_append_number(out, a.golden_skewness);
+  out += "},\"em\":{\"iterations\":";
+  out += std::to_string(a.em_iterations);
+  out += ",\"log_likelihood\":";
+  json_append_number(out, a.em_log_likelihood);
+  out += ",\"converged\":";
+  out += a.em_converged ? "true" : "false";
+  out += ",\"degradation\":";
+  json_append_string(out, a.degradation);
+  out += "},";
+  append_models(out, a.models);
+  out += '}';
+}
+
+void append_endpoint(std::string& out, const EndpointQor& e) {
+  out += "{\"path\":";
+  json_append_string(out, e.path);
+  out += ",\"depth\":";
+  out += std::to_string(e.depth);
+  out += ",\"golden\":{\"mean\":";
+  json_append_number(out, e.golden_mean);
+  out += ",\"stddev\":";
+  json_append_number(out, e.golden_stddev);
+  out += ",\"skewness\":";
+  json_append_number(out, e.golden_skewness);
+  out += ",\"yield_3sigma\":";
+  json_append_number(out, e.golden_yield_3sigma);
+  out += "},";
+  append_models(out, e.models);
+  out += '}';
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "lvf2-obs: cannot open sink %s\n", tmp.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = (std::fclose(f) == 0) && written == content.size();
+  if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "lvf2-obs: cannot finalize sink %s\n", path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+ManifestRecorder& ManifestRecorder::instance() {
+  static ManifestRecorder* recorder = new ManifestRecorder();  // leaked
+  return *recorder;
+}
+
+void ManifestRecorder::start(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (armed_) return;
+    armed_ = true;
+    path_ = path;
+  }
+  // Stage rollups come from the tracer even when LVF2_TRACE is unset.
+  Tracer::instance().enable_rollup();
+  detail::g_manifest_enabled.store(true, std::memory_order_relaxed);
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit([] { ManifestRecorder::instance().stop(); });
+  }
+}
+
+void ManifestRecorder::stop() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_) return;
+    path = path_;
+  }
+  const std::string json = to_json();
+  write_file_atomic(path, json + "\n");
+  discard();
+}
+
+void ManifestRecorder::discard() {
+  detail::g_manifest_enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  path_.clear();
+  config_.clear();
+  arcs_.clear();
+  endpoints_.clear();
+}
+
+void ManifestRecorder::set_config_rendered(std::string_view key,
+                                           std::string rendered) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), std::move(rendered));
+}
+
+void ManifestRecorder::set_config(std::string_view key,
+                                  std::string_view value) {
+  std::string rendered;
+  json_append_string(rendered, value);
+  set_config_rendered(key, std::move(rendered));
+}
+
+void ManifestRecorder::set_config(std::string_view key, double value) {
+  std::string rendered;
+  json_append_number(rendered, value);
+  set_config_rendered(key, std::move(rendered));
+}
+
+void ManifestRecorder::set_config(std::string_view key, std::uint64_t value) {
+  set_config_rendered(key, std::to_string(value));
+}
+
+void ManifestRecorder::set_config(std::string_view key, bool value) {
+  set_config_rendered(key, value ? "true" : "false");
+}
+
+void ManifestRecorder::add_arc(ArcQor arc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arcs_.push_back(std::move(arc));
+}
+
+void ManifestRecorder::add_endpoint(EndpointQor endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.push_back(std::move(endpoint));
+}
+
+std::string ManifestRecorder::to_json() const {
+  // Snapshot the collaborators before taking our own lock (no nested
+  // locking, no ordering constraints with the tracer / registry).
+  const auto rollups = Tracer::instance().rollup();
+  const std::string metrics = MetricsRegistry::instance().to_json();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kManifestSchemaVersion);
+  out += ",\"tool\":\"lvf2\",\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ',';
+    json_append_string(out, config_[i].first);
+    out += ':';
+    out += config_[i].second;
+  }
+  out += "},\"stages\":{";
+  for (std::size_t i = 0; i < rollups.size(); ++i) {
+    if (i > 0) out += ',';
+    json_append_string(out, rollups[i].first);
+    out += ":{\"count\":";
+    out += std::to_string(rollups[i].second.count);
+    out += ",\"wall_ms\":";
+    json_append_number(out, rollups[i].second.wall_us * 1e-3);
+    out += ",\"cpu_ms\":";
+    json_append_number(out, rollups[i].second.cpu_us * 1e-3);
+    out += '}';
+  }
+  out += "},\"metrics\":";
+  out += metrics;
+  out += ",\"arcs\":[";
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_arc(out, arcs_[i]);
+  }
+  out += "],\"endpoints\":[";
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_endpoint(out, endpoints_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lvf2::obs

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/manifest.h"
+
 namespace lvf2::obs {
 
 namespace {
@@ -160,16 +162,9 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::write_json(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "lvf2-obs: cannot open metrics sink %s\n",
-                 path.c_str());
-    return;
-  }
-  const std::string json = to_json();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  // Atomic (<path>.tmp + rename): a crashed run never leaves a
+  // truncated metrics file.
+  write_file_atomic(path, to_json() + "\n");
 }
 
 void MetricsRegistry::write_text(std::FILE* out) const {

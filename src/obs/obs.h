@@ -1,10 +1,11 @@
 #pragma once
 // Umbrella header of the observability subsystem: scoped-span
-// tracing (trace.h), the process metrics registry (metrics.h) and
-// the structured logger (log.h). All three are driven by environment
-// variables and cost a relaxed atomic load when disabled — see
-// README.md "Observability".
+// tracing (trace.h), the process metrics registry (metrics.h), the
+// structured logger (log.h) and the QoR run manifest (manifest.h).
+// All four are driven by environment variables and cost a relaxed
+// atomic load when disabled — see README.md "Observability".
 
 #include "obs/log.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <ctime>
 #include <functional>
 #include <thread>
 
@@ -87,6 +88,17 @@ struct TraceEnvInit {
 
 }  // namespace
 
+double thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return 0.0;
+}
+
 ArgsBuilder& ArgsBuilder::add(std::string_view key, std::string_view value) {
   if (!body_.empty()) body_ += ',';
   body_ += '"';
@@ -123,7 +135,11 @@ double Tracer::now_us() const { return (steady_ns() - base_ns_) * 1e-3; }
 void Tracer::start(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (sink_ != nullptr) return;
-  sink_ = std::fopen(path.c_str(), "w");
+  // Stream into <path>.tmp; stop() renames it onto <path>, so a
+  // crashed or fault-injected run never leaves a truncated trace.
+  final_path_ = path;
+  tmp_path_ = path + ".tmp";
+  sink_ = std::fopen(tmp_path_.c_str(), "w");
   if (sink_ == nullptr) {
     std::fprintf(stderr, "lvf2-obs: cannot open trace sink %s\n",
                  path.c_str());
@@ -142,12 +158,29 @@ void Tracer::start(const std::string& path) {
 
 void Tracer::stop() {
   std::lock_guard<std::mutex> lock(mutex_);
-  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  // Spans keep recording if rollup aggregation is on (manifest mode).
+  detail::g_trace_enabled.store(rollup_enabled_, std::memory_order_relaxed);
   if (sink_ == nullptr) return;
   flush_locked();
   std::fputs("]}\n", sink_);
   std::fclose(sink_);
   sink_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    std::fprintf(stderr, "lvf2-obs: cannot finalize trace sink %s\n",
+                 final_path_.c_str());
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void Tracer::enable_rollup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rollup_enabled_ = true;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, StageRollup>> Tracer::rollup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {rollup_.begin(), rollup_.end()};
 }
 
 void Tracer::flush() {
@@ -175,7 +208,21 @@ void Tracer::append_locked(std::string event) {
 }
 
 void Tracer::complete_event(std::string_view name, double start_us,
-                            double dur_us, std::string_view args_json) {
+                            double dur_us, double cpu_dur_us,
+                            std::string_view args_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rollup_enabled_) {
+    auto it = rollup_.find(name);
+    if (it == rollup_.end()) {
+      it = rollup_.try_emplace(std::string(name)).first;
+    }
+    it->second.count += 1;
+    it->second.wall_us += dur_us;
+    it->second.cpu_us += (cpu_dur_us > 0.0) ? cpu_dur_us : 0.0;
+  }
+  // In rollup-only mode (manifest without LVF2_TRACE) spans cost the
+  // aggregation update above and no string work.
+  if (sink_ == nullptr) return;
   std::string e;
   e.reserve(96 + name.size() + args_json.size());
   e += "{\"name\":\"";
@@ -191,7 +238,6 @@ void Tracer::complete_event(std::string_view name, double start_us,
     e += args_json;
   }
   e += '}';
-  std::lock_guard<std::mutex> lock(mutex_);
   append_locked(std::move(e));
 }
 
@@ -208,6 +254,7 @@ void Tracer::counter_event(std::string_view name, double value) {
   append_value(e, value);
   e += "}}";
   std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ == nullptr) return;  // rollup-only mode: counters no-op
   append_locked(std::move(e));
 }
 

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <concepts>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -35,6 +36,11 @@ extern std::atomic<bool> g_trace_enabled;
 inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
+
+/// CPU time consumed by the calling thread, in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID; 0 where unavailable). Sampled by spans
+/// so stage rollups can report wall and CPU side by side.
+double thread_cpu_us();
 
 /// Incremental builder for a span's "args" JSON object. Build one
 /// only behind a trace_enabled() check (TraceSpan's lambda
@@ -60,6 +66,14 @@ class ArgsBuilder {
   std::string body_;
 };
 
+/// Aggregated cost of one span name: call count plus total wall and
+/// thread-CPU time. Exported into run manifests as stage rollups.
+struct StageRollup {
+  std::uint64_t count = 0;
+  double wall_us = 0.0;
+  double cpu_us = 0.0;
+};
+
 /// Process-wide trace sink.
 class Tracer {
  public:
@@ -67,20 +81,31 @@ class Tracer {
   /// outlive every static consumer).
   static Tracer& instance();
 
-  /// Opens `path` and enables recording. No-op if already recording.
+  /// Opens the sink and enables recording. The stream goes to
+  /// `path`.tmp and is renamed onto `path` by stop(), so a crashed
+  /// run never leaves a truncated trace. No-op if already recording.
   void start(const std::string& path);
-  /// Flushes buffered events, closes the sink, disables recording.
+  /// Flushes buffered events, finalizes the sink file, disables
+  /// recording (rollup aggregation, if enabled, stays on).
   void stop();
   /// Flushes buffered events to the sink without closing it.
   void flush();
+
+  /// Enables span aggregation (name -> count / wall / CPU rollup)
+  /// without requiring a sink file. Used by the manifest recorder;
+  /// stays on for the rest of the process.
+  void enable_rollup();
+  /// Snapshot of the aggregated rollups, sorted by span name.
+  std::vector<std::pair<std::string, StageRollup>> rollup();
 
   /// Microseconds since process start (steady clock).
   double now_us() const;
 
   /// Records a completed span ("ph":"X"). `args_json` is a rendered
-  /// JSON object or empty.
+  /// JSON object or empty; `cpu_dur_us` is the span's thread-CPU
+  /// time (feeds the rollup, not the trace event).
   void complete_event(std::string_view name, double start_us, double dur_us,
-                      std::string_view args_json);
+                      double cpu_dur_us, std::string_view args_json);
   /// Records a counter sample ("ph":"C").
   void counter_event(std::string_view name, double value);
 
@@ -92,7 +117,11 @@ class Tracer {
   std::mutex mutex_;
   std::vector<std::string> buffer_;
   std::FILE* sink_ = nullptr;
+  std::string final_path_;
+  std::string tmp_path_;
   bool wrote_any_ = false;
+  bool rollup_enabled_ = false;
+  std::map<std::string, StageRollup, std::less<>> rollup_;
   double base_ns_ = 0.0;
 };
 
@@ -130,7 +159,8 @@ class TraceSpan {
   ~TraceSpan() {
     if (!active_) return;
     Tracer& t = Tracer::instance();
-    t.complete_event(name_, start_us_, t.now_us() - start_us_, args_);
+    t.complete_event(name_, start_us_, t.now_us() - start_us_,
+                     thread_cpu_us() - start_cpu_us_, args_);
   }
 
  private:
@@ -138,10 +168,12 @@ class TraceSpan {
     active_ = true;
     name_.assign(name);
     start_us_ = Tracer::instance().now_us();
+    start_cpu_us_ = thread_cpu_us();
   }
 
   bool active_ = false;
   double start_us_ = 0.0;
+  double start_cpu_us_ = 0.0;
   std::string name_;
   std::string args_;
 };

@@ -19,6 +19,8 @@ PathMcResult run_path_monte_carlo(const TimingPath& path,
   });
   static obs::Counter& mc_samples = obs::counter("ssta.mc.samples");
   mc_samples.add(path.stages.size() * config.samples);
+  static obs::Counter& mc_paths = obs::counter("ssta.mc.paths");
+  mc_paths.add(1);
 
   PathMcResult result;
   const std::size_t depth = path.stages.size();

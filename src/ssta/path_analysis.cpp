@@ -1,11 +1,14 @@
 #include "ssta/path_analysis.h"
 
+#include <cmath>
 #include <memory>
 
 #include "cells/cell_types.h"
 #include "core/binning.h"
 #include "core/metrics.h"
 #include "core/model_factory.h"
+#include "core/yield.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 
 namespace lvf2::ssta {
@@ -36,6 +39,15 @@ double fo4_delay_ns(const spice::ProcessCorner& corner) {
 PathAssessment assess_path(const TimingPath& path,
                            const spice::ProcessCorner& corner,
                            const PathAssessmentOptions& options) {
+  obs::TraceSpan span("ssta.assess_path", [&] {
+    return obs::ArgsBuilder()
+        .add("path", path.name)
+        .add("depth", path.stages.size())
+        .str();
+  });
+  static obs::Counter& calls = obs::counter("ssta.assess_path.calls");
+  calls.add(1);
+
   PathAssessment out;
   const std::size_t depth = path.stages.size();
   if (depth == 0) return out;
@@ -139,6 +151,40 @@ PathAssessment assess_path(const TimingPath& path,
       out.cdf_rmse_reduction[i][k] = core::error_reduction(
           rmse_err[lvf_index], rmse_err[k],
           core::cdf_rmse_floor(options.mc.samples));
+    }
+
+    // Endpoint QoR row for the run manifest: the propagated arrival
+    // distribution at the last stage, per model, vs the MC-SSTA
+    // golden — mirror of the per-arc table for path endpoints.
+    if (i + 1 == depth && obs::manifest_enabled()) {
+      const double t3 = gm.mean + 3.0 * gm.stddev;
+      obs::EndpointQor row;
+      row.path = path.name;
+      row.depth = depth;
+      row.golden_mean = gm.mean;
+      row.golden_stddev = gm.stddev;
+      row.golden_skewness = gm.skewness;
+      row.golden_yield_3sigma = golden_cdf(t3);
+      std::array<double, 4> yield_err{};
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        yield_err[k] =
+            std::fabs(cumulative[k][i].cdf(t3) - row.golden_yield_3sigma);
+      }
+      row.models.reserve(kinds.size());
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        obs::ModelQor m;
+        m.model = core::to_string(kinds[k]);
+        m.binning = bin_err[k];
+        m.yield_3sigma = yield_err[k];
+        m.cdf_rmse = rmse_err[k];
+        m.x_binning = out.binning_reduction[i][k];
+        m.x_yield_3sigma = core::error_reduction(
+            yield_err[lvf_index], yield_err[k],
+            core::yield_error_floor(options.mc.samples));
+        m.x_cdf_rmse = out.cdf_rmse_reduction[i][k];
+        row.models.push_back(std::move(m));
+      }
+      obs::ManifestRecorder::instance().add_endpoint(std::move(row));
     }
   }
   return out;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.h"
@@ -249,6 +250,57 @@ TEST(MetricsRegistry, HistogramBucketsAndOverflow) {
   obs::Histogram& again = obs::histogram("test.hist", {99.0});
   EXPECT_EQ(&again, &h);
   EXPECT_EQ(again.bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramEmptyBoundsIsAllOverflow) {
+  obs::Histogram& h = obs::histogram("test.hist.empty", {});
+  h.observe(-1.0);
+  h.observe(0.0);
+  h.observe(1e9);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 1u);  // overflow bucket only
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e9 - 1.0);
+}
+
+TEST(MetricsRegistry, HistogramNegativeValuesAndBounds) {
+  obs::Histogram& h = obs::histogram("test.hist.neg", {-2.0, 0.0, 2.0});
+  h.observe(-3.0);  // bucket 0 (<= -2)
+  h.observe(-1.0);  // bucket 1 (<= 0)
+  h.observe(-0.0);  // bucket 1 (inclusive upper bound)
+  h.observe(1.5);   // bucket 2 (<= 2)
+  h.observe(2.5);   // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0 - 1.0 + 1.5 + 2.5);
+}
+
+TEST(MetricsRegistry, HistogramConcurrentObserveLosesNothing) {
+  obs::Histogram& h = obs::histogram("test.hist.mt", {10.0, 20.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(t * 10));  // buckets 0,0,1,2
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u * kPerThread);  // values 0 and 10
+  EXPECT_EQ(counts[1], 1u * kPerThread);  // value 20
+  EXPECT_EQ(counts[2], 1u * kPerThread);  // value 30 overflows
+  EXPECT_DOUBLE_EQ(h.sum(), (0.0 + 10.0 + 20.0 + 30.0) * kPerThread);
 }
 
 TEST(MetricsRegistry, JsonDumpParsesAndContainsInstruments) {

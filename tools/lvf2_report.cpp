@@ -1,0 +1,10 @@
+// CLI wrapper of tools/report.h: render, canonicalize and diff run
+// manifests written under LVF2_MANIFEST. scripts/check.sh runs
+//   lvf2_report diff scripts/golden/qor_manifest.json <fresh run>
+// as the QoR regression gate.
+
+#include "report.h"
+
+int main(int argc, char** argv) {
+  return lvf2::tools::report_main(argc, argv);
+}

@@ -1,0 +1,405 @@
+#include "report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/manifest.h"
+
+namespace lvf2::tools {
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok && error) *error = "read error on " + path;
+  return ok;
+}
+
+/// Identity of one arc row: every field that names the measurement,
+/// none that carries its result.
+std::string arc_key(const obs::JsonValue& arc) {
+  std::string key = arc.string_or("table", "?");
+  key += '/';
+  key += arc.string_or("cell", "?");
+  key += '/';
+  key += arc.string_or("arc", "");
+  key += '/';
+  key += arc.string_or("metric", "");
+  key += "[" + std::to_string(static_cast<long>(arc.number_or("load_idx", -1)));
+  key += "," + std::to_string(static_cast<long>(arc.number_or("slew_idx", -1)));
+  key += ']';
+  return key;
+}
+
+const obs::JsonValue* find_by_key(const obs::JsonValue& rows,
+                                  const std::string& key,
+                                  std::string (*key_of)(const obs::JsonValue&)) {
+  if (!rows.is_array()) return nullptr;
+  for (const obs::JsonValue& row : rows.array) {
+    if (key_of(row) == key) return &row;
+  }
+  return nullptr;
+}
+
+std::string endpoint_key(const obs::JsonValue& endpoint) {
+  return endpoint.string_or("path", "?");
+}
+
+bool within(double ref, double cur, const DiffOptions& o) {
+  if (std::isnan(ref) && std::isnan(cur)) return true;
+  return std::fabs(cur - ref) <=
+         o.atol + o.rtol * std::max(std::fabs(ref), std::fabs(cur));
+}
+
+void diff_number(const obs::JsonValue& ref, const obs::JsonValue& cur,
+                 std::string_view field, const std::string& where,
+                 const DiffOptions& o, DiffResult& out) {
+  const obs::JsonValue* r = ref.find(field);
+  const obs::JsonValue* c = cur.find(field);
+  if (r == nullptr && c == nullptr) return;
+  if (r == nullptr || c == nullptr) {
+    out.regressions.push_back(where + ": field " + std::string(field) +
+                              (r == nullptr ? " appeared" : " disappeared"));
+    return;
+  }
+  if (!within(r->number, c->number, o)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s: %s %.9g -> %.9g (beyond %g%%+%g)",
+                  where.c_str(), std::string(field).c_str(), r->number,
+                  c->number, o.rtol * 100.0, o.atol);
+    out.regressions.emplace_back(buf);
+  }
+}
+
+void diff_string(const obs::JsonValue& ref, const obs::JsonValue& cur,
+                 std::string_view field, const std::string& where,
+                 DiffResult& out) {
+  const std::string r = ref.string_or(field, "");
+  const std::string c = cur.string_or(field, "");
+  if (r != c) {
+    out.regressions.push_back(where + ": " + std::string(field) + " \"" + r +
+                              "\" -> \"" + c + "\"");
+  }
+}
+
+/// Diffs the six numeric QoR fields of one model entry.
+void diff_model(const obs::JsonValue& ref, const obs::JsonValue& cur,
+                const std::string& where, const DiffOptions& o,
+                DiffResult& out) {
+  for (const char* field : {"binning", "yield_3sigma", "cdf_rmse", "x_binning",
+                            "x_yield_3sigma", "x_cdf_rmse"}) {
+    diff_number(ref, cur, field, where, o, out);
+  }
+}
+
+/// Shared by arcs and endpoints: golden moments + per-model metrics.
+void diff_golden_and_models(const obs::JsonValue& ref,
+                            const obs::JsonValue& cur,
+                            const std::string& where, const DiffOptions& o,
+                            DiffResult& out) {
+  const obs::JsonValue* rg = ref.find("golden");
+  const obs::JsonValue* cg = cur.find("golden");
+  if (rg != nullptr && cg != nullptr) {
+    for (const char* field :
+         {"mean", "stddev", "skewness", "yield_3sigma"}) {
+      diff_number(*rg, *cg, field, where + " golden", o, out);
+    }
+  }
+  const obs::JsonValue* rm = ref.find("models");
+  const obs::JsonValue* cm = cur.find("models");
+  if (rm == nullptr || !rm->is_object()) return;
+  for (const auto& [model, ref_model] : rm->object) {
+    const obs::JsonValue* cur_model =
+        (cm != nullptr) ? cm->find(model) : nullptr;
+    if (cur_model == nullptr) {
+      out.regressions.push_back(where + ": model " + model + " disappeared");
+      continue;
+    }
+    diff_model(ref_model, *cur_model, where + " " + model, o, out);
+  }
+}
+
+void diff_arc(const obs::JsonValue& ref, const obs::JsonValue& cur,
+              const std::string& where, const DiffOptions& o,
+              DiffResult& out) {
+  diff_string(ref, cur, "status", where, out);
+  const obs::JsonValue* re = ref.find("em");
+  const obs::JsonValue* ce = cur.find("em");
+  if (re != nullptr && ce != nullptr) {
+    diff_string(*re, *ce, "degradation", where + " em", out);
+    const obs::JsonValue* rc = re->find("converged");
+    const obs::JsonValue* cc = ce->find("converged");
+    if (rc != nullptr && cc != nullptr && rc->boolean != cc->boolean) {
+      out.regressions.push_back(where + ": em.converged " +
+                                (rc->boolean ? "true" : "false") + " -> " +
+                                (cc->boolean ? "true" : "false"));
+    }
+    const double ri = re->number_or("iterations", 0.0);
+    const double ci = ce->number_or("iterations", 0.0);
+    if (ri != ci) {
+      out.notes.push_back(where + ": em.iterations " +
+                          std::to_string(static_cast<long>(ri)) + " -> " +
+                          std::to_string(static_cast<long>(ci)));
+    }
+  }
+  diff_golden_and_models(ref, cur, where, o, out);
+}
+
+void diff_rows(const obs::JsonValue& golden, const obs::JsonValue& current,
+               const char* section,
+               std::string (*key_of)(const obs::JsonValue&),
+               void (*diff_row)(const obs::JsonValue&, const obs::JsonValue&,
+                                const std::string&, const DiffOptions&,
+                                DiffResult&),
+               const DiffOptions& o, DiffResult& out) {
+  const obs::JsonValue* ref_rows = golden.find(section);
+  const obs::JsonValue* cur_rows = current.find(section);
+  static const obs::JsonValue kEmpty{};
+  if (ref_rows == nullptr) ref_rows = &kEmpty;
+  if (cur_rows == nullptr) cur_rows = &kEmpty;
+  if (ref_rows->is_array()) {
+    for (const obs::JsonValue& ref_row : ref_rows->array) {
+      const std::string key = key_of(ref_row);
+      const std::string where = std::string(section) + " " + key;
+      const obs::JsonValue* cur_row = find_by_key(*cur_rows, key, key_of);
+      if (cur_row == nullptr) {
+        out.regressions.push_back(where + ": missing");
+        continue;
+      }
+      diff_row(ref_row, *cur_row, where, o, out);
+    }
+  }
+  if (cur_rows->is_array()) {
+    for (const obs::JsonValue& cur_row : cur_rows->array) {
+      const std::string key = key_of(cur_row);
+      if (find_by_key(*ref_rows, key, key_of) == nullptr) {
+        out.notes.push_back(std::string(section) + " " + key +
+                            ": new (not in reference)");
+      }
+    }
+  }
+}
+
+void append_row(std::string& out, const obs::JsonValue& row,
+                const std::string& label) {
+  char buf[256];
+  const obs::JsonValue* g = row.find("golden");
+  std::snprintf(buf, sizeof(buf), "%-40s mean=%-12.6g sigma=%-12.6g\n",
+                label.c_str(), g ? g->number_or("mean", 0.0) : 0.0,
+                g ? g->number_or("stddev", 0.0) : 0.0);
+  out += buf;
+  const obs::JsonValue* models = row.find("models");
+  if (models == nullptr || !models->is_object()) return;
+  for (const auto& [model, m] : models->object) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-6s bin=%-10.4g yield=%-10.4g rmse=%-10.4g"
+                  " x_bin=%-8.3g x_yield=%-8.3g x_rmse=%-8.3g\n",
+                  model.c_str(), m.number_or("binning", 0.0),
+                  m.number_or("yield_3sigma", 0.0),
+                  m.number_or("cdf_rmse", 0.0), m.number_or("x_binning", 1.0),
+                  m.number_or("x_yield_3sigma", 1.0),
+                  m.number_or("x_cdf_rmse", 1.0));
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::optional<obs::JsonValue> load_manifest(const std::string& path,
+                                            std::string* error) {
+  std::string text;
+  if (!read_file(path, text, error)) return std::nullopt;
+  std::string parse_error;
+  std::optional<obs::JsonValue> doc = obs::json_parse(text, &parse_error);
+  if (!doc) {
+    if (error) *error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object() || !doc->has("schema_version")) {
+    if (error) *error = path + ": not a manifest (no schema_version)";
+    return std::nullopt;
+  }
+  const double version = doc->number_or("schema_version", 0.0);
+  if (version != obs::kManifestSchemaVersion) {
+    if (error) {
+      *error = path + ": unsupported schema_version " +
+               std::to_string(static_cast<int>(version));
+    }
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::string render_manifest(const obs::JsonValue& manifest) {
+  std::string out;
+  char buf[256];
+  out += "manifest: tool=" + manifest.string_or("tool", "?") +
+         " schema_version=" +
+         std::to_string(
+             static_cast<int>(manifest.number_or("schema_version", 0.0))) +
+         "\n";
+
+  if (const obs::JsonValue* config = manifest.find("config");
+      config != nullptr && !config->object.empty()) {
+    out += "\nconfig:\n";
+    for (const auto& [key, value] : config->object) {
+      out += "  " + key + " = " + obs::json_write(value) + "\n";
+    }
+  }
+
+  if (const obs::JsonValue* stages = manifest.find("stages");
+      stages != nullptr && !stages->object.empty()) {
+    out += "\nstages:\n";
+    std::snprintf(buf, sizeof(buf), "  %-24s %10s %12s %12s\n", "stage",
+                  "count", "wall_ms", "cpu_ms");
+    out += buf;
+    for (const auto& [name, s] : stages->object) {
+      std::snprintf(buf, sizeof(buf), "  %-24s %10.0f %12.3f %12.3f\n",
+                    name.c_str(), s.number_or("count", 0.0),
+                    s.number_or("wall_ms", 0.0), s.number_or("cpu_ms", 0.0));
+      out += buf;
+    }
+  }
+
+  if (const obs::JsonValue* arcs = manifest.find("arcs");
+      arcs != nullptr && !arcs->array.empty()) {
+    out += "\narcs (" + std::to_string(arcs->array.size()) + "):\n";
+    for (const obs::JsonValue& arc : arcs->array) {
+      std::string label = arc_key(arc);
+      const std::string status = arc.string_or("status", "ok");
+      if (status != "ok") label += " [" + status + "]";
+      append_row(out, arc, label);
+    }
+  }
+
+  if (const obs::JsonValue* endpoints = manifest.find("endpoints");
+      endpoints != nullptr && !endpoints->array.empty()) {
+    out += "\nendpoints (" + std::to_string(endpoints->array.size()) + "):\n";
+    for (const obs::JsonValue& e : endpoints->array) {
+      const std::string label =
+          endpoint_key(e) + " depth=" +
+          std::to_string(static_cast<long>(e.number_or("depth", 0.0)));
+      append_row(out, e, label);
+    }
+  }
+  return out;
+}
+
+obs::JsonValue canonicalize(const obs::JsonValue& manifest) {
+  obs::JsonValue out;
+  out.type = obs::JsonValue::Type::kObject;
+  for (const char* key :
+       {"schema_version", "tool", "config", "arcs", "endpoints"}) {
+    if (const obs::JsonValue* v = manifest.find(key)) {
+      out.object.emplace_back(key, *v);
+    }
+  }
+  return out;
+}
+
+DiffResult diff_manifests(const obs::JsonValue& golden,
+                          const obs::JsonValue& current,
+                          const DiffOptions& options) {
+  DiffResult out;
+  const double ref_version = golden.number_or("schema_version", 0.0);
+  const double cur_version = current.number_or("schema_version", 0.0);
+  if (ref_version != cur_version) {
+    out.regressions.push_back(
+        "schema_version " + std::to_string(static_cast<int>(ref_version)) +
+        " -> " + std::to_string(static_cast<int>(cur_version)));
+    return out;
+  }
+  diff_rows(golden, current, "arcs", arc_key, diff_arc, options, out);
+  diff_rows(golden, current, "endpoints", endpoint_key,
+            diff_golden_and_models, options, out);
+  return out;
+}
+
+int report_main(int argc, const char* const* argv) {
+  const auto usage = [] {
+    std::fprintf(
+        stderr,
+        "usage: lvf2_report show <manifest.json>\n"
+        "       lvf2_report canon <manifest.json>\n"
+        "       lvf2_report diff <golden.json> <current.json>"
+        " [--rtol R] [--atol A]\n"
+        "exit: 0 ok, 1 diff found a regression, 2 usage / IO error\n");
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  std::string error;
+
+  if (command == "show" || command == "canon") {
+    const std::optional<obs::JsonValue> doc = load_manifest(argv[2], &error);
+    if (!doc) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    if (command == "show") {
+      std::fputs(render_manifest(*doc).c_str(), stdout);
+    } else {
+      std::fputs((obs::json_write(canonicalize(*doc)) + "\n").c_str(),
+                 stdout);
+    }
+    return 0;
+  }
+
+  if (command == "diff") {
+    if (argc < 4) return usage();
+    DiffOptions options;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--rtol") == 0 && i + 1 < argc) {
+        options.rtol = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--atol") == 0 && i + 1 < argc) {
+        options.atol = std::atof(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+    const std::optional<obs::JsonValue> golden =
+        load_manifest(argv[2], &error);
+    if (!golden) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const std::optional<obs::JsonValue> current =
+        load_manifest(argv[3], &error);
+    if (!current) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const DiffResult result = diff_manifests(*golden, *current, options);
+    for (const std::string& note : result.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    for (const std::string& regression : result.regressions) {
+      std::printf("REGRESSION: %s\n", regression.c_str());
+    }
+    if (!result.ok()) {
+      std::printf("lvf2_report: %zu regression(s) vs %s\n",
+                  result.regressions.size(), argv[2]);
+      return 1;
+    }
+    std::printf("lvf2_report: QoR matches %s (%zu note(s))\n", argv[2],
+                result.notes.size());
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace lvf2::tools

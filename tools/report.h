@@ -1,0 +1,63 @@
+#pragma once
+// Manifest reader/differ behind the lvf2_report CLI (and its tests):
+// loads a run manifest written by obs::ManifestRecorder, renders it
+// as a human-readable QoR table, canonicalizes it for golden-file
+// commits, and diffs two manifests arc-by-arc with configurable
+// relative tolerances. scripts/check.sh uses the diff as a tier-1
+// QoR regression gate.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lvf2::tools {
+
+/// Tolerances of a manifest diff. A numeric QoR field regresses when
+///   |cur - ref| > atol + rtol * max(|ref|, |cur|)
+/// (symmetric, so swapping the operands cannot flip a verdict).
+struct DiffOptions {
+  double rtol = 0.1;
+  double atol = 1e-9;
+};
+
+/// Outcome of a manifest diff. `regressions` fail the gate (non-zero
+/// exit); `notes` are informational drift (extra arcs, EM iteration
+/// count changes) that never fails by itself.
+struct DiffResult {
+  std::vector<std::string> regressions;
+  std::vector<std::string> notes;
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Loads and parses a manifest file. Returns nullopt (with a one-line
+/// description in `error`) on I/O failure, malformed JSON, or a
+/// schema_version this reader does not understand.
+std::optional<obs::JsonValue> load_manifest(const std::string& path,
+                                            std::string* error = nullptr);
+
+/// Renders a manifest as human-readable tables: config, stage
+/// rollups, the per-arc QoR table and the endpoint table.
+std::string render_manifest(const obs::JsonValue& manifest);
+
+/// Canonical form for committed goldens: schema_version, tool, config
+/// and the QoR tables only — the stages / metrics sections carry
+/// per-run timing noise and are dropped. Key order is preserved, so
+/// the output is byte-stable across identical-seed reruns.
+obs::JsonValue canonicalize(const obs::JsonValue& manifest);
+
+/// Diffs `current` against the `golden` reference arc-by-arc (keyed
+/// on table/cell/arc/metric/load_idx/slew_idx) and endpoint-by-
+/// endpoint (keyed on path). Missing rows, status / degradation /
+/// convergence flips and numeric drift beyond DiffOptions are
+/// regressions; extra rows and EM iteration drift are notes.
+DiffResult diff_manifests(const obs::JsonValue& golden,
+                          const obs::JsonValue& current,
+                          const DiffOptions& options = {});
+
+/// CLI entry point (exposed for tests): `lvf2_report show|canon|diff`.
+/// Returns 0 on success, 1 on diff regression, 2 on usage/IO errors.
+int report_main(int argc, const char* const* argv);
+
+}  // namespace lvf2::tools
