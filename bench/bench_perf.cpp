@@ -4,7 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "cells/characterize.h"
 #include "core/lvf2_model.h"
+#include "exec/pool.h"
 #include "core/mixture_ops.h"
 #include "core/model_factory.h"
 #include "obs/obs.h"
@@ -239,6 +247,53 @@ void BM_MetricsCounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterAdd);
 
+// Thread-scaling of the characterization hot loop: one full arc
+// (reduced 2x2 grid) at 1/2/4/8 threads. Output is byte-identical at
+// every argument (per-entry seed derivation); only the wall time
+// should move. Expect ~linear scaling up to the physical core count
+// and a flat line beyond it.
+void BM_CharacterizeArcParallel(benchmark::State& state) {
+  cells::CharacterizeOptions options;
+  options.grid = cells::SlewLoadGrid::reduced(4);  // 2x2
+  options.mc_samples = 2000;
+  const cells::Cell inv = cells::build_cell(cells::CellFamily::kInv, 1, 1.0);
+  const cells::Characterizer ch(spice::ProcessCorner{}, options);
+  exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.characterize_arc(inv, inv.arcs[0]));
+  }
+  exec::set_thread_count(0);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(options.grid.rows() * options.grid.cols()));
+}
+BENCHMARK(BM_CharacterizeArcParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Fork-join fixed cost: dispatching a near-empty job to the pool.
+// This bounds the smallest work item worth parallelizing. Arg(1)
+// measures the inline path (no pool involvement) as the baseline.
+void BM_PoolDispatchOverhead(benchmark::State& state) {
+  exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = 64;
+  for (auto _ : state) {
+    std::size_t sink = 0;
+    exec::parallel_for(n, 1, [&](std::size_t i) {
+      benchmark::DoNotOptimize(sink += i);
+    });
+  }
+  exec::set_thread_count(0);
+}
+BENCHMARK(BM_PoolDispatchOverhead)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+
 void BM_StatisticalMax(benchmark::State& state) {
   const stats::SkewNormal sn(0.1, 0.01, 2.0);
   const auto g = stats::GridPdf::from_function(
@@ -249,6 +304,46 @@ void BM_StatisticalMax(benchmark::State& state) {
 }
 BENCHMARK(BM_StatisticalMax)->Unit(benchmark::kMicrosecond);
 
+// Forwards to the console reporter while capturing each run's
+// per-iteration real time, so the scaling numbers (most importantly
+// BM_CharacterizeArcParallel/{1,2,4,8}) land in BENCH_perf_micro.json
+// when LVF2_BENCH_JSON names a directory.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      results.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> results;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* dir = std::getenv("LVF2_BENCH_JSON");
+  if (dir != nullptr && dir[0] != '\0') {
+    // Keys are the benchmark names with JSON-hostile characters
+    // flattened; values are per-iteration real times in each bench's
+    // own time unit (ns unless the bench sets one).
+    bench::PerfRecord record("perf_micro");
+    for (const auto& [name, time] : reporter.results) {
+      std::string key = name;
+      for (char& c : key) {
+        if (c == '/' || c == ':' || c == ' ' || c == '"' || c == '\\') {
+          c = '_';
+        }
+      }
+      record.set(key, time);
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,8 +10,16 @@
 # its own build directory, plus an everything-armed fault-injection
 # pass (LVF2_FAULTS) — the acceptance run for the robustness layer.
 #
-# Usage: scripts/check.sh [--sanitize] [--update-golden] [build-dir]
-#        (default build-dir: build, or build-asan with --sanitize)
+# Tier-1.5 (--tsan): the concurrency gate — the tree rebuilt under
+# ThreadSanitizer in its own build directory, then the exec pool /
+# parallel hot-loop / concurrent-observability test subset run with
+# LVF2_THREADS=4 so every lock and atomic in the fork-join path is
+# exercised under TSan. Subset, not full ctest: TSan's 5-15x
+# slowdown makes the single-threaded statistical suites pure cost.
+#
+# Usage: scripts/check.sh [--sanitize|--tsan] [--update-golden] [build-dir]
+#        (default build-dir: build, build-asan with --sanitize,
+#        build-tsan with --tsan)
 #        --update-golden: re-record scripts/golden/qor_manifest.json
 #        from the current build instead of diffing against it.
 
@@ -19,16 +27,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+TSAN=0
 UPDATE_GOLDEN=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --sanitize) SANITIZE=1; shift ;;
+    --tsan) TSAN=1; shift ;;
     --update-golden) UPDATE_GOLDEN=1; shift ;;
     *) break ;;
   esac
 done
 if [ "$SANITIZE" = 1 ]; then
   BUILD_DIR="${1:-build-asan}"
+elif [ "$TSAN" = 1 ]; then
+  BUILD_DIR="${1:-build-tsan}"
 else
   BUILD_DIR="${1:-build}"
 fi
@@ -37,9 +49,23 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 CMAKE_FLAGS=(-DLVF2_WERROR=ON)
 if [ "$SANITIZE" = 1 ]; then
   CMAKE_FLAGS+=(-DLVF2_SANITIZE=ON)
+elif [ "$TSAN" = 1 ]; then
+  CMAKE_FLAGS+=(-DLVF2_SANITIZE=thread)
 fi
 if command -v ccache >/dev/null; then
   CMAKE_FLAGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+if [ "$TSAN" = 1 ]; then
+  echo "== ThreadSanitizer concurrency gate =="
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target lvf2_tests
+  LVF2_THREADS=4 "$BUILD_DIR/tests/lvf2_tests" --gtest_filter=\
+'ParseThreadCount.*:ThreadCount.*:ParallelFor.*:ParallelMap.*:Pool.*'\
+':ExecDeterminism.*:ExecStress.*:Manifest.*:MetricsRegistry.*'\
+':EvaluateModels.*'
+  echo "check.sh: TSan gate green"
+  exit 0
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
@@ -115,5 +141,23 @@ elif [ -f "$GOLDEN" ]; then
 else
   echo "WARN: $GOLDEN missing; run scripts/check.sh --update-golden"
 fi
+
+echo "== thread-count determinism gate =="
+# The same fixed-seed pipeline at 1 thread and at 4 threads must
+# produce identical manifests (zero tolerance): parallelism must
+# never change a number, only the wall clock. Per-task RNG seed
+# derivation plus key-sorted manifest serialization is what makes
+# this hold — see DESIGN.md decision 16.
+LVF2_THREADS=1 LVF2_MANIFEST="$SMOKE_DIR/manifest_t1.json" \
+  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 --seed 2024 \
+  >/dev/null
+LVF2_THREADS=4 LVF2_MANIFEST="$SMOKE_DIR/manifest_t4.json" \
+  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 --seed 2024 \
+  >/dev/null
+"$REPORT" diff "$SMOKE_DIR/manifest_t1.json" "$SMOKE_DIR/manifest_t4.json" \
+    --rtol 0 --atol 0 \
+  || { echo "FAIL: 1-thread and 4-thread runs diverged (parallelism" \
+            "changed a result; see DESIGN.md decision 16)"; exit 1; }
+echo "ok: 1-thread and 4-thread manifests are identical"
 
 echo "check.sh: all green"

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "exec/pool.h"
 #include "obs/obs.h"
 #include "robust/faults.h"
 #include "stats/descriptive.h"
@@ -87,6 +88,65 @@ void manifest_entry_qor(const std::string& cell, const std::string& arc,
   obs::ManifestRecorder::instance().add_arc(std::move(row));
 }
 
+void record_manifest_config(const CharacterizeOptions& options) {
+  obs::with_manifest([&](obs::ManifestRecorder& m) {
+    m.set_config("characterize.grid_rows",
+                 static_cast<std::uint64_t>(options.grid.rows()));
+    m.set_config("characterize.grid_cols",
+                 static_cast<std::uint64_t>(options.grid.cols()));
+    m.set_config("characterize.mc_samples",
+                 static_cast<std::uint64_t>(options.mc_samples));
+    m.set_config("characterize.seed_base", options.seed_base);
+    m.set_config("characterize.use_lhs", options.use_lhs);
+  });
+}
+
+// One flattened (cell, arc, load, slew) work item. Flattening across
+// every level keeps the pool busy even when a single arc (64 entries)
+// or a single cell would not, and gives each entry its own
+// independently-seeded task — the determinism mechanism.
+struct EntryTask {
+  const Cell* cell = nullptr;
+  const TimingArc* arc = nullptr;
+  ArcCharacterization* table = nullptr;
+  std::size_t load_idx = 0;
+  std::size_t slew_idx = 0;
+  std::size_t entry_idx = 0;  ///< row-major slot in table->entries
+};
+
+// Pre-sizes a table so parallel entry tasks can slot-write results.
+void init_table(ArcCharacterization& table, const Cell& cell,
+                const TimingArc& arc, const SlewLoadGrid& grid) {
+  table.cell_name = cell.name;
+  table.arc_label = arc.label();
+  table.grid = grid;
+  table.entries.resize(grid.rows() * grid.cols());
+}
+
+void append_entry_tasks(std::vector<EntryTask>& tasks, const Cell& cell,
+                        const TimingArc& arc, ArcCharacterization& table) {
+  const std::size_t cols = table.grid.cols();
+  for (std::size_t li = 0; li < table.grid.rows(); ++li) {
+    for (std::size_t si = 0; si < cols; ++si) {
+      tasks.push_back(
+          EntryTask{&cell, &arc, &table, li, si, li * cols + si});
+    }
+  }
+}
+
+// Fans the flattened entries out across the pool. Results land in
+// their row-major slots and every entry derives its own seeds, so
+// the tables are byte-identical to a serial run at any thread count.
+void run_entry_tasks(const Characterizer& characterizer,
+                     const std::vector<EntryTask>& tasks) {
+  exec::parallel_for(tasks.size(), 1, [&](std::size_t t) {
+    const EntryTask& task = tasks[t];
+    task.table->entries[task.entry_idx] = characterizer.characterize_entry(
+        *task.cell, *task.arc, task.table->arc_label, task.load_idx,
+        task.slew_idx);
+  });
+}
+
 }  // namespace
 
 SlewLoadGrid SlewLoadGrid::paper_grid() {
@@ -135,6 +195,79 @@ spice::McResult Characterizer::golden_samples(const Cell& cell,
   return spice::run_monte_carlo(arc.stage, cond, corner_, mc);
 }
 
+ConditionCharacterization Characterizer::characterize_entry(
+    const Cell& cell, const TimingArc& arc, const std::string& arc_label,
+    std::size_t load_idx, std::size_t slew_idx) const {
+  obs::TraceSpan entry_span("characterize.entry", [&] {
+    return obs::ArgsBuilder()
+        .add("cell", cell.name)
+        .add("arc", arc_label)
+        .add("load_idx", load_idx)
+        .add("slew_idx", slew_idx)
+        .str();
+  });
+  static obs::Counter& entries_counter = obs::counter("characterize.entries");
+  entries_counter.add(1);
+
+  ConditionCharacterization cc;
+  cc.condition = spice::ArcCondition{options_.grid.slews_ns[slew_idx],
+                                     options_.grid.loads_pf[load_idx]};
+  try {
+    const spice::StageTimes nominal =
+        spice::nominal_stage_times(arc.stage, cc.condition, corner_);
+    cc.nominal_delay_ns = nominal.delay_ns;
+    cc.nominal_transition_ns = nominal.transition_ns;
+
+    spice::McResult mc = golden_samples(cell, arc, load_idx, slew_idx);
+    robust::corrupt_samples(mc.delay_ns);
+    robust::corrupt_samples(mc.transition_ns);
+    core::FitOptions fit = options_.fit;
+    fit.seed = stats::combine_seed(fit.seed, load_idx * 17 + slew_idx);
+
+    cc.lvf_delay = fit_lvf_moments(mc.delay_ns);
+    cc.lvf_transition = fit_lvf_moments(mc.transition_ns);
+    if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit,
+                                      &cc.lvf2_delay_report)) {
+      cc.lvf2_delay = m->parameters();
+    }
+    audit_fit_report(cc.lvf2_delay_report, cell.name, arc_label, load_idx,
+                     slew_idx, "delay");
+    if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit,
+                                      &cc.lvf2_transition_report)) {
+      cc.lvf2_transition = m->parameters();
+    }
+    audit_fit_report(cc.lvf2_transition_report, cell.name, arc_label,
+                     load_idx, slew_idx, "transition");
+    if (obs::manifest_enabled()) {
+      manifest_entry_qor(cell.name, arc_label, load_idx, slew_idx,
+                         mc.delay_ns, fit, cc.lvf2_delay_report);
+    }
+  } catch (const std::exception& e) {
+    // A failed entry degrades to its nominal values; the library
+    // table stays complete and the Status records the cause.
+    obs::counter("robust.characterize.entry_failed").add(1);
+    obs::log_warn("characterize.entry_failed",
+                  {{"cell", cell.name},
+                   {"arc", arc_label},
+                   {"load_idx", load_idx},
+                   {"slew_idx", slew_idx},
+                   {"error", e.what()}});
+    cc.status = core::Status::internal(e.what());
+    obs::with_manifest([&](obs::ManifestRecorder& m) {
+      obs::ArcQor row;
+      row.table = "characterize";
+      row.cell = cell.name;
+      row.arc = arc_label;
+      row.metric = "delay";
+      row.load_idx = static_cast<int>(load_idx);
+      row.slew_idx = static_cast<int>(slew_idx);
+      row.status = cc.status.to_string();
+      m.add_arc(std::move(row));
+    });
+  }
+  return cc;
+}
+
 ArcCharacterization Characterizer::characterize_arc(
     const Cell& cell, const TimingArc& arc) const {
   obs::TraceSpan arc_span("characterize.arc", [&] {
@@ -143,95 +276,14 @@ ArcCharacterization Characterizer::characterize_arc(
         .add("arc", arc.label())
         .str();
   });
-  static obs::Counter& entries_counter = obs::counter("characterize.entries");
-  obs::with_manifest([&](obs::ManifestRecorder& m) {
-    m.set_config("characterize.grid_rows",
-                 static_cast<std::uint64_t>(options_.grid.rows()));
-    m.set_config("characterize.grid_cols",
-                 static_cast<std::uint64_t>(options_.grid.cols()));
-    m.set_config("characterize.mc_samples",
-                 static_cast<std::uint64_t>(options_.mc_samples));
-    m.set_config("characterize.seed_base", options_.seed_base);
-    m.set_config("characterize.use_lhs", options_.use_lhs);
-  });
+  record_manifest_config(options_);
 
   ArcCharacterization out;
-  out.cell_name = cell.name;
-  out.arc_label = arc.label();
-  out.grid = options_.grid;
-  out.entries.reserve(out.grid.rows() * out.grid.cols());
-
-  for (std::size_t li = 0; li < out.grid.rows(); ++li) {
-    for (std::size_t si = 0; si < out.grid.cols(); ++si) {
-      obs::TraceSpan entry_span("characterize.entry", [&] {
-        return obs::ArgsBuilder()
-            .add("cell", cell.name)
-            .add("arc", arc.label())
-            .add("load_idx", li)
-            .add("slew_idx", si)
-            .str();
-      });
-      entries_counter.add(1);
-
-      ConditionCharacterization cc;
-      cc.condition = spice::ArcCondition{out.grid.slews_ns[si],
-                                         out.grid.loads_pf[li]};
-      try {
-        const spice::StageTimes nominal =
-            spice::nominal_stage_times(arc.stage, cc.condition, corner_);
-        cc.nominal_delay_ns = nominal.delay_ns;
-        cc.nominal_transition_ns = nominal.transition_ns;
-
-        spice::McResult mc = golden_samples(cell, arc, li, si);
-        robust::corrupt_samples(mc.delay_ns);
-        robust::corrupt_samples(mc.transition_ns);
-        core::FitOptions fit = options_.fit;
-        fit.seed = stats::combine_seed(fit.seed, li * 17 + si);
-
-        cc.lvf_delay = fit_lvf_moments(mc.delay_ns);
-        cc.lvf_transition = fit_lvf_moments(mc.transition_ns);
-        if (auto m = core::Lvf2Model::fit(mc.delay_ns, fit,
-                                          &cc.lvf2_delay_report)) {
-          cc.lvf2_delay = m->parameters();
-        }
-        audit_fit_report(cc.lvf2_delay_report, cell.name, out.arc_label, li,
-                         si, "delay");
-        if (auto m = core::Lvf2Model::fit(mc.transition_ns, fit,
-                                          &cc.lvf2_transition_report)) {
-          cc.lvf2_transition = m->parameters();
-        }
-        audit_fit_report(cc.lvf2_transition_report, cell.name, out.arc_label,
-                         li, si, "transition");
-        if (obs::manifest_enabled()) {
-          manifest_entry_qor(cell.name, out.arc_label, li, si, mc.delay_ns,
-                            fit, cc.lvf2_delay_report);
-        }
-      } catch (const std::exception& e) {
-        // A failed entry degrades to its nominal values; the library
-        // table stays complete and the Status records the cause.
-        obs::counter("robust.characterize.entry_failed").add(1);
-        obs::log_warn("characterize.entry_failed",
-                      {{"cell", cell.name},
-                       {"arc", out.arc_label},
-                       {"load_idx", li},
-                       {"slew_idx", si},
-                       {"error", e.what()}});
-        cc.status = core::Status::internal(e.what());
-        obs::with_manifest([&](obs::ManifestRecorder& m) {
-          obs::ArcQor row;
-          row.table = "characterize";
-          row.cell = cell.name;
-          row.arc = out.arc_label;
-          row.metric = "delay";
-          row.load_idx = static_cast<int>(li);
-          row.slew_idx = static_cast<int>(si);
-          row.status = cc.status.to_string();
-          m.add_arc(std::move(row));
-        });
-      }
-      out.entries.push_back(std::move(cc));
-    }
-  }
+  init_table(out, cell, arc, options_.grid);
+  std::vector<EntryTask> tasks;
+  tasks.reserve(out.entries.size());
+  append_entry_tasks(tasks, cell, arc, out);
+  run_entry_tasks(*this, tasks);
   return out;
 }
 
@@ -239,22 +291,44 @@ CellCharacterization Characterizer::characterize_cell(const Cell& cell) const {
   obs::TraceSpan span("characterize.cell", [&] {
     return obs::ArgsBuilder().add("cell", cell.name).str();
   });
+  record_manifest_config(options_);
+
   CellCharacterization out;
   out.cell_name = cell.name;
-  out.arcs.reserve(cell.arcs.size());
-  for (const TimingArc& arc : cell.arcs) {
-    out.arcs.push_back(characterize_arc(cell, arc));
+  out.arcs.resize(cell.arcs.size());
+  std::vector<EntryTask> tasks;
+  tasks.reserve(cell.arcs.size() * options_.grid.rows() *
+                options_.grid.cols());
+  for (std::size_t a = 0; a < cell.arcs.size(); ++a) {
+    init_table(out.arcs[a], cell, cell.arcs[a], options_.grid);
+    append_entry_tasks(tasks, cell, cell.arcs[a], out.arcs[a]);
   }
+  run_entry_tasks(*this, tasks);
   return out;
 }
 
 LibraryCharacterization Characterizer::characterize_library(
     const StandardCellLibrary& library) const {
+  obs::TraceSpan span("characterize.library", [&] {
+    return obs::ArgsBuilder().add("cells", library.size()).str();
+  });
+  record_manifest_config(options_);
+
   LibraryCharacterization out;
-  out.cells.reserve(library.size());
-  for (const Cell& cell : library.cells()) {
-    out.cells.push_back(characterize_cell(cell));
+  out.cells.resize(library.size());
+  std::vector<EntryTask> tasks;
+  const auto& cells = library.cells();
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    out.cells[c].cell_name = cells[c].name;
+    out.cells[c].arcs.resize(cells[c].arcs.size());
+    for (std::size_t a = 0; a < cells[c].arcs.size(); ++a) {
+      init_table(out.cells[c].arcs[a], cells[c], cells[c].arcs[a],
+                 options_.grid);
+      append_entry_tasks(tasks, cells[c], cells[c].arcs[a],
+                         out.cells[c].arcs[a]);
+    }
   }
+  run_entry_tasks(*this, tasks);
   return out;
 }
 

@@ -110,6 +110,16 @@ class Characterizer {
                                  std::size_t load_idx,
                                  std::size_t slew_idx) const;
 
+  /// Characterizes one (load, slew) table entry. Deterministic: the
+  /// entry's Monte-Carlo and fit seeds derive from (cell, arc,
+  /// load_idx, slew_idx) alone, so the result is independent of
+  /// execution order and thread count.
+  ConditionCharacterization characterize_entry(const Cell& cell,
+                                               const TimingArc& arc,
+                                               const std::string& arc_label,
+                                               std::size_t load_idx,
+                                               std::size_t slew_idx) const;
+
   ArcCharacterization characterize_arc(const Cell& cell,
                                        const TimingArc& arc) const;
   CellCharacterization characterize_cell(const Cell& cell) const;

@@ -1,5 +1,7 @@
 #include "core/model_factory.h"
 
+#include "exec/pool.h"
+
 #include "core/lesn_model.h"
 #include "core/lvf2_model.h"
 #include "core/lvf_model.h"
@@ -68,12 +70,14 @@ std::unique_ptr<TimingModel> refit_model(ModelKind kind,
 
 std::vector<std::unique_ptr<TimingModel>> fit_all_models(
     std::span<const double> samples, const FitOptions& options) {
-  std::vector<std::unique_ptr<TimingModel>> models;
-  models.reserve(all_model_kinds().size());
-  for (ModelKind kind : all_model_kinds()) {
-    models.push_back(fit_model(kind, samples, options));
-  }
-  return models;
+  // The four fits are independent (each is a pure function of the
+  // samples and options), so they fan out across the pool; slot
+  // writes keep the kind ordering, making the result identical to a
+  // serial run. Cuts the per-entry QoR attribution price ~4x.
+  const auto kinds = all_model_kinds();
+  return exec::parallel_map<std::unique_ptr<TimingModel>>(
+      kinds.size(),
+      [&](std::size_t i) { return fit_model(kinds[i], samples, options); });
 }
 
 }  // namespace lvf2::core

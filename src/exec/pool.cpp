@@ -1,0 +1,183 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace lvf2::exec {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Marks the current thread as executing pool work for its lifetime.
+struct RegionGuard {
+  RegionGuard() : was(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = was; }
+  bool was;
+};
+
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t default_thread_count() {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw;
+}
+
+}  // namespace
+
+std::size_t parse_thread_count(const char* text, std::size_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0 || value > 4096) {
+    return fallback;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t thread_count() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  static const std::size_t configured = parse_thread_count(
+      std::getenv("LVF2_THREADS"), default_thread_count());
+  return configured;
+}
+
+void set_thread_count(std::size_t count) {
+  g_thread_override.store(count, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+Pool::Pool(std::size_t workers) { ensure_workers(workers); }
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Pool& Pool::instance() {
+  // Function-local static (not leaked): workers are joined at static
+  // destruction, before the exit-time observability sinks it never
+  // touches, so sanitizers see a clean shutdown.
+  static Pool pool(thread_count() > 1 ? thread_count() - 1 : 1);
+  return pool;
+}
+
+void Pool::ensure_workers(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (threads_.size() < workers) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Pool::work_on(Job& job) {
+  RegionGuard region;
+  for (;;) {
+    const std::size_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    if (job.failed.load(std::memory_order_relaxed)) continue;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.failed.exchange(true, std::memory_order_relaxed)) {
+        job.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void Pool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job == nullptr) continue;
+    // Joining is capped per job so scaling benches measure the
+    // requested parallelism even when the pool holds more workers.
+    if (job->entered.fetch_add(1, std::memory_order_relaxed) <
+        job->worker_limit) {
+      work_on(*job);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++job->done;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Pool::run(std::size_t n, std::size_t chunk, std::size_t parallelism,
+               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t helpers = parallelism > 0 ? parallelism - 1 : 0;
+  static obs::Counter& jobs = obs::counter("exec.pool.jobs");
+  static obs::Counter& indices = obs::counter("exec.pool.indices");
+  static obs::DoubleCounter& job_wall =
+      obs::double_counter("exec.pool.job_wall_s");
+  jobs.add(1);
+  indices.add(n);
+  const auto job_start = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  // Grow only between jobs (we hold run_mutex_, so no job is in
+  // flight): posted_to below must stay exact while the Job lives.
+  ensure_workers(helpers);
+  Job job;
+  job.n = n;
+  job.chunk = chunk;
+  job.worker_limit = helpers;
+  job.fn = &fn;
+  std::size_t posted_to = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+    posted_to = threads_.size();
+  }
+  work_cv_.notify_all();
+  work_on(job);  // the caller is one of the `parallelism` threads
+  {
+    // Every posted worker must check the job out (even if only to
+    // decline it) before the stack-allocated Job can die.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job.done == posted_to; });
+    job_ = nullptr;
+  }
+  job_wall.add(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - job_start)
+                   .count());
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || n <= chunk || in_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Pool::instance().run(n, chunk, threads, fn);
+}
+
+}  // namespace lvf2::exec

@@ -1,7 +1,9 @@
 #include "obs/manifest.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <tuple>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -83,6 +85,39 @@ void append_arc(std::string& out, const ArcQor& a) {
   out += "},";
   append_models(out, a.models);
   out += '}';
+}
+
+// Deterministic serialization order: rows arrive in completion order,
+// which under the thread pool varies run to run, so they are sorted
+// by their identity key before rendering. Keeps the rendered manifest
+// byte-stable at any thread count (the lvf2_report diff golden gate
+// compares serial and parallel runs with zero tolerance).
+auto arc_sort_key(const ArcQor& a) {
+  return std::tie(a.table, a.cell, a.arc, a.metric, a.load_idx, a.slew_idx);
+}
+
+std::vector<const ArcQor*> sorted_arcs(const std::vector<ArcQor>& arcs) {
+  std::vector<const ArcQor*> out;
+  out.reserve(arcs.size());
+  for (const ArcQor& a : arcs) out.push_back(&a);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ArcQor* x, const ArcQor* y) {
+                     return arc_sort_key(*x) < arc_sort_key(*y);
+                   });
+  return out;
+}
+
+std::vector<const EndpointQor*> sorted_endpoints(
+    const std::vector<EndpointQor>& endpoints) {
+  std::vector<const EndpointQor*> out;
+  out.reserve(endpoints.size());
+  for (const EndpointQor& e : endpoints) out.push_back(&e);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EndpointQor* x, const EndpointQor* y) {
+                     return std::tie(x->path, x->depth) <
+                            std::tie(y->path, y->depth);
+                   });
+  return out;
 }
 
 void append_endpoint(std::string& out, const EndpointQor& e) {
@@ -240,14 +275,17 @@ std::string ManifestRecorder::to_json() const {
   out += "},\"metrics\":";
   out += metrics;
   out += ",\"arcs\":[";
-  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+  const std::vector<const ArcQor*> arcs = sorted_arcs(arcs_);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
     if (i > 0) out += ',';
-    append_arc(out, arcs_[i]);
+    append_arc(out, *arcs[i]);
   }
   out += "],\"endpoints\":[";
-  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+  const std::vector<const EndpointQor*> endpoints =
+      sorted_endpoints(endpoints_);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
     if (i > 0) out += ',';
-    append_endpoint(out, endpoints_[i]);
+    append_endpoint(out, *endpoints[i]);
   }
   out += "]}";
   return out;

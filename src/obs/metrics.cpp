@@ -69,7 +69,9 @@ void Histogram::observe(double v) {
   }
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  // CAS loop, not fetch_add: atomic<double>::fetch_add is a C++20
+  // addition not every supported toolchain implements correctly.
+  detail::atomic_add(sum_, v);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -90,6 +92,15 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+DoubleCounter& MetricsRegistry::double_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = double_counters_.find(name);
+  if (it == double_counters_.end()) {
+    it = double_counters_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
@@ -123,6 +134,15 @@ std::string MetricsRegistry::to_json() const {
     append_json_string(out, name);
     out += ':';
     out += std::to_string(c.value());
+  }
+  out += "},\"double_counters\":{";
+  first = true;
+  for (const auto& [name, c] : double_counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, c.value());
   }
   out += "},\"gauges\":{";
   first = true;
@@ -173,6 +193,9 @@ void MetricsRegistry::write_text(std::FILE* out) const {
   for (const auto& [name, c] : counters_) {
     std::fprintf(out, "counter   %-32s %llu\n", name.c_str(),
                  static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, c] : double_counters_) {
+    std::fprintf(out, "dcounter  %-32s %g\n", name.c_str(), c.value());
   }
   for (const auto& [name, g] : gauges_) {
     std::fprintf(out, "gauge     %-32s %g\n", name.c_str(), g.value());

@@ -22,6 +22,21 @@
 
 namespace lvf2::obs {
 
+namespace detail {
+/// Relaxed atomic accumulation into a double via a CAS retry loop.
+/// std::atomic<double>::fetch_add exists only since C++20 and is
+/// still missing/miscompiled on some toolchains; the CAS loop is
+/// portable, lock-free wherever atomic<double> is, and exact under
+/// concurrency (every addend is applied exactly once).
+inline void atomic_add(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -34,6 +49,17 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+/// Monotonically increasing double accumulator (seconds of work,
+/// nanoseconds of delay, ...). Thread-safe via the CAS add loop.
+class DoubleCounter {
+ public:
+  void add(double v) { detail::atomic_add(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
 };
 
 /// Last-write-wins instantaneous value.
@@ -72,6 +98,7 @@ class MetricsRegistry {
   static MetricsRegistry& instance();
 
   Counter& counter(std::string_view name);
+  DoubleCounter& double_counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   /// First call fixes the bucket bounds; later calls with the same
   /// name return the existing histogram regardless of `bounds`.
@@ -91,6 +118,7 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, DoubleCounter, std::less<>> double_counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
@@ -98,6 +126,9 @@ class MetricsRegistry {
 /// Convenience accessors against the process registry.
 inline Counter& counter(std::string_view name) {
   return MetricsRegistry::instance().counter(name);
+}
+inline DoubleCounter& double_counter(std::string_view name) {
+  return MetricsRegistry::instance().double_counter(name);
 }
 inline Gauge& gauge(std::string_view name) {
   return MetricsRegistry::instance().gauge(name);

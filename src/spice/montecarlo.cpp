@@ -1,9 +1,35 @@
 #include "spice/montecarlo.h"
 
+#include <algorithm>
+
+#include "exec/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace lvf2::spice {
+
+namespace {
+
+// One shard of a sharded run: draws its own independently-seeded
+// variation set and writes results into the [begin, end) slice.
+void run_shard(const StageElectrical& stage, const ArcCondition& condition,
+               const ProcessCorner& corner, const McConfig& config,
+               std::uint64_t shard_seed, std::size_t begin, std::size_t end,
+               McResult& result) {
+  stats::Rng rng(shard_seed);
+  const VariationSampler sampler(corner);
+  const std::size_t count = end - begin;
+  const std::vector<VariationSample> draws =
+      config.use_lhs ? sampler.sample_lhs(count, rng)
+                     : sampler.sample_mc(count, rng);
+  for (std::size_t j = 0; j < draws.size(); ++j) {
+    const StageTimes t = simulate_stage(stage, condition, corner, draws[j]);
+    result.delay_ns[begin + j] = t.delay_ns;
+    result.transition_ns[begin + j] = t.transition_ns;
+  }
+}
+
+}  // namespace
 
 McResult run_monte_carlo(const StageElectrical& stage,
                          const ArcCondition& condition,
@@ -13,10 +39,29 @@ McResult run_monte_carlo(const StageElectrical& stage,
     return obs::ArgsBuilder()
         .add("samples", config.samples)
         .add("lhs", config.use_lhs ? 1 : 0)
+        .add("shards", config.shards)
         .str();
   });
   static obs::Counter& mc_samples = obs::counter("mc.samples");
   mc_samples.add(config.samples);
+
+  if (config.shards > 1) {
+    // Sharded mode: each shard owns a contiguous slice and a seed
+    // derived from (seed, shard index), so the result depends only on
+    // the config — never on scheduling or thread count.
+    const std::size_t shards = std::min(config.shards, config.samples);
+    McResult result;
+    result.delay_ns.resize(config.samples);
+    result.transition_ns.resize(config.samples);
+    exec::parallel_for(shards, 1, [&](std::size_t s) {
+      const std::size_t begin = config.samples * s / shards;
+      const std::size_t end = config.samples * (s + 1) / shards;
+      if (begin == end) return;
+      run_shard(stage, condition, corner, config,
+                stats::combine_seed(config.seed, s + 1), begin, end, result);
+    });
+    return result;
+  }
 
   stats::Rng rng(config.seed);
   const VariationSampler sampler(corner);

@@ -1,5 +1,6 @@
 #include "ssta/mc_ssta.h"
 
+#include "exec/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spice/montecarlo.h"
@@ -28,7 +29,10 @@ PathMcResult run_path_monte_carlo(const TimingPath& path,
   result.cumulative.resize(depth);
 
   const spice::VariationSampler sampler(corner);
-  for (std::size_t i = 0; i < depth; ++i) {
+  // Stage sample batches are independent (each stage has its own
+  // derived seed), so they fan out across the pool; results land in
+  // per-stage slots and are byte-identical to a serial run.
+  exec::parallel_for(depth, 1, [&](std::size_t i) {
     const PathStage& stage = path.stages[i];
     obs::TraceSpan stage_span("ssta.mc.stage", [&] {
       return obs::ArgsBuilder()
@@ -51,10 +55,15 @@ PathMcResult run_path_monte_carlo(const TimingPath& path,
           stage.arc().stage, stage.condition, corner, v);
       delays.push_back(t.delay_ns + stage.wire_delay_ns);
     }
+  });
+  // The running sum chains across stages, so it stays a (cheap)
+  // serial pass over the finished per-stage delays.
+  for (std::size_t i = 0; i < depth; ++i) {
     auto& cum = result.cumulative[i];
     cum.resize(config.samples);
     for (std::size_t j = 0; j < config.samples; ++j) {
-      cum[j] = delays[j] + (i > 0 ? result.cumulative[i - 1][j] : 0.0);
+      cum[j] = result.stage_delays[i][j] +
+               (i > 0 ? result.cumulative[i - 1][j] : 0.0);
     }
   }
   return result;
