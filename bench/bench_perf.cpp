@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cache/cache.h"
 #include "cells/characterize.h"
 #include "core/lvf2_model.h"
 #include "exec/pool.h"
@@ -237,6 +238,20 @@ void BM_DisabledFaultHook(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DisabledFaultHook);
+
+// Disabled-path cost of the result cache: with LVF2_CACHE unset,
+// cache::enabled() is a single relaxed atomic load and no key is ever
+// hashed — the same contract as the disabled trace span above.
+void BM_DisabledCacheLookup(benchmark::State& state) {
+  if (cache::enabled()) {
+    state.SkipWithError("LVF2_CACHE is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::enabled());
+  }
+}
+BENCHMARK(BM_DisabledCacheLookup);
 
 // Always-on cost of a registry counter increment (relaxed fetch_add).
 void BM_MetricsCounterAdd(benchmark::State& state) {

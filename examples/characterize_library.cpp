@@ -6,9 +6,12 @@
 // an LVF^2-capable reader sees the plain-LVF library as lambda = 0
 // mixtures identical to the LVF skew-normals.
 //
-// Usage: ./build/examples/characterize_library [output_dir]
+// Usage: ./build/examples/characterize_library [output_dir [samples [stride]]]
+// (samples/stride shrink the run for gates like scripts/check.sh
+// --cache, which times a cold vs a warm cached run of this binary)
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "cells/characterize.h"
@@ -20,12 +23,16 @@ using namespace lvf2;
 
 int main(int argc, char** argv) {
   const std::string out_dir = (argc > 1) ? argv[1] : ".";
+  const std::size_t samples =
+      (argc > 2) ? std::strtoull(argv[2], nullptr, 10) : 8000;
+  const std::size_t stride =
+      (argc > 3) ? std::strtoull(argv[3], nullptr, 10) : 2;
 
   // Characterize INV, NAND2 and XOR2 on a 4x4 sub-grid (use
   // SlewLoadGrid::paper_grid() and 50000 samples for a full run).
   cells::CharacterizeOptions options;
-  options.grid = cells::SlewLoadGrid::reduced(2);
-  options.mc_samples = 8000;
+  options.grid = cells::SlewLoadGrid::reduced(stride);
+  options.mc_samples = samples;
   const cells::Characterizer characterizer(
       spice::ProcessCorner::tt_global_local_mc(), options);
 

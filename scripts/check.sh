@@ -17,7 +17,15 @@
 # exercised under TSan. Subset, not full ctest: TSan's 5-15x
 # slowdown makes the single-threaded statistical suites pure cost.
 #
-# Usage: scripts/check.sh [--sanitize|--tsan] [--update-golden] [build-dir]
+# Tier-1.5 (--cache): the incremental-characterization gate — a cold
+# and a warm LVF2_CACHE run of examples/characterize_library must
+# produce byte-identical manifests (rtol 0 / atol 0), the warm run
+# must be all hits and at least 10x faster in characterize.entry wall
+# time, and lvf2_cache verify must reproduce sampled cached entries
+# bit-for-bit.
+#
+# Usage: scripts/check.sh [--sanitize|--tsan|--cache] [--update-golden]
+#        [build-dir]
 #        (default build-dir: build, build-asan with --sanitize,
 #        build-tsan with --tsan)
 #        --update-golden: re-record scripts/golden/qor_manifest.json
@@ -28,11 +36,13 @@ cd "$(dirname "$0")/.."
 
 SANITIZE=0
 TSAN=0
+CACHE=0
 UPDATE_GOLDEN=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --sanitize) SANITIZE=1; shift ;;
     --tsan) TSAN=1; shift ;;
+    --cache) CACHE=1; shift ;;
     --update-golden) UPDATE_GOLDEN=1; shift ;;
     *) break ;;
   esac
@@ -63,8 +73,72 @@ if [ "$TSAN" = 1 ]; then
   LVF2_THREADS=4 "$BUILD_DIR/tests/lvf2_tests" --gtest_filter=\
 'ParseThreadCount.*:ThreadCount.*:ParallelFor.*:ParallelMap.*:Pool.*'\
 ':ExecDeterminism.*:ExecStress.*:Manifest.*:MetricsRegistry.*'\
-':EvaluateModels.*'
+':EvaluateModels.*:CacheStore.*:CacheCharacterize.Concurrent*'
   echo "check.sh: TSan gate green"
+  exit 0
+fi
+
+if [ "$CACHE" = 1 ]; then
+  echo "== result-cache incremental-characterization gate =="
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+  cmake --build "$BUILD_DIR" -j"$JOBS" \
+    --target characterize_library lvf2_report lvf2_cache_cli
+  # LVF2_CACHE_GATE_DIR keeps the run's manifests + cache around
+  # (CI uploads them as artifacts); default is a cleaned-up temp dir.
+  if [ -n "${LVF2_CACHE_GATE_DIR:-}" ]; then
+    CACHE_DIR="$LVF2_CACHE_GATE_DIR"
+    mkdir -p "$CACHE_DIR"
+  else
+    CACHE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$CACHE_DIR"' EXIT
+  fi
+  REPORT="$BUILD_DIR/tools/lvf2_report"
+  CACHE_CLI="$BUILD_DIR/tools/lvf2_cache"
+
+  echo "-- cold run (populates $CACHE_DIR/cache)"
+  LVF2_CACHE="$CACHE_DIR/cache" LVF2_MANIFEST="$CACHE_DIR/cold.json" \
+    "$BUILD_DIR/examples/characterize_library" "$CACHE_DIR" 2000 4 >/dev/null
+  echo "-- warm run (must be all hits)"
+  LVF2_CACHE="$CACHE_DIR/cache" LVF2_MANIFEST="$CACHE_DIR/warm.json" \
+    "$BUILD_DIR/examples/characterize_library" "$CACHE_DIR" 2000 4 >/dev/null
+
+  # A warm run must change nothing: zero-tolerance QoR diff and
+  # byte-identical canonical manifests.
+  "$REPORT" diff "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
+      --rtol 0 --atol 0 \
+    || { echo "FAIL: warm cached run changed QoR numbers"; exit 1; }
+  "$REPORT" canon "$CACHE_DIR/cold.json" > "$CACHE_DIR/cold.canon"
+  "$REPORT" canon "$CACHE_DIR/warm.json" > "$CACHE_DIR/warm.canon"
+  cmp -s "$CACHE_DIR/cold.canon" "$CACHE_DIR/warm.canon" \
+    || { echo "FAIL: cold and warm canonical manifests differ"; exit 1; }
+
+  if command -v python3 >/dev/null; then
+  python3 - "$CACHE_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+cold = json.load(open(os.path.join(d, "cold.json")))
+warm = json.load(open(os.path.join(d, "warm.json")))
+entries = len(cold["arcs"])
+assert entries > 0, "cold run characterized nothing"
+assert cold["cache"]["hit"] == 0, cold["cache"]
+assert cold["cache"]["store"] == entries, cold["cache"]
+assert warm["cache"]["hit"] == entries, warm["cache"]
+assert warm["cache"]["miss"] == 0, warm["cache"]
+cold_ms = cold["stages"]["characterize.entry"]["wall_ms"]
+warm_ms = warm["stages"]["characterize.entry"]["wall_ms"]
+ratio = cold_ms / max(warm_ms, 1e-9)
+assert ratio >= 10.0, f"warm run only {ratio:.1f}x faster ({cold_ms:.1f}ms -> {warm_ms:.1f}ms)"
+print(f"ok: {entries} entries, warm all-hit, characterize.entry "
+      f"{cold_ms:.1f}ms -> {warm_ms:.1f}ms ({ratio:.0f}x)")
+EOF
+  else
+    echo "python3 unavailable; skipped hit-count / speedup assertions"
+  fi
+
+  "$CACHE_CLI" stats "$CACHE_DIR/cache"
+  "$CACHE_CLI" verify "$CACHE_DIR/cache" --sample 4 \
+    || { echo "FAIL: cached entries no longer reproduce"; exit 1; }
+  echo "check.sh: cache gate green"
   exit 0
 fi
 

@@ -1,0 +1,175 @@
+#pragma once
+// Content-addressed result cache: a persistent, sharded on-disk store
+// mapping stable 64-bit input hashes to JSON result documents. The
+// characterization pipeline uses it to skip Monte-Carlo + EM entirely
+// when nothing upstream of a table entry changed — the enabling step
+// for incremental library re-runs (see DESIGN.md decision 17).
+//
+// The cache is sound because of decision 16: every characterization
+// entry derives its RNG seeds from (cell, arc, load_idx, slew_idx)
+// alone, so its output is a pure function of the hashed inputs. The
+// key must therefore cover *every* input — cell/arc identity and
+// electrics, grid condition, Monte-Carlo config, fit options, process
+// corner, and a code-version salt bumped when fitting code changes
+// (cells::kCharacterizeCacheSalt).
+//
+// Environment:
+//   LVF2_CACHE=<dir>        arms the cache (default: off)
+//   LVF2_CACHE_MODE=rw      read + write (default)
+//                  readonly hits only, nothing written back
+//                  refresh  recompute everything, overwrite stored
+// Disabled-path contract: cache::enabled() is one relaxed atomic
+// load, the same cost as a disabled trace span (BM_DisabledCacheLookup
+// in bench_perf).
+//
+// Concurrency: in-process lookups/stores are mutex-guarded; across
+// processes each shard is merged at flush time under a per-shard
+// flock() and written atomically (<file>.tmp + rename), so concurrent
+// populating runs union their entries instead of clobbering each
+// other (single-writer merge-at-exit).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json.h"
+
+namespace lvf2::cache {
+
+/// Incremental FNV-1a 64-bit hasher over typed, length-disciplined
+/// fields. Strings are length-prefixed and numbers are fed as their
+/// raw 8-byte patterns, so adjacent fields cannot alias ("ab" + "c"
+/// hashes differently from "a" + "bc") and every single-field change
+/// produces a different key.
+class KeyHasher {
+ public:
+  void feed_bytes(const void* data, std::size_t size);
+  void feed(std::string_view s);
+  void feed(std::uint64_t v);
+  void feed(double v);
+  void feed(bool v);
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+/// Cache operating mode (LVF2_CACHE_MODE).
+enum class Mode {
+  kOff,
+  kReadWrite,  ///< "rw": hits served, misses stored (default)
+  kReadOnly,   ///< "readonly": hits served, nothing written back
+  kRefresh,    ///< "refresh": everything recomputed and overwritten
+};
+
+/// Parses an LVF2_CACHE_MODE value; unknown / empty input falls back
+/// to kReadWrite. Exposed for tests.
+Mode parse_mode(const char* text);
+const char* to_string(Mode mode);
+
+namespace detail {
+extern std::atomic<bool> g_cache_enabled;
+}  // namespace detail
+
+/// True when the cache is armed. Relaxed load: the only cost paid by
+/// hook sites when no cache was requested.
+inline bool enabled() {
+  return detail::g_cache_enabled.load(std::memory_order_relaxed);
+}
+
+/// Sharded content-addressed store. Entries live in memory as
+/// serialized JSON (full 17-digit precision, so doubles round-trip
+/// bitwise); dirty shards are merged back to disk at flush time.
+/// Construct directly for offline tooling (lvf2_cache CLI, tests) or
+/// use the process singleton armed from the environment.
+class ResultCache {
+ public:
+  ResultCache() = default;
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The process-wide cache (leaked singleton) behind
+  /// Characterizer::characterize_entry.
+  static ResultCache& instance();
+
+  static constexpr std::size_t kShardCount = 16;
+  static constexpr int kShardSchemaVersion = 1;
+  static std::size_t shard_of(std::uint64_t key) { return key >> 60; }
+  static std::string shard_file_name(std::size_t shard);
+  static std::string format_key(std::uint64_t key);
+  static std::optional<std::uint64_t> parse_key(std::string_view hex);
+
+  /// Arms the cache on `dir` (created if missing), loading every
+  /// shard file. Corrupted shard files / entries are dropped with a
+  /// robust.downgrade.cache_corrupt count — a damaged cache degrades
+  /// to recompute, never to a crash or a wrong result.
+  void arm(const std::string& dir, Mode mode);
+  /// Flushes dirty shards and clears all state; enabled() goes false
+  /// (when `this` is the armed singleton).
+  void disarm();
+
+  bool armed() const;
+  Mode mode() const;
+  std::string dir() const;
+
+  /// The stored document for `key`, or nullopt when absent, when the
+  /// stored bytes no longer parse (counted + evicted), or in refresh
+  /// mode (which recomputes everything). Does not count hits/misses —
+  /// the caller decides what a usable hit is (see
+  /// cells::characterize_entry, which also requires a decodable
+  /// payload and, under a manifest, a stored QoR row).
+  std::optional<obs::JsonValue> lookup(std::uint64_t key);
+
+  /// Serializes and stores `value` under `key` (last write wins).
+  /// No-op in readonly mode. Counts cache.store.
+  void store(std::uint64_t key, const obs::JsonValue& value);
+
+  /// Removes `key`; returns true when it existed. Counts cache.evict.
+  /// The deletion is remembered as a tombstone so the flush-time merge
+  /// does not resurrect the entry from the on-disk shard.
+  bool erase(std::uint64_t key);
+
+  /// Writes every dirty shard back to disk: per-shard flock(), merge
+  /// with what another process may have written meanwhile (this
+  /// process's entries win, and its erase() tombstones suppress the
+  /// on-disk copy), atomic rename.
+  void flush();
+
+  std::size_t size() const;
+  std::uint64_t loaded_entries() const;
+  std::uint64_t load_failures() const;
+
+  /// Iterates all (key, serialized entry) pairs in unspecified order.
+  void for_each_entry(
+      const std::function<void(std::uint64_t, const std::string&)>& fn) const;
+
+ private:
+  void load_locked();
+  void load_shard_file(const std::string& path);
+  bool flush_shard_locked(std::size_t shard);
+
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  Mode mode_ = Mode::kOff;
+  std::string dir_;
+  std::unordered_map<std::uint64_t, std::string> entries_;
+  std::unordered_set<std::uint64_t> erased_;  ///< deletion tombstones
+  bool dirty_[kShardCount] = {};
+  std::uint64_t loaded_ = 0;
+  std::uint64_t load_failures_ = 0;
+};
+
+/// Arms the singleton from LVF2_CACHE / LVF2_CACHE_MODE (no-op when
+/// unset or already armed). Called from a static initializer in any
+/// binary that links the characterization pipeline; safe to call
+/// again manually.
+void arm_from_env();
+
+}  // namespace lvf2::cache

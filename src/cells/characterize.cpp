@@ -1,10 +1,14 @@
 #include "cells/characterize.h"
 
 #include <cmath>
+#include <optional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "cache/cache.h"
+#include "cells/characterize_cache.h"
 #include "core/metrics.h"
 #include "exec/pool.h"
 #include "obs/obs.h"
@@ -66,12 +70,15 @@ stats::SnMoments fit_lvf_moments(std::span<const double> samples) {
 // QoR attribution of one table entry for the run manifest: the
 // delay samples are re-assessed against all four models (the extra
 // fits are the price of attribution, and only paid when
-// LVF2_MANIFEST armed a manifest).
-void manifest_entry_qor(const std::string& cell, const std::string& arc,
-                        std::size_t load_idx, std::size_t slew_idx,
-                        std::span<const double> delay_samples,
-                        const core::FitOptions& fit,
-                        const core::EmReport& report) {
+// LVF2_MANIFEST armed a manifest). Returned instead of recorded
+// directly so the result cache can store the row alongside the entry
+// and replay it bitwise on a warm run.
+obs::ArcQor manifest_entry_qor(const std::string& cell,
+                               const std::string& arc, std::size_t load_idx,
+                               std::size_t slew_idx,
+                               std::span<const double> delay_samples,
+                               const core::FitOptions& fit,
+                               const core::EmReport& report) {
   const core::ModelEvaluation eval =
       core::evaluate_models(delay_samples, fit);
   obs::ArcQor row = core::to_arc_qor(eval);
@@ -85,7 +92,7 @@ void manifest_entry_qor(const std::string& cell, const std::string& arc,
   row.em_log_likelihood = report.log_likelihood;
   row.em_converged = report.converged;
   row.degradation = core::to_string(report.degradation);
-  obs::ManifestRecorder::instance().add_arc(std::move(row));
+  return row;
 }
 
 void record_manifest_config(const CharacterizeOptions& options) {
@@ -209,7 +216,46 @@ ConditionCharacterization Characterizer::characterize_entry(
   static obs::Counter& entries_counter = obs::counter("characterize.entries");
   entries_counter.add(1);
 
+  // Cache fast path: a usable hit skips the Monte Carlo and every fit.
+  // Fault injection makes entries impure (corruption is call-index
+  // based), so the cache stands down while faults are armed.
+  const bool cache_active = cache::enabled() && !robust::faults_enabled();
+  std::uint64_t cache_key = 0;
+  if (cache_active) {
+    cache_key = entry_cache_key(corner_, options_, cell, arc, arc_label,
+                                load_idx, slew_idx);
+    bool decode_failed = false;
+    if (auto doc = cache::ResultCache::instance().lookup(cache_key)) {
+      if (auto decoded = decode_cached_entry(*doc)) {
+        // Under a manifest, a hit must also replay the entry's QoR
+        // row; a cached entry without one (populated manifest-off)
+        // degrades to a miss so the row gets computed and stored.
+        const bool need_qor = obs::manifest_enabled();
+        if (!need_qor || decoded->qor.has_value()) {
+          static obs::Counter& hits = obs::counter("cache.hit");
+          hits.add(1);
+          if (need_qor) {
+            obs::ManifestRecorder::instance().add_arc(
+                std::move(*decoded->qor));
+          }
+          return std::move(decoded->entry);
+        }
+      } else {
+        decode_failed = true;
+      }
+    }
+    static obs::Counter& misses = obs::counter("cache.miss");
+    misses.add(1);
+    if (decode_failed) {
+      // Stored bytes parsed as JSON but not as an entry: evict and
+      // recompute (the robust.* name keeps all degradations greppable).
+      obs::counter("robust.downgrade.cache_decode").add(1);
+      cache::ResultCache::instance().erase(cache_key);
+    }
+  }
+
   ConditionCharacterization cc;
+  std::optional<obs::ArcQor> qor_row;
   cc.condition = spice::ArcCondition{options_.grid.slews_ns[slew_idx],
                                      options_.grid.loads_pf[load_idx]};
   try {
@@ -239,8 +285,9 @@ ConditionCharacterization Characterizer::characterize_entry(
     audit_fit_report(cc.lvf2_transition_report, cell.name, arc_label,
                      load_idx, slew_idx, "transition");
     if (obs::manifest_enabled()) {
-      manifest_entry_qor(cell.name, arc_label, load_idx, slew_idx,
-                         mc.delay_ns, fit, cc.lvf2_delay_report);
+      qor_row = manifest_entry_qor(cell.name, arc_label, load_idx, slew_idx,
+                                   mc.delay_ns, fit, cc.lvf2_delay_report);
+      obs::ManifestRecorder::instance().add_arc(*qor_row);
     }
   } catch (const std::exception& e) {
     // A failed entry degrades to its nominal values; the library
@@ -264,6 +311,15 @@ ConditionCharacterization Characterizer::characterize_entry(
       row.status = cc.status.to_string();
       m.add_arc(std::move(row));
     });
+  }
+  // Only clean entries are stored; failed ones recompute every run so
+  // a transient failure cannot become a persistent wrong answer.
+  if (cache_active && cc.status.is_ok()) {
+    cache::ResultCache::instance().store(
+        cache_key,
+        encode_cached_entry(corner_, options_, cell, arc_label,
+                            load_idx, slew_idx, cc,
+                            qor_row.has_value() ? &*qor_row : nullptr));
   }
   return cc;
 }

@@ -56,12 +56,16 @@ void json_append_string(std::string& out, std::string_view s) {
 }
 
 void json_append_number(std::string& out, double v) {
+  json_append_number(out, v, 9);
+}
+
+void json_append_number(std::string& out, double v, int precision) {
   if (!std::isfinite(v)) {
     out += "null";
     return;
   }
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
   out += buf;
 }
 
@@ -266,7 +270,8 @@ std::optional<JsonValue> json_parse(std::string_view text,
   return Parser(text).run(error);
 }
 
-void json_write(const JsonValue& value, std::string& out) {
+void json_write(const JsonValue& value, std::string& out,
+                const JsonWriteOptions& options) {
   switch (value.type) {
     case JsonValue::Type::kNull:
       out += "null";
@@ -275,7 +280,7 @@ void json_write(const JsonValue& value, std::string& out) {
       out += value.boolean ? "true" : "false";
       break;
     case JsonValue::Type::kNumber:
-      json_append_number(out, value.number);
+      json_append_number(out, value.number, options.double_precision);
       break;
     case JsonValue::Type::kString:
       json_append_string(out, value.string);
@@ -284,7 +289,7 @@ void json_write(const JsonValue& value, std::string& out) {
       out += '[';
       for (std::size_t i = 0; i < value.array.size(); ++i) {
         if (i > 0) out += ',';
-        json_write(value.array[i], out);
+        json_write(value.array[i], out, options);
       }
       out += ']';
       break;
@@ -295,7 +300,7 @@ void json_write(const JsonValue& value, std::string& out) {
         if (i > 0) out += ',';
         json_append_string(out, value.object[i].first);
         out += ':';
-        json_write(value.object[i].second, out);
+        json_write(value.object[i].second, out, options);
       }
       out += '}';
       break;
@@ -303,9 +308,19 @@ void json_write(const JsonValue& value, std::string& out) {
   }
 }
 
+void json_write(const JsonValue& value, std::string& out) {
+  json_write(value, out, JsonWriteOptions{});
+}
+
 std::string json_write(const JsonValue& value) {
   std::string out;
   json_write(value, out);
+  return out;
+}
+
+std::string json_write(const JsonValue& value, const JsonWriteOptions& options) {
+  std::string out;
+  json_write(value, out, options);
   return out;
 }
 

@@ -55,9 +55,23 @@ void json_append_string(std::string& out, std::string_view s);
 /// are not representable in JSON and degrade to null.
 void json_append_number(std::string& out, double v);
 
+/// Same with an explicit %g precision. 17 significant digits
+/// round-trip any IEEE double exactly through parse (strtod), which
+/// is what the result cache relies on for bitwise-stable replays.
+void json_append_number(std::string& out, double v, int precision);
+
+/// Serialization options. The default (9 digits) matches the sink
+/// writers; the result cache serializes at 17 for exact round trips.
+struct JsonWriteOptions {
+  int double_precision = 9;
+};
+
 /// Serializes `value` (compact, no whitespace), preserving object key
 /// order. Numbers render as %.9g, matching the sink writers.
 void json_write(const JsonValue& value, std::string& out);
 std::string json_write(const JsonValue& value);
+void json_write(const JsonValue& value, std::string& out,
+                const JsonWriteOptions& options);
+std::string json_write(const JsonValue& value, const JsonWriteOptions& options);
 
 }  // namespace lvf2::obs

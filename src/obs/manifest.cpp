@@ -234,9 +234,136 @@ void ManifestRecorder::set_config(std::string_view key, bool value) {
   set_config_rendered(key, value ? "true" : "false");
 }
 
+namespace {
+
+JsonValue jnum(double v) {
+  JsonValue j;
+  j.type = JsonValue::Type::kNumber;
+  j.number = v;
+  return j;
+}
+
+JsonValue jstr(std::string s) {
+  JsonValue j;
+  j.type = JsonValue::Type::kString;
+  j.string = std::move(s);
+  return j;
+}
+
+JsonValue jbool(bool b) {
+  JsonValue j;
+  j.type = JsonValue::Type::kBool;
+  j.boolean = b;
+  return j;
+}
+
+JsonValue jobj() {
+  JsonValue j;
+  j.type = JsonValue::Type::kObject;
+  return j;
+}
+
+}  // namespace
+
+JsonValue arc_qor_to_json(const ArcQor& arc) {
+  JsonValue doc = jobj();
+  doc.object.emplace_back("table", jstr(arc.table));
+  doc.object.emplace_back("cell", jstr(arc.cell));
+  doc.object.emplace_back("arc", jstr(arc.arc));
+  doc.object.emplace_back("metric", jstr(arc.metric));
+  doc.object.emplace_back("load_idx", jnum(arc.load_idx));
+  doc.object.emplace_back("slew_idx", jnum(arc.slew_idx));
+  doc.object.emplace_back("status", jstr(arc.status));
+  JsonValue golden = jobj();
+  golden.object.emplace_back("mean", jnum(arc.golden_mean));
+  golden.object.emplace_back("stddev", jnum(arc.golden_stddev));
+  golden.object.emplace_back("skewness", jnum(arc.golden_skewness));
+  doc.object.emplace_back("golden", std::move(golden));
+  JsonValue em = jobj();
+  em.object.emplace_back("iterations",
+                         jnum(static_cast<double>(arc.em_iterations)));
+  em.object.emplace_back("log_likelihood", jnum(arc.em_log_likelihood));
+  em.object.emplace_back("converged", jbool(arc.em_converged));
+  em.object.emplace_back("degradation", jstr(arc.degradation));
+  doc.object.emplace_back("em", std::move(em));
+  JsonValue models = jobj();
+  for (const ModelQor& m : arc.models) {
+    JsonValue row = jobj();
+    row.object.emplace_back("binning", jnum(m.binning));
+    row.object.emplace_back("yield_3sigma", jnum(m.yield_3sigma));
+    row.object.emplace_back("cdf_rmse", jnum(m.cdf_rmse));
+    row.object.emplace_back("x_binning", jnum(m.x_binning));
+    row.object.emplace_back("x_yield_3sigma", jnum(m.x_yield_3sigma));
+    row.object.emplace_back("x_cdf_rmse", jnum(m.x_cdf_rmse));
+    models.object.emplace_back(m.model, std::move(row));
+  }
+  doc.object.emplace_back("models", std::move(models));
+  return doc;
+}
+
+std::optional<ArcQor> arc_qor_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  const JsonValue* golden = doc.find("golden");
+  const JsonValue* em = doc.find("em");
+  const JsonValue* models = doc.find("models");
+  if (golden == nullptr || !golden->is_object() || em == nullptr ||
+      !em->is_object() || models == nullptr || !models->is_object()) {
+    return std::nullopt;
+  }
+  ArcQor arc;
+  arc.table = doc.string_or("table", "");
+  arc.cell = doc.string_or("cell", "");
+  arc.arc = doc.string_or("arc", "");
+  arc.metric = doc.string_or("metric", "");
+  arc.load_idx = static_cast<int>(doc.number_or("load_idx", -1.0));
+  arc.slew_idx = static_cast<int>(doc.number_or("slew_idx", -1.0));
+  arc.status = doc.string_or("status", "ok");
+  arc.golden_mean = golden->number_or("mean", 0.0);
+  arc.golden_stddev = golden->number_or("stddev", 0.0);
+  arc.golden_skewness = golden->number_or("skewness", 0.0);
+  arc.em_iterations =
+      static_cast<std::uint64_t>(em->number_or("iterations", 0.0));
+  arc.em_log_likelihood = em->number_or("log_likelihood", 0.0);
+  const JsonValue* converged = em->find("converged");
+  arc.em_converged = converged != nullptr &&
+                     converged->type == JsonValue::Type::kBool &&
+                     converged->boolean;
+  arc.degradation = em->string_or("degradation", "none");
+  for (const auto& [name, row] : models->object) {
+    if (!row.is_object()) return std::nullopt;
+    ModelQor m;
+    m.model = name;
+    m.binning = row.number_or("binning", 0.0);
+    m.yield_3sigma = row.number_or("yield_3sigma", 0.0);
+    m.cdf_rmse = row.number_or("cdf_rmse", 0.0);
+    m.x_binning = row.number_or("x_binning", 1.0);
+    m.x_yield_3sigma = row.number_or("x_yield_3sigma", 1.0);
+    m.x_cdf_rmse = row.number_or("x_cdf_rmse", 1.0);
+    arc.models.push_back(std::move(m));
+  }
+  return arc;
+}
+
 void ManifestRecorder::add_arc(ArcQor arc) {
   std::lock_guard<std::mutex> lock(mutex_);
   arcs_.push_back(std::move(arc));
+}
+
+void ManifestRecorder::set_section_provider(
+    std::string key, std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, fn] : sections_) {
+    if (k == key) {
+      fn = std::move(provider);
+      return;
+    }
+  }
+  sections_.emplace_back(std::move(key), std::move(provider));
+}
+
+void ManifestRecorder::clear_section_provider(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(sections_, [&](const auto& s) { return s.first == key; });
 }
 
 void ManifestRecorder::add_endpoint(EndpointQor endpoint) {
@@ -249,6 +376,20 @@ std::string ManifestRecorder::to_json() const {
   // locking, no ordering constraints with the tracer / registry).
   const auto rollups = Tracer::instance().rollup();
   const std::string metrics = MetricsRegistry::instance().to_json();
+
+  // Render provider sections outside the lock too: a provider may
+  // take its own subsystem lock (e.g. the result cache), and holding
+  // ours across that call would impose a lock order for no benefit.
+  std::vector<std::pair<std::string, std::function<std::string()>>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers = sections_;
+  }
+  std::vector<std::pair<std::string, std::string>> sections;
+  sections.reserve(providers.size());
+  for (const auto& [key, fn] : providers) {
+    if (fn) sections.emplace_back(key, fn());
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"schema_version\":";
@@ -287,7 +428,14 @@ std::string ManifestRecorder::to_json() const {
     if (i > 0) out += ',';
     append_endpoint(out, *endpoints[i]);
   }
-  out += "]}";
+  out += ']';
+  for (const auto& [key, rendered] : sections) {
+    out += ',';
+    json_append_string(out, key);
+    out += ':';
+    out += rendered;
+  }
+  out += '}';
   return out;
 }
 

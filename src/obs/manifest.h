@@ -22,11 +22,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/json.h"
 
 namespace lvf2::obs {
 
@@ -119,8 +123,18 @@ class ManifestRecorder {
   void add_arc(ArcQor arc);
   void add_endpoint(EndpointQor endpoint);
 
+  /// Registers a subsystem section rendered at to_json() time: the
+  /// manifest gains a top-level `"key": <provider()>` member after
+  /// the fixed schema keys. The provider returns rendered JSON and
+  /// must not call back into the recorder. Last registration per key
+  /// wins; providers outlive start()/stop() cycles (their lifetime is
+  /// the providing subsystem's, e.g. the result cache while armed).
+  void set_section_provider(std::string key,
+                            std::function<std::string()> provider);
+  void clear_section_provider(std::string_view key);
+
   /// The full manifest document as JSON (config + tracer stage
-  /// rollups + metrics snapshot + QoR tables).
+  /// rollups + metrics snapshot + QoR tables + provider sections).
   std::string to_json() const;
 
  private:
@@ -133,6 +147,8 @@ class ManifestRecorder {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<ArcQor> arcs_;
   std::vector<EndpointQor> endpoints_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      sections_;
 };
 
 /// Runs `fn(ManifestRecorder&)` only when a manifest is armed; the
@@ -147,5 +163,14 @@ inline void with_manifest(F&& fn) {
 /// a crashed run never leaves a truncated file. Returns false (after
 /// a one-line stderr warning) on failure. Shared by every JSON sink.
 bool write_file_atomic(const std::string& path, std::string_view content);
+
+/// JSON codec of one ArcQor row, used by the result cache to replay
+/// manifest rows on a warm run. The document mirrors the manifest's
+/// per-arc schema; serialize it at full precision (JsonWriteOptions
+/// {17}) so the replayed row renders byte-identical to the original.
+JsonValue arc_qor_to_json(const ArcQor& arc);
+/// Inverse; nullopt when required members are missing or mistyped
+/// (a corrupted cache entry must degrade to recompute, not crash).
+std::optional<ArcQor> arc_qor_from_json(const JsonValue& doc);
 
 }  // namespace lvf2::obs

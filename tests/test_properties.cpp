@@ -1,0 +1,263 @@
+// Property-based invariants of the statistical core, complementing
+// the example-based tests: distribution-function laws (CDF
+// monotonicity, quantile/CDF round trips), the paper's Eq. 10
+// backward-compatibility collapse checked bitwise, the moment
+// bijection round trip, an EM seed sweep with an allowed-failure
+// budget (recorded under qor.em_seed_sweep.* histograms), and a
+// fuzz-lite pass over the JSON codec the result cache and manifests
+// depend on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/lvf2_model.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "stats/rng.h"
+#include "stats/skew_normal.h"
+
+namespace lvf2 {
+namespace {
+
+// A deterministic family of mixtures spanning the parameter space:
+// both pure-LVF and strongly bimodal, with skewness of both signs.
+core::Lvf2Model seeded_mixture(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const double lambda = rng.uniform();
+  const stats::SkewNormal first = stats::SkewNormal::from_moments(
+      rng.uniform(-2.0, 2.0), rng.uniform(0.2, 2.0), rng.uniform(-0.9, 0.9));
+  const stats::SkewNormal second = stats::SkewNormal::from_moments(
+      rng.uniform(-2.0, 6.0), rng.uniform(0.2, 2.0), rng.uniform(-0.9, 0.9));
+  return core::Lvf2Model(lambda, first, second);
+}
+
+TEST(Properties, MixtureCdfIsMonotoneAndBounded) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const core::Lvf2Model model = seeded_mixture(seed);
+    const double lo = model.mean() - 8.0 * model.stddev();
+    const double hi = model.mean() + 8.0 * model.stddev();
+    double prev = -1.0;
+    for (int i = 0; i <= 400; ++i) {
+      const double x = lo + (hi - lo) * i / 400.0;
+      const double c = model.cdf(x);
+      EXPECT_GE(c, 0.0) << "seed " << seed << " x " << x;
+      EXPECT_LE(c, 1.0) << "seed " << seed << " x " << x;
+      EXPECT_GE(c, prev - 1e-12) << "seed " << seed << " x " << x;
+      EXPECT_GE(model.pdf(x), 0.0) << "seed " << seed << " x " << x;
+      prev = c;
+    }
+    EXPECT_LT(model.cdf(lo), 1e-6) << "seed " << seed;
+    EXPECT_GT(model.cdf(hi), 1.0 - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Properties, QuantileCdfRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const core::Lvf2Model model = seeded_mixture(seed);
+    double prev_x = -std::numeric_limits<double>::infinity();
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+      const double x = model.quantile(p);
+      EXPECT_TRUE(std::isfinite(x)) << "seed " << seed << " p " << p;
+      // quantile is nondecreasing in p...
+      EXPECT_GE(x, prev_x) << "seed " << seed << " p " << p;
+      prev_x = x;
+      // ...and a right inverse of the CDF.
+      EXPECT_NEAR(model.cdf(x), p, 1e-9)
+          << "seed " << seed << " p " << p;
+    }
+    EXPECT_EQ(model.quantile(0.0), -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(model.quantile(1.0), std::numeric_limits<double>::infinity());
+  }
+}
+
+// Paper Eq. 10: lambda = 0 collapses LVF^2 to the plain-LVF
+// skew-normal — not approximately, bitwise. This is what lets one
+// library serve LVF and LVF^2 consumers at once.
+TEST(Properties, LambdaZeroCollapsesToLvfBitwise) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    stats::Rng rng(seed * 0x9e37);
+    const stats::SkewNormal lvf = stats::SkewNormal::from_moments(
+        rng.uniform(0.5, 3.0), rng.uniform(0.05, 0.5),
+        rng.uniform(-0.9, 0.9));
+    const core::Lvf2Model model = core::Lvf2Model::from_lvf(lvf);
+    EXPECT_TRUE(model.is_pure_lvf());
+    EXPECT_EQ(model.lambda(), 0.0);
+    EXPECT_EQ(model.mean(), lvf.mean());
+    EXPECT_EQ(model.stddev(), lvf.stddev());
+    const double lo = lvf.mean() - 6.0 * lvf.stddev();
+    const double hi = lvf.mean() + 6.0 * lvf.stddev();
+    for (int i = 0; i <= 200; ++i) {
+      const double x = lo + (hi - lo) * i / 200.0;
+      EXPECT_EQ(model.pdf(x), lvf.pdf(x)) << "seed " << seed << " x " << x;
+      EXPECT_EQ(model.cdf(x), lvf.cdf(x)) << "seed " << seed << " x " << x;
+    }
+  }
+}
+
+// The moment bijection g (Eq. 2) round-trips: from_moments followed
+// by to_moments recovers the requested triple everywhere inside the
+// attainable skewness interval.
+TEST(Properties, MomentBijectionRoundTrip) {
+  for (double mean : {-3.0, 0.0, 0.7, 42.0}) {
+    for (double stddev : {0.01, 0.5, 1.0, 10.0}) {
+      for (double skewness : {-0.95, -0.5, 0.0, 0.3, 0.95}) {
+        const stats::SkewNormal sn =
+            stats::SkewNormal::from_moments(mean, stddev, skewness);
+        const stats::SnMoments back = sn.to_moments();
+        const std::string label =
+            "(" + std::to_string(mean) + ", " + std::to_string(stddev) +
+            ", " + std::to_string(skewness) + ")";
+        EXPECT_NEAR(back.mean, mean, 1e-9 * std::max(1.0, std::abs(mean)))
+            << label;
+        EXPECT_NEAR(back.stddev, stddev, 1e-9 * stddev) << label;
+        EXPECT_NEAR(back.skewness, skewness, 1e-6) << label;
+      }
+    }
+  }
+}
+
+// EM seed sweep: the fit must recover a known bimodal mixture from
+// finite samples across 32 RNG seeds, with a small allowed-failure
+// budget (EM on 4000 samples is not guaranteed to land every time,
+// but a wide failure rate is a regression). Error magnitudes land in
+// qor.em_seed_sweep.* histograms so a metrics dump shows the spread.
+TEST(Properties, EmSeedSweepRecoversMixtureWithinBudget) {
+  const core::Lvf2Model truth(
+      0.35, stats::SkewNormal::from_moments(10.0, 1.0, 0.3),
+      stats::SkewNormal::from_moments(14.0, 1.5, -0.2));
+  constexpr std::size_t kSeeds = 32;
+  constexpr std::size_t kSamples = 4000;
+  constexpr std::size_t kAllowedFailures = 5;
+
+  obs::Histogram& mean_err = obs::histogram(
+      "qor.em_seed_sweep.mean_abs_err", {0.01, 0.02, 0.05, 0.1, 0.2, 0.5});
+  obs::Histogram& stddev_err = obs::histogram(
+      "qor.em_seed_sweep.stddev_abs_err", {0.01, 0.02, 0.05, 0.1, 0.2, 0.5});
+  const std::uint64_t observed_before = mean_err.count();
+
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    stats::Rng rng(seed);
+    std::vector<double> samples(kSamples);
+    for (double& s : samples) s = truth.sample(rng);
+
+    core::FitOptions options;
+    options.seed = seed;
+    core::EmReport report;
+    const auto fit = core::Lvf2Model::fit(samples, options, &report);
+    ASSERT_TRUE(fit.has_value()) << "seed " << seed;
+
+    const double dm = std::abs(fit->mean() - truth.mean());
+    const double ds = std::abs(fit->stddev() - truth.stddev());
+    mean_err.observe(dm);
+    stddev_err.observe(ds);
+    // Sample-mean noise at n=4000 is ~0.04; 0.15/0.2 leaves EM room
+    // without letting a broken fit pass.
+    const bool ok = dm < 0.15 && ds < 0.2 &&
+                    std::abs(fit->quantile(0.99) - truth.quantile(0.99)) <
+                        0.6;
+    if (!ok) ++failures;
+  }
+  EXPECT_EQ(mean_err.count(), observed_before + kSeeds);
+  EXPECT_LE(failures, kAllowedFailures)
+      << failures << "/" << kSeeds << " seeds missed the tolerance band";
+}
+
+// Bitwise double round trip through the 17-digit writer and strtod —
+// the property the result cache's byte-identical replays rest on.
+TEST(Properties, JsonPrecision17RoundTripsDoublesBitwise) {
+  stats::Rng rng(0xCAFE17);
+  obs::JsonValue doc;
+  doc.type = obs::JsonValue::Type::kObject;
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    double v = 0.0;
+    switch (i % 4) {
+      case 0: v = rng.normal(0.0, 1e-3); break;       // ns-scale values
+      case 1: v = rng.normal(0.0, 1.0); break;
+      case 2: v = rng.uniform(-1e12, 1e12); break;
+      default: v = rng.uniform(0.0, 1.0) * 1e-15; break;  // subunity tails
+    }
+    values.push_back(v);
+    obs::JsonValue num;
+    num.type = obs::JsonValue::Type::kNumber;
+    num.number = v;
+    doc.object.emplace_back("v" + std::to_string(i), num);
+  }
+  const std::string text = obs::json_write(doc, obs::JsonWriteOptions{17});
+  const auto back = obs::json_parse(text);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->object.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back->object[i].second.number, values[i]) << "index " << i;
+  }
+  // Idempotence: a second write of the parsed document is identical.
+  EXPECT_EQ(obs::json_write(*back, obs::JsonWriteOptions{17}), text);
+}
+
+// Fuzz-lite over the JSON codec (mirrors the Liberty lenient-parser
+// sweep): 500 seeded byte-level mutations of a manifest-like golden
+// document. Every mutant either parses or is rejected with a
+// diagnostic — never a crash — and everything that parses
+// round-trips idempotently through write/parse/write.
+TEST(Properties, JsonFuzzLiteNeverCrashesAndRoundTrips) {
+  const std::string golden = R"json({
+    "schema_version": 3,
+    "tool": {"name": "lvf2", "run_id": "fuzz"},
+    "config": {"samples": 8000, "lhs": true, "corner": "tt"},
+    "arcs": [
+      {"cell": "INV_X1", "arc": "A->Y(fall)", "load_idx": 0,
+       "metrics": {"mean": 0.0123456789, "sigma": 1.5e-3, "lambda": 0.35}},
+      {"cell": "NAND2_X1", "arc": "B->Y(rise)", "load_idx": 7,
+       "metrics": {"mean": -0.5, "sigma": null, "tags": ["a", "b"]}}
+    ],
+    "notes": "quotes \" and \\ escapes é"
+  })json";
+  static constexpr char kInserts[] = {'{', '}', '[', ']', '"',
+                                      ',', ':', '\\', 'e', '.'};
+  stats::Rng rng(0xF0221);
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = golden;
+    const std::uint64_t edits = 1 + rng.uniform_index(4);
+    for (std::uint64_t e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_index(text.size()));
+      switch (rng.uniform_index(3)) {
+        case 0:  // overwrite with an arbitrary byte
+          text[pos] = static_cast<char>(rng.uniform_index(256));
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        default:  // insert structural punctuation
+          text.insert(pos, 1,
+                      kInserts[rng.uniform_index(sizeof(kInserts))]);
+          break;
+      }
+    }
+    std::string error;
+    const auto doc = obs::json_parse(text, &error);  // must not crash
+    if (!doc.has_value()) {
+      EXPECT_FALSE(error.empty()) << "silent rejection at iteration " << iter;
+      ++rejected;
+      continue;
+    }
+    // Parse/serialize is a fixed point after one round.
+    const std::string once = obs::json_write(*doc, obs::JsonWriteOptions{17});
+    const auto again = obs::json_parse(once);
+    ASSERT_TRUE(again.has_value()) << "iteration " << iter;
+    EXPECT_EQ(obs::json_write(*again, obs::JsonWriteOptions{17}), once)
+        << "iteration " << iter;
+  }
+  // The mutation schedule must actually exercise the error paths.
+  EXPECT_GT(rejected, 100);
+}
+
+}  // namespace
+}  // namespace lvf2

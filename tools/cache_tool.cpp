@@ -1,0 +1,194 @@
+#include "cache_tool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cells/characterize_cache.h"
+#include "obs/json.h"
+#include "stats/rng.h"
+
+namespace lvf2::tools {
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lvf2_cache <command> <dir> [options]\n"
+               "  stats  <dir>                    entry counts and salt "
+               "breakdown\n"
+               "  gc     <dir>                    drop stale-salt and "
+               "undecodable entries\n"
+               "  purge  <dir>                    delete every shard file\n"
+               "  verify <dir> [--sample N] [--seed S]\n"
+               "                                  re-run N sampled entries "
+               "(default 4)\n"
+               "                                  and diff against the "
+               "stored results\n");
+  return 2;
+}
+
+// Snapshot of a cache directory: every entry parsed, keyed, and
+// classified by its recorded salt.
+struct Snapshot {
+  // (key, parsed doc) of every entry that parses as a JSON object.
+  std::vector<std::pair<std::uint64_t, obs::JsonValue>> entries;
+  std::vector<std::uint64_t> undecodable;  ///< no decodable inputs
+  std::map<std::uint64_t, std::size_t> salt_histogram;
+  std::uint64_t load_failures = 0;
+};
+
+Snapshot snapshot_cache(cache::ResultCache& store) {
+  Snapshot snap;
+  snap.load_failures = store.load_failures();
+  store.for_each_entry([&](std::uint64_t key, const std::string& text) {
+    std::optional<obs::JsonValue> doc = obs::json_parse(text);
+    if (!doc.has_value() ||
+        !cells::decode_cached_inputs(*doc).has_value()) {
+      snap.undecodable.push_back(key);
+      return;
+    }
+    std::optional<cells::CachedEntryInputs> inputs =
+        cells::decode_cached_inputs(*doc);
+    ++snap.salt_histogram[inputs->salt];
+    snap.entries.emplace_back(key, std::move(*doc));
+  });
+  return snap;
+}
+
+int run_stats(const std::string& dir) {
+  cache::ResultCache store;
+  store.arm(dir, cache::Mode::kReadOnly);
+  const Snapshot snap = snapshot_cache(store);
+  std::size_t stale = 0;
+  for (const auto& [salt, count] : snap.salt_histogram) {
+    if (salt != cells::kCharacterizeCacheSalt) stale += count;
+  }
+  std::printf("cache %s\n", dir.c_str());
+  std::printf("  entries:        %zu\n", store.size());
+  std::printf("  decodable:      %zu\n", snap.entries.size());
+  std::printf("  undecodable:    %zu\n", snap.undecodable.size());
+  std::printf("  stale_salt:     %zu\n", stale);
+  std::printf("  load_failures:  %llu\n",
+              static_cast<unsigned long long>(snap.load_failures));
+  std::printf("  current_salt:   %llu\n",
+              static_cast<unsigned long long>(cells::kCharacterizeCacheSalt));
+  for (const auto& [salt, count] : snap.salt_histogram) {
+    std::printf("  salt %llu:         %zu\n",
+                static_cast<unsigned long long>(salt), count);
+  }
+  return 0;
+}
+
+int run_gc(const std::string& dir) {
+  cache::ResultCache store;
+  store.arm(dir, cache::Mode::kReadWrite);
+  const Snapshot snap = snapshot_cache(store);
+  std::size_t removed = 0;
+  for (const std::uint64_t key : snap.undecodable) {
+    removed += store.erase(key) ? 1 : 0;
+  }
+  for (const auto& [key, doc] : snap.entries) {
+    const std::optional<cells::CachedEntryInputs> inputs =
+        cells::decode_cached_inputs(doc);
+    if (inputs->salt != cells::kCharacterizeCacheSalt) {
+      removed += store.erase(key) ? 1 : 0;
+    }
+  }
+  store.flush();
+  std::printf("gc %s: removed %zu of %zu entries\n", dir.c_str(), removed,
+              snap.entries.size() + snap.undecodable.size());
+  return 0;
+}
+
+int run_purge(const std::string& dir) {
+  std::size_t removed = 0;
+  for (std::size_t shard = 0; shard < cache::ResultCache::kShardCount;
+       ++shard) {
+    const std::string path =
+        dir + "/" + cache::ResultCache::shard_file_name(shard);
+    if (std::remove(path.c_str()) == 0) ++removed;
+    std::remove((path + ".lock").c_str());
+  }
+  std::printf("purge %s: removed %zu shard files\n", dir.c_str(), removed);
+  return 0;
+}
+
+int run_verify(const std::string& dir, std::size_t sample,
+               std::uint64_t seed) {
+  // The process singleton may have been armed from LVF2_CACHE by the
+  // static initializer; the recompute must not be served from the very
+  // entries under verification.
+  cache::ResultCache::instance().disarm();
+
+  cache::ResultCache store;
+  store.arm(dir, cache::Mode::kReadOnly);
+  Snapshot snap = snapshot_cache(store);
+  if (!snap.undecodable.empty()) {
+    std::printf("verify %s: %zu undecodable entries (run gc)\n", dir.c_str(),
+                snap.undecodable.size());
+  }
+  if (snap.entries.empty()) {
+    std::printf("verify %s: no decodable entries\n", dir.c_str());
+    return 0;
+  }
+
+  // Seeded sample without replacement (partial Fisher-Yates), so
+  // repeated runs walk different subsets only when asked to.
+  stats::Rng rng(seed);
+  const std::size_t n = std::min(sample, snap.entries.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(
+                rng.uniform_index(snap.entries.size() - i));
+    std::swap(snap.entries[i], snap.entries[j]);
+  }
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [key, doc] = snap.entries[i];
+    const cells::CacheVerifyOutcome outcome =
+        cells::verify_cached_entry(doc);
+    std::printf("  %s: %s\n",
+                cache::ResultCache::format_key(key).c_str(),
+                cells::to_string(outcome));
+    if (outcome != cells::CacheVerifyOutcome::kOk) ++mismatches;
+  }
+  std::printf("verify %s: %zu/%zu sampled entries ok\n", dir.c_str(),
+              n - mismatches, n);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int cache_tool_main(int argc, const char* const* argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+
+  if (command == "stats") return run_stats(dir);
+  if (command == "gc") return run_gc(dir);
+  if (command == "purge") return run_purge(dir);
+  if (command == "verify") {
+    std::size_t sample = 4;
+    std::uint64_t seed = 0x5eedcafe;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sample" && i + 1 < argc) {
+        sample = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = std::strtoull(argv[++i], nullptr, 10);
+      } else {
+        return usage();
+      }
+    }
+    return run_verify(dir, sample, seed);
+  }
+  return usage();
+}
+
+}  // namespace lvf2::tools

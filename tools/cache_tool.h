@@ -1,0 +1,21 @@
+#pragma once
+// Result-cache maintenance behind the lvf2_cache CLI (and its tests):
+// stats over a cache directory, garbage collection of stale-salt /
+// undecodable entries, full purge, and verification — re-running a
+// sampled subset of entries from their recorded inputs and comparing
+// against the stored results bitwise.
+
+#include <string>
+
+namespace lvf2::tools {
+
+/// CLI entry point (exposed for tests):
+///   lvf2_cache stats  <dir>
+///   lvf2_cache gc     <dir>
+///   lvf2_cache purge  <dir>
+///   lvf2_cache verify <dir> [--sample N] [--seed S]
+/// Returns 0 on success, 1 when verify found a mismatch, 2 on
+/// usage/IO errors.
+int cache_tool_main(int argc, const char* const* argv);
+
+}  // namespace lvf2::tools

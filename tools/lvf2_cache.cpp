@@ -1,0 +1,10 @@
+// CLI wrapper of tools/cache_tool.h: inspect, collect, purge and
+// verify a result-cache directory written under LVF2_CACHE.
+// scripts/check.sh --cache runs `stats` and `verify` after the warm
+// re-run as part of the incremental-characterization gate.
+
+#include "cache_tool.h"
+
+int main(int argc, char** argv) {
+  return lvf2::tools::cache_tool_main(argc, argv);
+}
