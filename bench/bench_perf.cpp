@@ -253,6 +253,35 @@ void BM_DisabledCacheLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_DisabledCacheLookup);
 
+// Disabled-path cost of the sampling profiler: with LVF2_PROFILE
+// unset, a hook site (TraceSpan stage tagging) is a single relaxed
+// atomic load — the same contract as the disabled trace span above.
+void BM_DisabledProfilerSample(benchmark::State& state) {
+  if (obs::prof::profiler_enabled()) {
+    state.SkipWithError("LVF2_PROFILE is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::prof::profiler_enabled());
+  }
+}
+BENCHMARK(BM_DisabledProfilerSample);
+
+// Disabled-path cost of pool telemetry: with LVF2_EXEC_TELEMETRY
+// unset, each fork-join chunk pays one relaxed atomic load before
+// running its body.
+void BM_PoolTelemetryOverhead(benchmark::State& state) {
+  if (exec::telemetry_enabled()) {
+    state.SkipWithError(
+        "LVF2_EXEC_TELEMETRY is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::telemetry_enabled());
+  }
+}
+BENCHMARK(BM_PoolTelemetryOverhead);
+
 // Always-on cost of a registry counter increment (relaxed fetch_add).
 void BM_MetricsCounterAdd(benchmark::State& state) {
   obs::Counter& c = obs::counter("bench.counter");

@@ -24,12 +24,23 @@
 # time, and lvf2_cache verify must reproduce sampled cached entries
 # bit-for-bit.
 #
-# Usage: scripts/check.sh [--sanitize|--tsan|--cache] [--update-golden]
-#        [build-dir]
+# Tier-1.5 (--perf): the performance-observability gate — a profiled
+# (LVF2_PROFILE), telemetry-armed (LVF2_EXEC_TELEMETRY,
+# LVF2_ALLOC_STATS) bench_table1_scenarios run must emit a folded
+# profile whose hot stacks name the pipeline stages, bench_perf must
+# hold the disabled-hook budget and write BENCH_perf_micro.json, and
+# `lvf2_report perf` must pass vs scripts/golden/perf_manifest.json
+# (budget LVF2_PERF_BUDGET percent, default 300) while still failing
+# on a synthetically inflated manifest (gate self-test).
+#
+# Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf]
+#        [--update-golden] [--update-perf-golden] [build-dir]
 #        (default build-dir: build, build-asan with --sanitize,
 #        build-tsan with --tsan)
 #        --update-golden: re-record scripts/golden/qor_manifest.json
 #        from the current build instead of diffing against it.
+#        --update-perf-golden: re-record scripts/golden/
+#        perf_manifest.json from the current --perf run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,13 +48,17 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 TSAN=0
 CACHE=0
+PERF=0
 UPDATE_GOLDEN=0
+UPDATE_PERF_GOLDEN=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --sanitize) SANITIZE=1; shift ;;
     --tsan) TSAN=1; shift ;;
     --cache) CACHE=1; shift ;;
+    --perf) PERF=1; shift ;;
     --update-golden) UPDATE_GOLDEN=1; shift ;;
+    --update-perf-golden) UPDATE_PERF_GOLDEN=1; shift ;;
     *) break ;;
   esac
 done
@@ -72,8 +87,9 @@ if [ "$TSAN" = 1 ]; then
   cmake --build "$BUILD_DIR" -j"$JOBS" --target lvf2_tests
   LVF2_THREADS=4 "$BUILD_DIR/tests/lvf2_tests" --gtest_filter=\
 'ParseThreadCount.*:ThreadCount.*:ParallelFor.*:ParallelMap.*:Pool.*'\
-':ExecDeterminism.*:ExecStress.*:Manifest.*:MetricsRegistry.*'\
-':EvaluateModels.*:CacheStore.*:CacheCharacterize.Concurrent*'
+':PoolTelemetry.*:ExecDeterminism.*:ExecStress.*:Manifest.*'\
+':MetricsRegistry.*:EvaluateModels.*:CacheStore.*'\
+':CacheCharacterize.Concurrent*'
   echo "check.sh: TSan gate green"
   exit 0
 fi
@@ -139,6 +155,128 @@ EOF
   "$CACHE_CLI" verify "$CACHE_DIR/cache" --sample 4 \
     || { echo "FAIL: cached entries no longer reproduce"; exit 1; }
   echo "check.sh: cache gate green"
+  exit 0
+fi
+
+if [ "$PERF" = 1 ]; then
+  echo "== performance-observability gate =="
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+  cmake --build "$BUILD_DIR" -j"$JOBS" \
+    --target bench_table1_scenarios bench_perf lvf2_report
+  # LVF2_PERF_GATE_DIR keeps the run's profile + manifests around
+  # (CI uploads them as artifacts); default is a cleaned-up temp dir.
+  if [ -n "${LVF2_PERF_GATE_DIR:-}" ]; then
+    PERF_DIR="$LVF2_PERF_GATE_DIR"
+    mkdir -p "$PERF_DIR"
+  else
+    PERF_DIR="$(mktemp -d)"
+    trap 'rm -rf "$PERF_DIR"' EXIT
+  fi
+  REPORT="$BUILD_DIR/tools/lvf2_report"
+
+  echo "-- profiled pipeline run (profiler + exec telemetry + alloc stats)"
+  LVF2_PROFILE="$PERF_DIR/profile.folded,hz=300" \
+  LVF2_EXEC_TELEMETRY=1 \
+  LVF2_ALLOC_STATS=1 \
+  LVF2_MANIFEST="$PERF_DIR/perf_manifest.json" \
+    "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 --seed 2024 \
+    >/dev/null
+  [ -s "$PERF_DIR/profile.folded" ] \
+    || { echo "FAIL: profiler wrote no folded stacks"; exit 1; }
+  [ -s "$PERF_DIR/perf_manifest.json" ] \
+    || { echo "FAIL: perf manifest was not written"; exit 1; }
+
+  "$REPORT" flame "$PERF_DIR/profile.folded" --top 15 \
+    | tee "$PERF_DIR/flame.txt"
+  # The hot stacks must attribute samples to real pipeline stages, not
+  # only "(untagged)" — the whole point of stage tagging.
+  grep -qE 'characterize|em\.|spice\.mc|ssta\.' "$PERF_DIR/flame.txt" \
+    || { echo "FAIL: no pipeline stage named in the hot stacks"; exit 1; }
+
+  # The manifest must carry the telemetry sections the profiled run
+  # armed, and they must not leak into the determinism gates' view.
+  grep -q '"exec":{' "$PERF_DIR/perf_manifest.json" \
+    || { echo "FAIL: manifest has no exec section"; exit 1; }
+  grep -q '"resource":{' "$PERF_DIR/perf_manifest.json" \
+    || { echo "FAIL: manifest has no resource section"; exit 1; }
+  grep -q '"profile":{' "$PERF_DIR/perf_manifest.json" \
+    || { echo "FAIL: manifest has no profile section"; exit 1; }
+  "$REPORT" canon "$PERF_DIR/perf_manifest.json" \
+    | grep -qE '"exec"|"resource"|"profile"' \
+    && { echo "FAIL: telemetry sections leaked into the canonical form"; \
+         exit 1; }
+
+  echo "-- disabled-hook budget (bench_perf micro benches)"
+  LVF2_BENCH_JSON="$(pwd)" "$BUILD_DIR/bench/bench_perf" \
+    --benchmark_filter='BM_Disabled.*|BM_PoolTelemetryOverhead' \
+    --benchmark_min_time=0.2 >"$PERF_DIR/bench_perf.txt" 2>&1 \
+    || { cat "$PERF_DIR/bench_perf.txt"; exit 1; }
+  [ -s BENCH_perf_micro.json ] \
+    || { echo "FAIL: BENCH_perf_micro.json was not written"; exit 1; }
+  if command -v python3 >/dev/null; then
+  python3 - BENCH_perf_micro.json <<'EOF'
+import json, os, sys
+bench = json.load(open(sys.argv[1]))
+reg = bench["metrics"]
+# Per-call ns budget of a disabled hook: one relaxed atomic load. The
+# contract is < 5 ns on an idle machine; the gate allows headroom for
+# shared-runner noise (override with LVF2_PERF_NS_BUDGET).
+budget = float(os.environ.get("LVF2_PERF_NS_BUDGET", "15"))
+checked = 0
+for key, value in reg.items():
+    if key.startswith("BM_Disabled") or key.startswith("BM_PoolTelemetry"):
+        assert value < budget, f"{key} = {value:.2f} ns > {budget} ns budget"
+        checked += 1
+assert checked >= 2, f"only {checked} disabled-path benches recorded"
+print(f"ok: {checked} disabled-path hooks within {budget} ns")
+EOF
+  else
+    echo "python3 unavailable; skipped disabled-hook ns assertions"
+  fi
+
+  echo "-- perf budget vs committed baseline"
+  PERF_GOLDEN=scripts/golden/perf_manifest.json
+  if [ "$UPDATE_PERF_GOLDEN" = 1 ]; then
+    mkdir -p scripts/golden
+    cp "$PERF_DIR/perf_manifest.json" "$PERF_GOLDEN"
+    echo "re-recorded $PERF_GOLDEN from this run"
+  elif [ -f "$PERF_GOLDEN" ]; then
+    # Wall/CPU/RSS vary machine to machine; the generous default
+    # budget (LVF2_PERF_BUDGET percent + absolute slack) only fires on
+    # order-of-magnitude blowups, which is exactly what an accidental
+    # O(n^2) or a leak looks like.
+    "$REPORT" perf "$PERF_GOLDEN" "$PERF_DIR/perf_manifest.json" \
+        --budget-pct "${LVF2_PERF_BUDGET:-300}" --abs-ms 500 --abs-kb 262144 \
+      || { echo "FAIL: perf regressed vs $PERF_GOLDEN (rerun with" \
+                "--update-perf-golden if the change is intentional)"; \
+           exit 1; }
+  else
+    echo "WARN: $PERF_GOLDEN missing; run scripts/check.sh --perf" \
+         "--update-perf-golden"
+  fi
+
+  # Gate self-test: an inflated stage wall time must trip the budget.
+  if command -v python3 >/dev/null; then
+    python3 - "$PERF_DIR" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+manifest = json.load(open(os.path.join(d, "perf_manifest.json")))
+assert manifest["stages"], "perf manifest has no stage rollups"
+stage = next(iter(manifest["stages"]))
+manifest["stages"][stage]["wall_ms"] = \
+    manifest["stages"][stage]["wall_ms"] * 100 + 1e6
+json.dump(manifest, open(os.path.join(d, "inflated_manifest.json"), "w"))
+print(f"inflated stage {stage} for the self-test")
+EOF
+    if "$REPORT" perf "$PERF_DIR/perf_manifest.json" \
+        "$PERF_DIR/inflated_manifest.json" \
+        --budget-pct "${LVF2_PERF_BUDGET:-300}" --abs-ms 500 >/dev/null; then
+      echo "FAIL: lvf2_report perf accepted a 100x inflated stage"
+      exit 1
+    fi
+    echo "ok: inflated stage wall time trips the perf gate"
+  fi
+  echo "check.sh: perf gate green"
   exit 0
 fi
 

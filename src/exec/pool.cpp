@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 
+#include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lvf2::exec {
+
+namespace detail {
+std::atomic<bool> g_telemetry_enabled{false};
+}  // namespace detail
 
 namespace {
 
@@ -27,7 +35,111 @@ std::size_t default_thread_count() {
   return hw;
 }
 
+/// Per-slot telemetry accumulators. Written by the owning thread only
+/// (relaxed stores suffice; readers snapshot). Lives in a leaked
+/// registry so the manifest `exec` section can read it at process
+/// exit, after the pool singleton (a function-local static) has
+/// already joined its workers and died.
+struct WorkerStatsSlot {
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> indices{0};
+  std::atomic<double> busy_us{0.0};
+};
+
+struct ExecStatsRegistry {
+  std::mutex mutex;
+  // deque: grows without relocating (slots hold atomics and are
+  // written concurrently with growth for other slots).
+  std::deque<WorkerStatsSlot> slots;
+
+  static ExecStatsRegistry& instance() {
+    static auto* registry = new ExecStatsRegistry();  // leaked
+    return *registry;
+  }
+
+  WorkerStatsSlot& slot(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mutex);
+    while (slots.size() <= index) slots.emplace_back();
+    return slots[index];
+  }
+};
+
+/// Rendered `exec` manifest section: process-lifetime job counters
+/// plus the per-slot utilization table when telemetry recorded work.
+std::string exec_section_json() {
+  std::string out = "{\"workers\":";
+  out += std::to_string(thread_count());
+  out += ",\"jobs\":";
+  out += std::to_string(obs::counter("exec.pool.jobs").value());
+  out += ",\"indices\":";
+  out += std::to_string(obs::counter("exec.pool.indices").value());
+  out += ",\"chunks\":";
+  out += std::to_string(obs::counter("exec.pool.chunks").value());
+  out += ",\"job_wall_s\":";
+  obs::json_append_number(
+      out, obs::double_counter("exec.pool.job_wall_s").value());
+  out += ",\"telemetry\":";
+  out += telemetry_enabled() ? "true" : "false";
+  out += ",\"per_worker\":[";
+  const std::vector<WorkerTelemetry> slots = telemetry_snapshot();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"slot\":";
+    out += (i == 0) ? std::string("\"caller\"") : std::to_string(i);
+    out += ",\"chunks\":" + std::to_string(slots[i].chunks);
+    out += ",\"indices\":" + std::to_string(slots[i].indices);
+    out += ",\"busy_ms\":";
+    obs::json_append_number(out, slots[i].busy_us * 1e-3);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+// Reads LVF2_EXEC_TELEMETRY and registers the manifest `exec` section
+// at static-initialization time, mirroring the other obs env gates.
+struct ExecTelemetryEnvInit {
+  ExecTelemetryEnvInit() {
+    if (const char* v = std::getenv("LVF2_EXEC_TELEMETRY")) {
+      if (v[0] != '\0' && v[0] != '0') set_telemetry(true);
+    }
+    obs::ManifestRecorder::instance().set_section_provider(
+        "exec", [] { return exec_section_json(); });
+  }
+} g_exec_telemetry_env_init;
+
+obs::Histogram& chunk_latency_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "exec.pool.chunk_us", {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6});
+  return h;
+}
+
+obs::Histogram& job_wall_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "exec.pool.job_wall_ms", {0.1, 1.0, 10.0, 100.0, 1e3, 1e4});
+  return h;
+}
+
 }  // namespace
+
+void set_telemetry(bool enabled) {
+  detail::g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<WorkerTelemetry> telemetry_snapshot() {
+  ExecStatsRegistry& registry = ExecStatsRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<WorkerTelemetry> out;
+  out.reserve(registry.slots.size());
+  for (const WorkerStatsSlot& slot : registry.slots) {
+    WorkerTelemetry t;
+    t.chunks = slot.chunks.load(std::memory_order_relaxed);
+    t.indices = slot.indices.load(std::memory_order_relaxed);
+    t.busy_us = slot.busy_us.load(std::memory_order_relaxed);
+    out.push_back(t);
+  }
+  return out;
+}
 
 std::size_t parse_thread_count(const char* text, std::size_t fallback) {
   if (text == nullptr || *text == '\0') return fallback;
@@ -75,18 +187,30 @@ Pool& Pool::instance() {
 void Pool::ensure_workers(std::size_t workers) {
   std::lock_guard<std::mutex> lock(mutex_);
   while (threads_.size() < workers) {
-    threads_.emplace_back([this] { worker_loop(); });
+    // Slot 0 is the fork-join caller; workers start at 1.
+    const std::size_t slot_index = threads_.size() + 1;
+    threads_.emplace_back([this, slot_index] { worker_loop(slot_index); });
   }
 }
 
-void Pool::work_on(Job& job) {
+void Pool::work_on(Job& job, std::size_t telemetry_slot) {
   RegionGuard region;
+  // One relaxed load per job, not per chunk: a mid-job toggle is a
+  // test scenario, not one worth a hot-loop branch miss.
+  const bool telemetry = telemetry_enabled();
+  WorkerStatsSlot* stats =
+      telemetry ? &ExecStatsRegistry::instance().slot(telemetry_slot)
+                : nullptr;
+  static obs::Counter& chunk_counter = obs::counter("exec.pool.chunks");
   for (;;) {
     const std::size_t begin =
         job.next.fetch_add(job.chunk, std::memory_order_relaxed);
     if (begin >= job.n) return;
     if (job.failed.load(std::memory_order_relaxed)) continue;
     const std::size_t end = std::min(begin + job.chunk, job.n);
+    const auto chunk_start = telemetry
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
     } catch (...) {
@@ -95,10 +219,24 @@ void Pool::work_on(Job& job) {
         job.error = std::current_exception();
       }
     }
+    if (telemetry) {
+      const double chunk_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - chunk_start)
+              .count();
+      stats->chunks.fetch_add(1, std::memory_order_relaxed);
+      stats->indices.fetch_add(end - begin, std::memory_order_relaxed);
+      obs::detail::atomic_add(stats->busy_us, chunk_us);
+      chunk_counter.add(1);
+      chunk_latency_histogram().observe(chunk_us);
+    }
   }
 }
 
-void Pool::worker_loop() {
+void Pool::worker_loop(std::size_t telemetry_slot) {
+  // Sampled by the wall-clock profiler for the worker's lifetime
+  // (inert while LVF2_PROFILE is off).
+  obs::prof::ThreadRegistration profiler_registration;
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -114,7 +252,7 @@ void Pool::worker_loop() {
     // requested parallelism even when the pool holds more workers.
     if (job->entered.fetch_add(1, std::memory_order_relaxed) <
         job->worker_limit) {
-      work_on(*job);
+      work_on(*job, telemetry_slot);
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -135,6 +273,13 @@ void Pool::run(std::size_t n, std::size_t chunk, std::size_t parallelism,
       obs::double_counter("exec.pool.job_wall_s");
   jobs.add(1);
   indices.add(n);
+  const bool telemetry = telemetry_enabled();
+  if (telemetry) {
+    // "Queue depth" of a fork-join job: indices posted and not yet
+    // claimed, maximal at post time. The gauge tracks the live job;
+    // the histogram keeps the distribution across jobs.
+    obs::gauge("exec.pool.queue_depth").set(static_cast<double>(n));
+  }
   const auto job_start = std::chrono::steady_clock::now();
 
   std::lock_guard<std::mutex> run_lock(run_mutex_);
@@ -154,7 +299,7 @@ void Pool::run(std::size_t n, std::size_t chunk, std::size_t parallelism,
     posted_to = threads_.size();
   }
   work_cv_.notify_all();
-  work_on(job);  // the caller is one of the `parallelism` threads
+  work_on(job, 0);  // the caller is one of the `parallelism` threads
   {
     // Every posted worker must check the job out (even if only to
     // decline it) before the stack-allocated Job can die.
@@ -162,9 +307,14 @@ void Pool::run(std::size_t n, std::size_t chunk, std::size_t parallelism,
     done_cv_.wait(lock, [&] { return job.done == posted_to; });
     job_ = nullptr;
   }
-  job_wall.add(std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - job_start)
-                   .count());
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - job_start)
+                            .count();
+  job_wall.add(wall_s);
+  if (telemetry) {
+    job_wall_histogram().observe(wall_s * 1e3);
+    obs::gauge("exec.pool.queue_depth").set(0.0);
+  }
   if (job.error) std::rethrow_exception(job.error);
 }
 

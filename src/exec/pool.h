@@ -51,6 +51,39 @@ void set_thread_count(std::size_t count);
 /// parallel_for calls made here run inline.
 bool in_parallel_region();
 
+namespace detail {
+extern std::atomic<bool> g_telemetry_enabled;
+}  // namespace detail
+
+/// True when pool telemetry (per-chunk latency histograms, per-worker
+/// utilization, chunk-claim counters) is recording — enabled by
+/// LVF2_EXEC_TELEMETRY=1 at startup or set_telemetry(). Relaxed load:
+/// the only cost paid per chunk when telemetry is off
+/// (BM_PoolTelemetryOverhead in bench_perf, same < 5 ns budget as a
+/// disabled span).
+inline bool telemetry_enabled() {
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+/// Runtime override (tests / benches). Counters keep their totals
+/// across off/on transitions.
+void set_telemetry(bool enabled);
+
+/// Snapshot of one execution slot's lifetime telemetry. Slot 0 is the
+/// calling thread of each fork-join job (callers serialize, so one
+/// slot suffices); slots 1..N are pool workers in creation order.
+struct WorkerTelemetry {
+  std::uint64_t chunks = 0;   ///< chunk claims that ran work
+  std::uint64_t indices = 0;  ///< loop indices executed
+  double busy_us = 0.0;       ///< wall time inside chunk bodies
+};
+
+/// Snapshot of every slot that ever recorded work (empty when
+/// telemetry never ran). Thread-safe; readable at any time, including
+/// from the manifest `exec` section provider at process exit (the
+/// storage is leaked, deliberately outliving the pool singleton).
+std::vector<WorkerTelemetry> telemetry_snapshot();
+
 /// Fixed-size fork-join worker pool. One job at a time; workers claim
 /// index chunks from a shared atomic cursor (dynamic scheduling — no
 /// per-task allocation, no work stealing). Construct directly for an
@@ -96,8 +129,10 @@ class Pool {
     std::size_t done = 0;  ///< workers finished with the job (mutex_)
   };
 
-  void worker_loop();
-  static void work_on(Job& job);
+  /// `telemetry_slot` indexes the leaked per-slot stats registry:
+  /// 0 = fork-join caller, 1..N = workers in creation order.
+  void worker_loop(std::size_t telemetry_slot);
+  static void work_on(Job& job, std::size_t telemetry_slot);
 
   std::mutex run_mutex_;  ///< serializes top-level run() calls
 

@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace lvf2::obs {
@@ -429,6 +430,12 @@ std::string ManifestRecorder::to_json() const {
     append_endpoint(out, *endpoints[i]);
   }
   out += ']';
+  // Always present (one getrusage call): every manifest records peak
+  // RSS and CPU split even when no profiler or telemetry is armed.
+  // Like the provider sections below, it is nondeterministic and
+  // excluded from lvf2_report diff unless opted in via --sections.
+  out += ",\"resource\":";
+  out += resource_section_json();
   for (const auto& [key, rendered] : sections) {
     out += ',';
     json_append_string(out, key);

@@ -18,7 +18,14 @@
 //    "stages":{"name":{"count":N,"wall_ms":W,"cpu_ms":C},...},
 //    "metrics":{"counters":...},           // registry snapshot
 //    "arcs":[...per-arc QoR rows...],
-//    "endpoints":[...SSTA endpoint rows...]}
+//    "endpoints":[...SSTA endpoint rows...],
+//    "resource":{...always-on peak RSS / rusage / alloc rollup...},
+//    ...provider sections (exec, cache, profile)...}
+//
+// The resource/exec/profile sections carry nondeterministic run
+// telemetry; lvf2_report diff skips them (and stages/metrics) unless
+// opted in with --sections, so the zero-tolerance determinism gates
+// keep comparing QoR only.
 
 #include <atomic>
 #include <cstdint>

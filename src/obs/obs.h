@@ -1,11 +1,15 @@
 #pragma once
 // Umbrella header of the observability subsystem: scoped-span
 // tracing (trace.h), the process metrics registry (metrics.h), the
-// structured logger (log.h) and the QoR run manifest (manifest.h).
-// All four are driven by environment variables and cost a relaxed
-// atomic load when disabled — see README.md "Observability".
+// structured logger (log.h), the QoR run manifest (manifest.h), the
+// sampling profiler (profile.h) and the resource accountant
+// (resource.h). All are driven by environment variables and cost a
+// relaxed atomic load when disabled — see README.md "Observability"
+// and "Performance observability".
 
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/resource.h"
 #include "obs/trace.h"

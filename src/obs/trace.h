@@ -25,6 +25,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.h"
+#include "obs/resource.h"
+
 namespace lvf2::obs {
 
 namespace detail {
@@ -134,10 +137,14 @@ inline void trace_counter(std::string_view name, double value) {
 
 /// RAII scoped span: records a complete event covering its lifetime.
 /// The name (and optional args callback) are only materialized when
-/// tracing is enabled.
+/// tracing is enabled. When the sampling profiler is on, the span
+/// additionally tags its thread with the span name so hot stacks are
+/// attributed to a stage; when allocation accounting is on, the
+/// span's allocation delta feeds the per-stage resource rollup.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name) {
+    if (prof::profiler_enabled()) tag_stage(name);
     if (!trace_enabled()) return;
     open(name);
   }
@@ -148,6 +155,7 @@ class TraceSpan {
   template <typename F>
     requires std::is_invocable_r_v<std::string, F>
   TraceSpan(std::string_view name, F&& args_fn) {
+    if (prof::profiler_enabled()) tag_stage(name);
     if (!trace_enabled()) return;
     open(name);
     args_ = std::forward<F>(args_fn)();
@@ -157,23 +165,41 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   ~TraceSpan() {
+    if (staged_) prof::pop_stage();
     if (!active_) return;
+    if (alloc_tracked_) {
+      const AllocSnapshot now = thread_alloc_totals();
+      record_stage_alloc(name_, now.count - alloc_start_.count,
+                         now.bytes - alloc_start_.bytes);
+    }
     Tracer& t = Tracer::instance();
     t.complete_event(name_, start_us_, t.now_us() - start_us_,
                      thread_cpu_us() - start_cpu_us_, args_);
   }
 
  private:
+  void tag_stage(std::string_view name) {
+    prof::push_stage(name);
+    staged_ = true;
+  }
+
   void open(std::string_view name) {
     active_ = true;
     name_.assign(name);
     start_us_ = Tracer::instance().now_us();
     start_cpu_us_ = thread_cpu_us();
+    if (alloc_stats_enabled()) {
+      alloc_tracked_ = true;
+      alloc_start_ = thread_alloc_totals();
+    }
   }
 
   bool active_ = false;
+  bool staged_ = false;
+  bool alloc_tracked_ = false;
   double start_us_ = 0.0;
   double start_cpu_us_ = 0.0;
+  AllocSnapshot alloc_start_;
   std::string name_;
   std::string args_;
 };

@@ -367,7 +367,7 @@ TEST(CacheCharacterize, ColdWarmManifestsAreByteIdentical) {
   EXPECT_EQ(obs::json_write(tools::canonicalize(*cold)),
             obs::json_write(tools::canonicalize(*warm)));
   const tools::DiffResult diff = tools::diff_manifests(
-      *cold, *warm, tools::DiffOptions{0.0, 0.0});
+      *cold, *warm, tools::DiffOptions{0.0, 0.0, {}});
   EXPECT_TRUE(diff.ok()) << diff.regressions.front();
 
   // Both manifests carry the cache section (appended after the fixed

@@ -280,6 +280,83 @@ TEST(ExecDeterminism, PathMonteCarloStableAcrossThreadCounts) {
   EXPECT_EQ(serial.cumulative, threaded.cumulative);
 }
 
+// --- pool telemetry -------------------------------------------------
+
+TEST(PoolTelemetry, DisabledByDefaultAndTogglable) {
+  EXPECT_FALSE(telemetry_enabled());  // LVF2_EXEC_TELEMETRY unset
+  set_telemetry(true);
+  EXPECT_TRUE(telemetry_enabled());
+  set_telemetry(false);
+  EXPECT_FALSE(telemetry_enabled());
+}
+
+TEST(PoolTelemetry, CountsEveryChunkAndIndexUnderStress) {
+  ScopedThreadCount guard(8);
+  const std::vector<WorkerTelemetry> before = telemetry_snapshot();
+  std::uint64_t chunks_before = 0;
+  std::uint64_t indices_before = 0;
+  for (const WorkerTelemetry& slot : before) {
+    chunks_before += slot.chunks;
+    indices_before += slot.indices;
+  }
+
+  set_telemetry(true);
+  constexpr std::size_t kN = 10000;
+  constexpr std::size_t kChunk = 3;
+  constexpr int kJobs = 5;
+  std::atomic<std::size_t> ran{0};
+  for (int job = 0; job < kJobs; ++job) {
+    parallel_for(kN, kChunk, [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  set_telemetry(false);
+  EXPECT_EQ(ran.load(), kN * kJobs);
+
+  const std::vector<WorkerTelemetry> after = telemetry_snapshot();
+  ASSERT_FALSE(after.empty());
+  std::uint64_t chunks = 0;
+  std::uint64_t indices = 0;
+  std::size_t active_slots = 0;
+  for (const WorkerTelemetry& slot : after) {
+    chunks += slot.chunks;
+    indices += slot.indices;
+    if (slot.indices > 0) ++active_slots;
+    EXPECT_GE(slot.busy_us, 0.0);
+  }
+  // Every index ran exactly once and every chunk claim was counted:
+  // ceil(kN / kChunk) chunks per job, kN indices per job.
+  EXPECT_EQ(indices - indices_before, kN * kJobs);
+  EXPECT_EQ(chunks - chunks_before,
+            ((kN + kChunk - 1) / kChunk) * kJobs);
+  // With 10000 tiny chunks across 5 jobs, more than one of the 8
+  // slots (caller + workers) must have claimed work.
+  EXPECT_GT(active_slots, 1u);
+
+  // The registry also feeds the manifest `exec` section.
+  obs::ManifestRecorder& recorder = obs::ManifestRecorder::instance();
+  const std::string path = testing::TempDir() + "exec_telemetry.json";
+  recorder.start(path);
+  const std::string json = recorder.to_json();
+  recorder.discard();
+  EXPECT_NE(json.find("\"exec\":{\"workers\":"), std::string::npos);
+  EXPECT_NE(json.find("\"per_worker\":[{\"slot\":\"caller\""),
+            std::string::npos);
+}
+
+TEST(PoolTelemetry, OffPathRecordsNothingNew) {
+  ScopedThreadCount guard(4);
+  ASSERT_FALSE(telemetry_enabled());
+  const std::vector<WorkerTelemetry> before = telemetry_snapshot();
+  parallel_for(1000, 7, [](std::size_t) {});
+  const std::vector<WorkerTelemetry> after = telemetry_snapshot();
+  std::uint64_t before_indices = 0;
+  std::uint64_t after_indices = 0;
+  for (const WorkerTelemetry& slot : before) before_indices += slot.indices;
+  for (const WorkerTelemetry& slot : after) after_indices += slot.indices;
+  EXPECT_EQ(before_indices, after_indices);
+}
+
 // --- concurrent observability stress -------------------------------
 
 TEST(ExecStress, ConcurrentObserveKeepsTotalsExact) {

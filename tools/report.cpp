@@ -1,9 +1,11 @@
 #include "report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "obs/manifest.h"
 
@@ -194,6 +196,75 @@ void diff_rows(const obs::JsonValue& golden, const obs::JsonValue& current,
   }
 }
 
+/// Generic recursive diff for opt-in sections (exec / resource /
+/// profile / stages / metrics): numbers use the tolerance test,
+/// strings and booleans compare exactly, objects recurse with
+/// missing-key regressions, arrays compare elementwise.
+void diff_json(const obs::JsonValue& ref, const obs::JsonValue& cur,
+               const std::string& where, const DiffOptions& o,
+               DiffResult& out) {
+  using Type = obs::JsonValue::Type;
+  if (ref.type != cur.type) {
+    out.regressions.push_back(where + ": type changed");
+    return;
+  }
+  switch (ref.type) {
+    case Type::kNumber:
+      if (!within(ref.number, cur.number, o)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%s: %.9g -> %.9g (beyond %g%%+%g)",
+                      where.c_str(), ref.number, cur.number, o.rtol * 100.0,
+                      o.atol);
+        out.regressions.emplace_back(buf);
+      }
+      return;
+    case Type::kString:
+      if (ref.string != cur.string) {
+        out.regressions.push_back(where + ": \"" + ref.string + "\" -> \"" +
+                                  cur.string + "\"");
+      }
+      return;
+    case Type::kBool:
+      if (ref.boolean != cur.boolean) {
+        out.regressions.push_back(
+            where + ": " + (ref.boolean ? "true" : "false") + " -> " +
+            (cur.boolean ? "true" : "false"));
+      }
+      return;
+    case Type::kObject:
+      for (const auto& [key, ref_value] : ref.object) {
+        const obs::JsonValue* cur_value = cur.find(key);
+        if (cur_value == nullptr) {
+          out.regressions.push_back(where + "." + key + ": disappeared");
+          continue;
+        }
+        diff_json(ref_value, *cur_value, where + "." + key, o, out);
+      }
+      for (const auto& [key, cur_value] : cur.object) {
+        (void)cur_value;
+        if (ref.find(key) == nullptr) {
+          out.notes.push_back(where + "." + key + ": new (not in reference)");
+        }
+      }
+      return;
+    case Type::kArray: {
+      if (ref.array.size() != cur.array.size()) {
+        out.regressions.push_back(
+            where + ": array size " + std::to_string(ref.array.size()) +
+            " -> " + std::to_string(cur.array.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < ref.array.size(); ++i) {
+        diff_json(ref.array[i], cur.array[i],
+                  where + "[" + std::to_string(i) + "]", o, out);
+      }
+      return;
+    }
+    case Type::kNull:
+      return;
+  }
+}
+
 void append_row(std::string& out, const obs::JsonValue& row,
                 const std::string& label) {
   char buf[256];
@@ -326,6 +397,190 @@ DiffResult diff_manifests(const obs::JsonValue& golden,
   diff_rows(golden, current, "arcs", arc_key, diff_arc, options, out);
   diff_rows(golden, current, "endpoints", endpoint_key,
             diff_golden_and_models, options, out);
+  for (const std::string& section : options.sections) {
+    const obs::JsonValue* ref = golden.find(section);
+    const obs::JsonValue* cur = current.find(section);
+    if (ref == nullptr && cur == nullptr) {
+      out.notes.push_back("section " + section + ": absent from both");
+      continue;
+    }
+    if (ref == nullptr || cur == nullptr) {
+      out.regressions.push_back("section " + section +
+                                (ref == nullptr ? ": appeared"
+                                                : ": disappeared"));
+      continue;
+    }
+    diff_json(*ref, *cur, section, options, out);
+  }
+  return out;
+}
+
+DiffResult diff_perf(const obs::JsonValue& baseline,
+                     const obs::JsonValue& current,
+                     const PerfBudget& budget) {
+  DiffResult out;
+  const auto check = [&](double ref, double cur, double slack,
+                         const std::string& where, const char* unit) {
+    const double limit = ref * (1.0 + budget.pct / 100.0) + slack;
+    if (cur > limit) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "%s: %.3g -> %.3g %s (budget %.3g = +%g%% +%g)",
+                    where.c_str(), ref, cur, unit, limit, budget.pct, slack);
+      out.regressions.emplace_back(buf);
+    }
+  };
+
+  const obs::JsonValue* ref_stages = baseline.find("stages");
+  const obs::JsonValue* cur_stages = current.find("stages");
+  if (ref_stages != nullptr && ref_stages->is_object()) {
+    for (const auto& [name, ref_stage] : ref_stages->object) {
+      const obs::JsonValue* cur_stage =
+          (cur_stages != nullptr) ? cur_stages->find(name) : nullptr;
+      if (cur_stage == nullptr) {
+        out.notes.push_back("stage " + name + ": absent from current");
+        continue;
+      }
+      for (const char* field : {"wall_ms", "cpu_ms"}) {
+        check(ref_stage.number_or(field, 0.0),
+              cur_stage->number_or(field, 0.0), budget.abs_ms,
+              "stage " + name + " " + field, "ms");
+      }
+    }
+  }
+  if (cur_stages != nullptr && cur_stages->is_object()) {
+    for (const auto& [name, cur_stage] : cur_stages->object) {
+      (void)cur_stage;
+      if (ref_stages == nullptr || ref_stages->find(name) == nullptr) {
+        out.notes.push_back("stage " + name + ": new (not in baseline)");
+      }
+    }
+  }
+
+  const obs::JsonValue* ref_res = baseline.find("resource");
+  const obs::JsonValue* cur_res = current.find("resource");
+  if (ref_res != nullptr && cur_res != nullptr) {
+    check(ref_res->number_or("peak_rss_kb", 0.0),
+          cur_res->number_or("peak_rss_kb", 0.0), budget.abs_kb,
+          "resource peak_rss_kb", "kb");
+    const double ref_cpu_ms = (ref_res->number_or("utime_s", 0.0) +
+                               ref_res->number_or("stime_s", 0.0)) *
+                              1e3;
+    const double cur_cpu_ms = (cur_res->number_or("utime_s", 0.0) +
+                               cur_res->number_or("stime_s", 0.0)) *
+                              1e3;
+    check(ref_cpu_ms, cur_cpu_ms, budget.abs_ms, "resource process_cpu_ms",
+          "ms");
+  } else if (ref_res != nullptr || cur_res != nullptr) {
+    out.notes.push_back(std::string("resource section only in ") +
+                        (ref_res != nullptr ? "baseline" : "current"));
+  }
+  return out;
+}
+
+std::optional<std::vector<FoldedStack>> parse_folded(std::string_view text,
+                                                     std::string* error) {
+  std::vector<FoldedStack> stacks;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    const std::size_t space = line.find_last_of(" \t");
+    bool ok = space != std::string_view::npos && space + 1 < line.size();
+    std::uint64_t count = 0;
+    if (ok) {
+      for (std::size_t i = space + 1; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        count = count * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+    }
+    if (!ok || count == 0) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected `stack count`, got \"" + std::string(line) +
+                 "\"";
+      }
+      return std::nullopt;
+    }
+    const std::string stack(line.substr(0, space));
+    bool merged = false;
+    for (FoldedStack& existing : stacks) {
+      if (existing.stack == stack) {
+        existing.count += count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) stacks.push_back({stack, count});
+  }
+  return stacks;
+}
+
+std::string render_flame(const std::vector<FoldedStack>& stacks,
+                         std::size_t top_n) {
+  std::uint64_t total = 0;
+  for (const FoldedStack& s : stacks) total += s.count;
+  std::string out = "total: " + std::to_string(total) + " samples, " +
+                    std::to_string(stacks.size()) + " distinct stacks\n";
+  if (total == 0) return out;
+  const double pct = 100.0 / static_cast<double>(total);
+  char buf[512];
+
+  // Stage rollup: the root frame is the stage tag the profiler
+  // recorded ("(untagged)" for samples outside any span).
+  std::vector<std::pair<std::string, std::uint64_t>> stages;
+  for (const FoldedStack& s : stacks) {
+    const std::size_t semi = s.stack.find(';');
+    const std::string stage = s.stack.substr(0, semi);
+    bool merged = false;
+    for (auto& [name, count] : stages) {
+      if (name == stage) {
+        count += s.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) stages.emplace_back(stage, s.count);
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out += "\nstages:\n";
+  for (const auto& [name, count] : stages) {
+    std::snprintf(buf, sizeof(buf), "  %8llu (%5.1f%%) %s\n",
+                  static_cast<unsigned long long>(count),
+                  static_cast<double>(count) * pct, name.c_str());
+    out += buf;
+  }
+
+  std::vector<const FoldedStack*> order;
+  order.reserve(stacks.size());
+  for (const FoldedStack& s : stacks) order.push_back(&s);
+  std::sort(order.begin(), order.end(), [](const FoldedStack* a,
+                                           const FoldedStack* b) {
+    if (a->count != b->count) return a->count > b->count;
+    return a->stack < b->stack;  // deterministic tie-break
+  });
+  if (order.size() > top_n) order.resize(top_n);
+  out += "\ntop stacks:\n";
+  for (const FoldedStack* s : order) {
+    std::snprintf(buf, sizeof(buf), "  %8llu (%5.1f%%) %s\n",
+                  static_cast<unsigned long long>(s->count),
+                  static_cast<double>(s->count) * pct, s->stack.c_str());
+    out += buf;
+  }
   return out;
 }
 
@@ -336,8 +591,11 @@ int report_main(int argc, const char* const* argv) {
         "usage: lvf2_report show <manifest.json>\n"
         "       lvf2_report canon <manifest.json>\n"
         "       lvf2_report diff <golden.json> <current.json>"
-        " [--rtol R] [--atol A]\n"
-        "exit: 0 ok, 1 diff found a regression, 2 usage / IO error\n");
+        " [--rtol R] [--atol A] [--sections a,b,...]\n"
+        "       lvf2_report perf <baseline.json> <current.json>"
+        " [--budget-pct P] [--abs-ms M] [--abs-kb K]\n"
+        "       lvf2_report flame <profile.folded> [--top N]\n"
+        "exit: 0 ok, 1 diff/perf found a regression, 2 usage / IO error\n");
     return 2;
   };
   if (argc < 3) return usage();
@@ -367,6 +625,15 @@ int report_main(int argc, const char* const* argv) {
         options.rtol = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--atol") == 0 && i + 1 < argc) {
         options.atol = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--sections") == 0 && i + 1 < argc) {
+        std::string_view list = argv[++i];
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          const std::string_view item = list.substr(0, comma);
+          if (!item.empty()) options.sections.emplace_back(item);
+          if (comma == std::string_view::npos) break;
+          list.remove_prefix(comma + 1);
+        }
       } else {
         return usage();
       }
@@ -397,6 +664,75 @@ int report_main(int argc, const char* const* argv) {
     }
     std::printf("lvf2_report: QoR matches %s (%zu note(s))\n", argv[2],
                 result.notes.size());
+    return 0;
+  }
+
+  if (command == "perf") {
+    if (argc < 4) return usage();
+    PerfBudget budget;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--budget-pct") == 0 && i + 1 < argc) {
+        budget.pct = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--abs-ms") == 0 && i + 1 < argc) {
+        budget.abs_ms = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--abs-kb") == 0 && i + 1 < argc) {
+        budget.abs_kb = std::atof(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+    const std::optional<obs::JsonValue> baseline =
+        load_manifest(argv[2], &error);
+    if (!baseline) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const std::optional<obs::JsonValue> current =
+        load_manifest(argv[3], &error);
+    if (!current) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const DiffResult result = diff_perf(*baseline, *current, budget);
+    for (const std::string& note : result.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    for (const std::string& regression : result.regressions) {
+      std::printf("PERF REGRESSION: %s\n", regression.c_str());
+    }
+    if (!result.ok()) {
+      std::printf("lvf2_report: %zu perf regression(s) vs %s\n",
+                  result.regressions.size(), argv[2]);
+      return 1;
+    }
+    std::printf("lvf2_report: perf within budget of %s (%zu note(s))\n",
+                argv[2], result.notes.size());
+    return 0;
+  }
+
+  if (command == "flame") {
+    std::size_t top_n = 20;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+        const long n = std::atol(argv[++i]);
+        if (n <= 0) return usage();
+        top_n = static_cast<std::size_t>(n);
+      } else {
+        return usage();
+      }
+    }
+    std::string text;
+    if (!read_file(argv[2], text, &error)) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const std::optional<std::vector<FoldedStack>> stacks =
+        parse_folded(text, &error);
+    if (!stacks) {
+      std::fprintf(stderr, "lvf2_report: %s: %s\n", argv[2], error.c_str());
+      return 2;
+    }
+    std::fputs(render_flame(*stacks, top_n).c_str(), stdout);
     return 0;
   }
   return usage();
