@@ -33,7 +33,16 @@
 # (budget LVF2_PERF_BUDGET percent, default 300) while still failing
 # on a synthetically inflated manifest (gate self-test).
 #
-# Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf]
+# Tier-1.5 (--serve): the fault-tolerant serving gate — lvf2d is
+# warmed (no faults, rw cache, deadline-free soak), then restarted
+# with the I/O + EM faults armed on a readonly warm cache and soaked
+# with N mixed multi-client queries; both runs must drain cleanly on
+# SIGTERM with a manifest whose serve section shows
+# accepted == responded, and the soak client must see zero invariant
+# violations (valid status codes / degradation tags on every answer,
+# deadline-tagged requests within deadline + slack).
+#
+# Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf|--serve]
 #        [--update-golden] [--update-perf-golden] [build-dir]
 #        (default build-dir: build, build-asan with --sanitize,
 #        build-tsan with --tsan)
@@ -49,6 +58,7 @@ SANITIZE=0
 TSAN=0
 CACHE=0
 PERF=0
+SERVE=0
 UPDATE_GOLDEN=0
 UPDATE_PERF_GOLDEN=0
 while [ $# -gt 0 ]; do
@@ -57,6 +67,7 @@ while [ $# -gt 0 ]; do
     --tsan) TSAN=1; shift ;;
     --cache) CACHE=1; shift ;;
     --perf) PERF=1; shift ;;
+    --serve) SERVE=1; shift ;;
     --update-golden) UPDATE_GOLDEN=1; shift ;;
     --update-perf-golden) UPDATE_PERF_GOLDEN=1; shift ;;
     *) break ;;
@@ -89,7 +100,7 @@ if [ "$TSAN" = 1 ]; then
 'ParseThreadCount.*:ThreadCount.*:ParallelFor.*:ParallelMap.*:Pool.*'\
 ':PoolTelemetry.*:ExecDeterminism.*:ExecStress.*:Manifest.*'\
 ':MetricsRegistry.*:EvaluateModels.*:CacheStore.*'\
-':CacheCharacterize.Concurrent*'
+':CacheCharacterize.Concurrent*:Serve*'
   echo "check.sh: TSan gate green"
   exit 0
 fi
@@ -277,6 +288,124 @@ EOF
     echo "ok: inflated stage wall time trips the perf gate"
   fi
   echo "check.sh: perf gate green"
+  exit 0
+fi
+
+if [ "$SERVE" = 1 ]; then
+  echo "== lvf2d fault-tolerant serving gate =="
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+  cmake --build "$BUILD_DIR" -j"$JOBS" --target lvf2d lvf2d_soak
+  # LVF2_SERVE_GATE_DIR keeps the daemon logs + manifest around (CI
+  # uploads them as artifacts); default is a cleaned-up temp dir.
+  if [ -n "${LVF2_SERVE_GATE_DIR:-}" ]; then
+    SOAK_DIR="$LVF2_SERVE_GATE_DIR"
+    mkdir -p "$SOAK_DIR"
+  else
+    SOAK_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SOAK_DIR"' EXIT
+  fi
+  SOCK="$SOAK_DIR/lvf2d.sock"
+  N="${LVF2_SOAK_N:-200}"
+  DAEMON_PID=""
+
+  start_daemon() {  # start_daemon <log-file> [ENV=VAL ...]
+    local log="$1"
+    shift
+    rm -f "$SOCK"
+    env "$@" LVF2_SERVE="unix:$SOCK" LVF2_SERVE_SAMPLES=300 \
+      LVF2_CACHE="$SOAK_DIR/cache" \
+      "$BUILD_DIR/tools/lvf2d" >"$log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+      [ -S "$SOCK" ] && return 0
+      kill -0 "$DAEMON_PID" 2>/dev/null \
+        || { echo "FAIL: lvf2d died at startup"; cat "$log"; return 1; }
+      sleep 0.1
+    done
+    echo "FAIL: lvf2d never bound $SOCK"
+    cat "$log"
+    return 1
+  }
+
+  stop_daemon() {  # SIGTERM, bounded drain wait, exit code must be 0
+    kill -TERM "$DAEMON_PID"
+    for _ in $(seq 1 300); do
+      kill -0 "$DAEMON_PID" 2>/dev/null || break
+      sleep 0.1
+    done
+    if kill -0 "$DAEMON_PID" 2>/dev/null; then
+      echo "FAIL: lvf2d did not drain within 30s of SIGTERM"
+      kill -9 "$DAEMON_PID"
+      return 1
+    fi
+    local rc=0
+    wait "$DAEMON_PID" || rc=$?
+    if [ "$rc" != 0 ]; then
+      echo "FAIL: lvf2d exited with status $rc"
+      return 1
+    fi
+  }
+
+  # Phase 1: a fault-free, deadline-free soak with the same seed and
+  # mix as phase 2 populates the result cache, so the faulted replica
+  # below serves warm entries. Same LVF2_SERVE_SAMPLES both phases —
+  # the cache key covers the Monte-Carlo config.
+  echo "-- warm phase: fault-free daemon populates the cache"
+  start_daemon "$SOAK_DIR/warm_daemon.log" || exit 1
+  timeout 900 "$BUILD_DIR/tools/lvf2d_soak" --connect "unix:$SOCK" \
+      --n "$N" --clients 4 --deadline-ms 0 \
+    || { echo "FAIL: warm soak failed"; cat "$SOAK_DIR/warm_daemon.log"; \
+         exit 1; }
+  stop_daemon || exit 1
+  [ -n "$(ls "$SOAK_DIR/cache" 2>/dev/null)" ] \
+    || { echo "FAIL: warm run left no cache shards"; exit 1; }
+
+  # Phase 2: the survival run. Socket + cache-shard I/O faults and EM
+  # collapse armed at 10% each, readonly warm cache, per-request
+  # deadlines — every response must carry a valid status code or
+  # degradation tag, and SIGTERM must drain to a complete manifest.
+  echo "-- soak phase: faults armed, readonly warm cache, deadlines on"
+  start_daemon "$SOAK_DIR/soak_daemon.log" \
+    LVF2_CACHE_MODE=readonly \
+    LVF2_DEADLINE_MS=250 \
+    LVF2_FAULTS="socket.read:0.1,socket.write:0.1,cache.read_io:0.1,em.collapse:0.1;seed=2024" \
+    LVF2_MANIFEST="$SOAK_DIR/serve_manifest.json" \
+    LVF2_METRICS="$SOAK_DIR/serve_metrics.json" || exit 1
+  timeout 600 "$BUILD_DIR/tools/lvf2d_soak" --connect "unix:$SOCK" \
+      --n "$N" --clients 4 \
+    || { echo "FAIL: faulted soak failed"; cat "$SOAK_DIR/soak_daemon.log"; \
+         exit 1; }
+  stop_daemon || exit 1
+
+  [ -s "$SOAK_DIR/serve_manifest.json" ] \
+    || { echo "FAIL: drained daemon wrote no manifest"; exit 1; }
+  if command -v python3 >/dev/null; then
+    python3 - "$SOAK_DIR/serve_manifest.json" <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))
+serve = manifest.get("serve")
+assert serve, "manifest has no serve section"
+assert serve["drained"] == 1, serve
+assert serve["accepted"] > 0, serve
+assert serve["accepted"] == serve["responded"], \
+    f"accepted {serve['accepted']} != responded {serve['responded']}"
+answered = (serve["completed_full"] + serve["completed_degraded"]
+            + serve["failed"])
+assert answered == serve["responded"], serve
+assert serve["io_retry"] + serve["io_injected_hard"] > 0, \
+    "socket faults never fired"
+print(f"ok: accepted={serve['accepted']} responded={serve['responded']} "
+      f"full={serve['completed_full']} "
+      f"degraded={serve['completed_degraded']} failed={serve['failed']} "
+      f"io_retry={serve['io_retry']} hard={serve['io_injected_hard']} "
+      f"drained={serve['drained']}")
+EOF
+  else
+    grep -q '"serve":' "$SOAK_DIR/serve_manifest.json" \
+      || { echo "FAIL: manifest has no serve section"; exit 1; }
+    echo "python3 unavailable; skipped serve-section count assertions"
+  fi
+  echo "check.sh: serve gate green"
   exit 0
 fi
 

@@ -1,11 +1,14 @@
 #include "cache/cache.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -17,6 +20,7 @@
 #endif
 
 #include "obs/obs.h"
+#include "robust/faults.h"
 
 namespace lvf2::cache {
 
@@ -34,6 +38,87 @@ struct CacheEnvInit {
   CacheEnvInit() { arm_from_env(); }
 } g_cache_env_init;
 
+#if LVF2_CACHE_HAS_FLOCK
+
+// One attempt at reading `path` whole. Returns false on a hard I/O
+// failure; real EINTR and injected transient cache.read_io faults are
+// absorbed in the read loop (each absorption counts cache.io_retry).
+// An injected fault is "hard" on one draw in four, exercising the
+// caller's backoff path too.
+bool read_file_once(const std::string& path, std::string& out,
+                    bool& absent) {
+  out.clear();
+  absent = false;
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    absent = (errno == ENOENT);
+    return absent;  // missing shard is a clean empty read, not an error
+  }
+  char buf[1 << 16];
+  for (;;) {
+    if (robust::fire(robust::Fault::kCacheReadIo)) {
+      const bool hard =
+          robust::FaultInjector::instance().draw(robust::Fault::kCacheReadIo) %
+              4 ==
+          0;
+      if (hard) {
+        ::close(fd);
+        return false;
+      }
+      obs::counter("cache.io_retry").add(1);
+      continue;  // transient: behave like an absorbed EINTR
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        obs::counter("cache.io_retry").add(1);
+        continue;
+      }
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+// Reads a shard file with bounded retry + exponential backoff and
+// deterministic jitter around transient I/O failures. A persistently
+// unreadable shard degrades to an absent one (its entries recompute)
+// with a robust.downgrade.cache_io count — the failure is surfaced,
+// never silent, and never fatal.
+std::string read_file(const std::string& path) {
+  constexpr int kAttempts = 4;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      // 1/2/4 ms base with +-25% jitter derived from (path, attempt):
+      // deterministic per call site, yet de-synchronized across the
+      // shards so replica fleets do not retry in lockstep.
+      const std::uint64_t h =
+          std::hash<std::string>()(path) * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(attempt);
+      const double jitter = 0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
+      const double base_ms = static_cast<double>(1 << (attempt - 1));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(base_ms * jitter));
+      obs::counter("cache.io_retry").add(1);
+    }
+    std::string out;
+    bool absent = false;
+    if (read_file_once(path, out, absent)) return out;
+  }
+  obs::counter("robust.downgrade.cache_io").add(1);
+  obs::log_warn("cache.shard_io_failed", {{"path", path}});
+  return {};
+}
+
+#else  // !LVF2_CACHE_HAS_FLOCK
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return {};
@@ -41,6 +126,8 @@ std::string read_file(const std::string& path) {
   ss << in.rdbuf();
   return ss.str();
 }
+
+#endif  // LVF2_CACHE_HAS_FLOCK
 
 // A damaged cache file or entry degrades to recompute; both counters
 // exist so the robustness layer and the cache stats agree on it.
@@ -334,8 +421,18 @@ bool ResultCache::flush_shard_locked(std::size_t shard) {
   // Per-shard advisory lock: concurrent populating processes merge
   // their entries instead of clobbering each other.
   const std::string lock_path = path + ".lock";
-  const int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
-  if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+  int lock_fd = -1;
+  do {
+    lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  } while (lock_fd < 0 && errno == EINTR);
+  if (lock_fd >= 0) {
+    // A signal-interrupted flock must be retried, not abandoned: an
+    // unlocked merge would let two writers clobber each other.
+    while (::flock(lock_fd, LOCK_EX) != 0) {
+      if (errno != EINTR) break;
+      obs::counter("cache.io_retry").add(1);
+    }
+  }
 #endif
 
   // Merge: start from what is on disk now (another process may have

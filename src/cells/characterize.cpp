@@ -9,6 +9,7 @@
 
 #include "cache/cache.h"
 #include "cells/characterize_cache.h"
+#include "core/cancel.h"
 #include "core/metrics.h"
 #include "exec/pool.h"
 #include "obs/obs.h"
@@ -217,9 +218,13 @@ ConditionCharacterization Characterizer::characterize_entry(
   entries_counter.add(1);
 
   // Cache fast path: a usable hit skips the Monte Carlo and every fit.
-  // Fault injection makes entries impure (corruption is call-index
-  // based), so the cache stands down while faults are armed.
-  const bool cache_active = cache::enabled() && !robust::faults_enabled();
+  // Computation-fault injection makes entries impure (corruption is
+  // call-index based), so the cache stands down while any samples/em/
+  // liberty/ssta fault is armed; pure I/O faults (socket.*,
+  // cache.read_io) leave results correct and keep the cache serving —
+  // the lvf2d soak depends on a warm cache under exactly those.
+  const bool cache_active =
+      cache::enabled() && !robust::pipeline_faults_armed();
   std::uint64_t cache_key = 0;
   if (cache_active) {
     cache_key = entry_cache_key(corner_, options_, cell, arc, arc_label,
@@ -289,6 +294,11 @@ ConditionCharacterization Characterizer::characterize_entry(
                                    mc.delay_ns, fit, cc.lvf2_delay_report);
       obs::ManifestRecorder::instance().add_arc(*qor_row);
     }
+  } catch (const core::CancelledError&) {
+    // A deadline expiry is not an entry failure: the serving layer
+    // owns the shed decision (degrade to a cheaper rung), so the
+    // cancellation propagates instead of degrading in place here.
+    throw;
   } catch (const std::exception& e) {
     // A failed entry degrades to its nominal values; the library
     // table stays complete and the Status records the cause.
@@ -299,7 +309,7 @@ ConditionCharacterization Characterizer::characterize_entry(
                    {"load_idx", load_idx},
                    {"slew_idx", slew_idx},
                    {"error", e.what()}});
-    cc.status = core::Status::internal(e.what());
+    cc.status = core::status_from_exception(e);
     obs::with_manifest([&](obs::ManifestRecorder& m) {
       obs::ArcQor row;
       row.table = "characterize";

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/cancel.h"
 #include "obs/obs.h"
 #include "robust/faults.h"
 #include "stats/descriptive.h"
@@ -220,6 +221,9 @@ EmRun run_em(const WeightedData& data, const EmInit& init,
   std::size_t ll_decreases = 0;
   constexpr double kWeightFloor = 1e-6;
   for (std::size_t iter = 0; iter < options.em_max_iterations; ++iter) {
+    // Deadline checkpoint (lvf2d): at most one more EM iteration runs
+    // after a request's budget expires.
+    core::checkpoint();
     run.report.iterations = iter + 1;
 
     if (robust::fire(robust::Fault::kEmCollapse)) {

@@ -14,7 +14,11 @@
 
 namespace lvf2::core {
 
-/// Coarse failure classes; the message carries the specifics.
+/// Coarse failure classes; the message carries the specifics. The
+/// second block are the canonical serving codes (gRPC-style names):
+/// a long-running daemon needs to distinguish "try again later"
+/// (transient) from "this request is wrong" (permanent), so the code
+/// — not the message — is the contract clients dispatch on.
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument,  ///< caller error (bad option, size mismatch)
@@ -22,6 +26,12 @@ enum class StatusCode : int {
   kNonFinite,        ///< NaN or Inf where a finite value is required
   kParseError,       ///< malformed input text
   kInternal,         ///< contained failure of a lower layer
+  // Canonical serving codes (lvf2d and the cache I/O retry layer).
+  kDeadlineExceeded,   ///< the request's deadline passed mid-compute
+  kUnavailable,        ///< transient I/O / connection failure; retry
+  kResourceExhausted,  ///< admission queue full / frame too large
+  kNotFound,           ///< named cell / arc / entry does not exist
+  kCancelled,          ///< caller abandoned the request (drain/shed)
 };
 
 /// Short stable name of a code ("ok", "invalid_argument", ...).
@@ -33,8 +43,37 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kNonFinite: return "non_finite";
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
+}
+
+/// Inverse of to_string; StatusCode::kInternal for unknown names.
+/// The wire protocol carries codes by name, so both directions must
+/// be stable.
+inline StatusCode status_code_from_name(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kDegenerateData, StatusCode::kNonFinite,
+        StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+        StatusCode::kResourceExhausted, StatusCode::kNotFound,
+        StatusCode::kCancelled}) {
+    if (name == to_string(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+/// True for codes a client may retry verbatim after a backoff: the
+/// failure was about the server's state, not about the request.
+inline bool is_transient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 /// Success-or-error value; cheap to copy on the success path (no
@@ -61,8 +100,25 @@ class Status {
   static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status deadline_exceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status not_found(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
+  /// See is_transient(StatusCode): retryable-after-backoff failures.
+  bool is_transient() const { return core::is_transient(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -1,6 +1,7 @@
 #include "obs/manifest.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <tuple>
@@ -148,7 +149,23 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
     std::fprintf(stderr, "lvf2-obs: cannot open sink %s\n", tmp.c_str());
     return false;
   }
-  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  // Signal-tolerant write loop: a daemon flushing its sinks during a
+  // SIGTERM drain sees interrupted and short fwrites; retry the
+  // remainder instead of leaving a truncated .tmp behind.
+  std::size_t written = 0;
+  while (written < content.size()) {
+    errno = 0;
+    const std::size_t n =
+        std::fwrite(content.data() + written, 1, content.size() - written, f);
+    written += n;
+    if (n == 0) {
+      if (errno == EINTR) {
+        std::clearerr(f);
+        continue;
+      }
+      break;
+    }
+  }
   const bool flushed = (std::fclose(f) == 0) && written == content.size();
   if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::fprintf(stderr, "lvf2-obs: cannot finalize sink %s\n", path.c_str());

@@ -36,6 +36,9 @@ constexpr FaultName kFaultNames[] = {
     {Fault::kLibertyBadNumber, "liberty.badnum"},
     {Fault::kSstaNonfinite, "ssta.nonfinite"},
     {Fault::kSstaEmptyPdf, "ssta.empty_pdf"},
+    {Fault::kSocketRead, "socket.read"},
+    {Fault::kSocketWrite, "socket.write"},
+    {Fault::kCacheReadIo, "cache.read_io"},
 };
 static_assert(sizeof(kFaultNames) / sizeof(kFaultNames[0]) ==
               static_cast<std::size_t>(kFaultCount));
@@ -286,6 +289,20 @@ bool corrupt_samples(std::vector<double>& xs) {
     corrupted = true;
   }
   return corrupted;
+}
+
+bool pipeline_faults_armed() {
+  if (!faults_enabled()) return false;
+  const FaultInjector& injector = FaultInjector::instance();
+  for (int i = 0; i < kFaultCount; ++i) {
+    const Fault fault = static_cast<Fault>(i);
+    if (fault == Fault::kSocketRead || fault == Fault::kSocketWrite ||
+        fault == Fault::kCacheReadIo) {
+      continue;  // I/O faults do not make computed results impure
+    }
+    if (injector.armed(fault)) return true;
+  }
+  return false;
 }
 
 bool corrupt_liberty_text(std::string& text) {

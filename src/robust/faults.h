@@ -16,12 +16,15 @@
 // reproducible bit-for-bit; every actual injection bumps the
 // "robust.fault.injected.<name>" metrics counter.
 //
-// The harness corrupts three layers:
+// The harness corrupts these layers:
 //   samples.*  Monte-Carlo sample sets before fitting
 //   em.*       EM internals (collapse / iteration exhaustion /
 //              oscillating log-likelihood)
 //   liberty.*  Liberty source text before lexing
 //   ssta.*     propagation inputs (non-finite delays, empty PDFs)
+//   socket.*   lvf2d frame I/O (transient EINTR, short writes,
+//              hard connection errors)
+//   cache.*    result-cache shard reads (EINTR / EIO)
 
 #include <atomic>
 #include <cstdint>
@@ -52,6 +55,9 @@ enum class Fault : int {
   kLibertyBadNumber,  ///< corrupt a digit inside Liberty source
   kSstaNonfinite,     ///< poison a delay constant with NaN
   kSstaEmptyPdf,      ///< replace a stage PDF with an empty grid
+  kSocketRead,        ///< fail a socket read (transient EINTR or hard)
+  kSocketWrite,       ///< fail a socket write (transient or short)
+  kCacheReadIo,       ///< fail a cache shard read (EINTR / EIO)
   kCount,
 };
 
@@ -130,5 +136,15 @@ bool corrupt_samples(std::vector<double>& xs);
 /// Applies every armed liberty.* fault to Liberty source text in
 /// place. Returns true when anything was corrupted.
 bool corrupt_liberty_text(std::string& text);
+
+/// True when any fault that corrupts the *computation* (samples.*,
+/// em.*, liberty.*, ssta.*) is armed. The result cache keys entries
+/// by their inputs, and injected computation faults make an entry
+/// impure (corruption advances per-fault call counters), so the
+/// cache stands down while any is armed. The I/O faults (socket.*,
+/// cache.read_io) exercise transport and storage, leave results
+/// pure, and must NOT disable the cache — the serve soak runs a
+/// warm readonly cache under exactly those faults.
+bool pipeline_faults_armed();
 
 }  // namespace lvf2::robust

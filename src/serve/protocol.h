@@ -1,0 +1,67 @@
+#pragma once
+// lvf2d wire protocol: length-prefixed JSON frames over a stream
+// socket. A frame is a 4-byte big-endian payload length followed by
+// that many bytes of UTF-8 JSON (the document model is obs::JsonValue
+// — the same codec as every other sink in the tree).
+//
+//   request:  {"id":N,"op":"<name>","deadline_ms":D,"params":{...}}
+//   response: {"id":N,"status":"<code>","degradation":"<rung>",
+//              "elapsed_ms":E,["retry_after_ms":R,]["error":"...",]
+//              "result":{...}}
+//
+// "status" is a canonical core::StatusCode name ("ok",
+// "deadline_exceeded", "resource_exhausted", ...); "degradation" is
+// the rung of the shed chain that produced the answer ("none",
+// "cached", "single_sn", "point_mass"). A shed answer is ok + a
+// non-"none" degradation, never an error — see DESIGN.md decision 19.
+//
+// The read/write loops absorb real EINTRs and short transfers, and
+// the robust harness injects both (socket.read / socket.write) plus
+// hard failures, so the retry paths are exercised deterministically
+// in the soak. Hard failures surface as kUnavailable and end the
+// connection; they never end the process.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "obs/json.h"
+
+namespace lvf2::serve {
+
+/// Frames above this size are rejected with kResourceExhausted
+/// before any allocation — a malformed or hostile length prefix must
+/// not be able to OOM the daemon.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Reads one frame into `body`. Blocking. kCancelled on a clean EOF
+/// at a frame boundary (peer closed), kUnavailable on a mid-frame
+/// EOF or a hard I/O failure, kResourceExhausted on an oversized
+/// length prefix.
+core::Status read_frame(int fd, std::string& body);
+
+/// Writes one frame. Blocking; absorbs EINTR and short writes.
+core::Status write_frame(int fd, std::string_view body);
+
+/// One parsed request. `deadline_ms` <= 0 means "no explicit
+/// deadline" (the server default applies).
+struct Request {
+  std::uint64_t id = 0;
+  std::string op;
+  double deadline_ms = 0.0;
+  obs::JsonValue params;  ///< object; empty object when absent
+};
+
+/// Parses a request body. kParseError / kInvalidArgument on
+/// malformed input; the caller still answers the frame (with the
+/// error status) when an "id" could be recovered.
+core::Status parse_request(const std::string& body, Request& out);
+
+/// Serialized response frame bodies.
+std::string render_response(std::uint64_t id, const core::Status& status,
+                            std::string_view degradation, double elapsed_ms,
+                            const obs::JsonValue* result,
+                            double retry_after_ms = 0.0);
+
+}  // namespace lvf2::serve

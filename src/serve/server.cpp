@@ -1,0 +1,423 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/cancel.h"
+#include "exec/pool.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+
+namespace lvf2::serve {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || !(v == v)) return fallback;
+  return v;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const double v = env_double(name, -1.0);
+  if (v < 0.0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+double now_elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// The manifest's "serve" section. Fed exclusively from the global
+// metrics registry (no server state), so the provider stays valid at
+// atexit time, after the Server object is long gone.
+std::string render_serve_section() {
+  std::string out = "{";
+  bool first = true;
+  const auto add = [&](const char* key, double value) {
+    if (!first) out += ",";
+    first = false;
+    obs::json_append_string(out, key);
+    out += ":";
+    obs::json_append_number(out, value);
+  };
+  const auto add_counter = [&](const char* key, const char* counter) {
+    add(key, static_cast<double>(obs::counter(counter).value()));
+  };
+  add_counter("accepted", "serve.accepted");
+  add_counter("responded", "serve.responded");
+  add_counter("completed_full", "serve.completed.full");
+  add_counter("completed_degraded", "serve.completed.degraded");
+  add_counter("failed", "serve.completed.failed");
+  add_counter("rejected", "serve.rejected");
+  add_counter("drain_refused", "serve.drain_refused");
+  add_counter("shed_overload", "serve.shed.overload");
+  add_counter("shed_deadline", "serve.shed.deadline");
+  add_counter("shed_drain", "serve.shed.drain");
+  add_counter("degraded_cached", "serve.degraded.cached");
+  add_counter("degraded_single_sn", "serve.degraded.single_sn");
+  add_counter("degraded_point_mass", "serve.degraded.point_mass");
+  add_counter("lru_hit", "serve.lru.hit");
+  add_counter("lru_miss", "serve.lru.miss");
+  add_counter("io_retry", "serve.io.retry");
+  add_counter("io_injected_hard", "serve.io.injected_hard");
+  add_counter("connections", "serve.connections");
+  add("queue_high_water", obs::gauge("serve.queue.high_water").value());
+  add("drained", obs::gauge("serve.drained").value());
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+ServerOptions server_options_from_env() {
+  ServerOptions options;
+  if (const char* listen = std::getenv("LVF2_SERVE");
+      listen != nullptr && *listen != '\0') {
+    options.listen = listen;
+  }
+  options.default_deadline_ms = env_double("LVF2_DEADLINE_MS", 0.0);
+  options.max_inflight = env_size("LVF2_MAX_INFLIGHT", 0);
+  options.queue_capacity = env_size("LVF2_SERVE_QUEUE", 64);
+  options.lru_capacity = env_size("LVF2_SERVE_LRU", kDefaultLruCapacity);
+  options.characterize.mc_samples = env_size("LVF2_SERVE_SAMPLES", 2000);
+  const std::size_t stride = env_size("LVF2_SERVE_GRID_STRIDE", 1);
+  if (stride > 1) {
+    options.characterize.grid = cells::SlewLoadGrid::reduced(stride);
+  }
+  return options;
+}
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity,
+             static_cast<std::size_t>(
+                 static_cast<double>(options_.queue_capacity) *
+                 options_.shed_fraction)) {
+  context_.library = cells::build_paper_library(options_.library);
+  context_.corner = options_.corner;
+  context_.characterize = options_.characterize;
+  context_.lru.set_capacity(options_.lru_capacity);
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+core::Status Server::bind_listener() {
+  const std::string& listen = options_.listen;
+  if (listen.rfind("unix:", 0) == 0) {
+    unix_path_ = listen.substr(5);
+    if (unix_path_.empty()) {
+      return core::Status::invalid_argument("empty unix socket path");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path_.size() >= sizeof(addr.sun_path)) {
+      return core::Status::invalid_argument("unix socket path too long");
+    }
+    std::memcpy(addr.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return core::Status::unavailable(std::string("socket(): ") +
+                                       std::strerror(errno));
+    }
+    ::unlink(unix_path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return core::Status::unavailable("bind(" + unix_path_ +
+                                       "): " + std::strerror(errno));
+    }
+  } else if (listen.rfind("tcp:", 0) == 0) {
+    char* end = nullptr;
+    const long port = std::strtol(listen.c_str() + 4, &end, 10);
+    if (end == listen.c_str() + 4 || port < 0 || port > 65535) {
+      return core::Status::invalid_argument("bad tcp port in \"" + listen +
+                                            "\"");
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return core::Status::unavailable(std::string("socket(): ") +
+                                       std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return core::Status::unavailable("bind(" + listen +
+                                       "): " + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  } else {
+    return core::Status::invalid_argument(
+        "LVF2_SERVE must be unix:<path> or tcp:<port>, got \"" + listen +
+        "\"");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return core::Status::unavailable(std::string("listen(): ") +
+                                     std::strerror(errno));
+  }
+  return core::Status::ok();
+}
+
+core::Status Server::start() {
+  if (started_) return core::Status::invalid_argument("already started");
+  if (::pipe(stop_pipe_) != 0) {
+    return core::Status::unavailable(std::string("pipe(): ") +
+                                     std::strerror(errno));
+  }
+  if (core::Status st = bind_listener(); !st.is_ok()) return st;
+  obs::ManifestRecorder::instance().set_section_provider(
+      "serve", render_serve_section);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatcher_thread_ = std::thread([this] { dispatcher_loop(); });
+  obs::log_info("serve.started",
+                {{"listen", options_.listen},
+                 {"tcp_port", tcp_port_},
+                 {"deadline_ms", options_.default_deadline_ms},
+                 {"queue", options_.queue_capacity}});
+  return core::Status::ok();
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    obs::counter("serve.connections").add(1);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { reader_loop(conn); });
+  }
+}
+
+void Server::respond(Connection& conn, std::uint64_t id,
+                     const core::Status& status, std::string_view degradation,
+                     double elapsed_ms, const obs::JsonValue* result,
+                     double retry_after_ms) {
+  const std::string body = render_response(id, status, degradation,
+                                           elapsed_ms, result, retry_after_ms);
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.broken.load(std::memory_order_relaxed)) return;
+  if (core::Status st = write_frame(conn.fd, body); !st.is_ok()) {
+    obs::counter("serve.io.write_failed").add(1);
+    obs::log_warn("serve.write_failed", {{"error", st.to_string()}});
+    // A failed write can leave the peer mid-frame with no way to
+    // re-synchronize; shut the socket down so the peer sees EOF (and
+    // reconnects) instead of blocking forever on the half-sent frame,
+    // and so our own reader loop tears the connection down.
+    conn.broken.store(true, std::memory_order_relaxed);
+    ::shutdown(conn.fd, SHUT_RDWR);
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string body;
+  while (true) {
+    const core::Status read_status = read_frame(conn->fd, body);
+    if (!read_status.is_ok()) {
+      if (read_status.code() != core::StatusCode::kCancelled) {
+        obs::counter("serve.io.read_failed").add(1);
+        // An oversized frame is answerable (the stream is positioned
+        // at the next frame boundary only if we drop the connection,
+        // so tell the peer why before closing).
+        if (read_status.code() == core::StatusCode::kResourceExhausted) {
+          respond(*conn, 0, read_status, "none", 0.0, nullptr);
+        }
+      }
+      break;
+    }
+    const auto arrival = std::chrono::steady_clock::now();
+    Request request;
+    if (core::Status st = parse_request(body, request); !st.is_ok()) {
+      // Malformed body inside a well-formed frame: the connection
+      // survives, the frame gets its error back.
+      respond(*conn, request.id, st, "none", 0.0, nullptr);
+      continue;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      obs::counter("serve.drain_refused").add(1);
+      respond(*conn, request.id,
+              core::Status::unavailable("server draining"), "none", 0.0,
+              nullptr, retry_after_hint_ms(queue_.depth()));
+      continue;
+    }
+    PendingRequest item;
+    item.conn = conn;
+    item.request = std::move(request);
+    item.arrival = arrival;
+    const std::uint64_t id = item.request.id;
+    // try_push marks item.shed when admission crosses the watermark;
+    // the dispatcher reads the verdict off the queued item.
+    if (queue_.try_push(std::move(item)) == Admit::kRejected) {
+      obs::counter("serve.rejected").add(1);
+      respond(*conn, id,
+              core::Status::resource_exhausted("admission queue full"),
+              "none", 0.0, nullptr, retry_after_hint_ms(queue_.depth()));
+    } else {
+      obs::counter("serve.accepted").add(1);
+    }
+  }
+}
+
+void Server::dispatcher_loop() {
+  std::size_t max_inflight = options_.max_inflight;
+  if (max_inflight == 0) max_inflight = exec::thread_count();
+  if (max_inflight == 0) max_inflight = 1;
+  std::vector<PendingRequest> batch;
+  while (true) {
+    std::optional<PendingRequest> first = queue_.pop();
+    if (!first.has_value()) break;
+    batch.clear();
+    batch.push_back(std::move(*first));
+    while (batch.size() < max_inflight) {
+      std::optional<PendingRequest> more = queue_.try_pop();
+      if (!more.has_value()) break;
+      batch.push_back(std::move(*more));
+    }
+    obs::gauge("serve.batch_size").set(static_cast<double>(batch.size()));
+    exec::parallel_for(batch.size(), 1,
+                       [&](std::size_t i) { process(batch[i]); });
+  }
+}
+
+void Server::process(PendingRequest& item) {
+  static obs::Histogram& latency = obs::histogram(
+      "serve.latency_ms", {1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000});
+  ExecMode mode = ExecMode::kFull;
+  if (draining_.load(std::memory_order_relaxed)) {
+    // Drain shed: queued work still gets an answer, from the floor.
+    obs::counter("serve.shed.drain").add(1);
+    mode = ExecMode::kShedFloor;
+  } else if (item.shed) {
+    obs::counter("serve.shed.overload").add(1);
+    mode = ExecMode::kShedLight;
+  }
+
+  double budget_ms = item.request.deadline_ms > 0.0
+                         ? item.request.deadline_ms
+                         : options_.default_deadline_ms;
+  HandlerResult result;
+  if (budget_ms > 0.0) {
+    // The clock started at arrival: queue wait burns budget too.
+    const double remaining = budget_ms - now_elapsed_ms(item.arrival);
+    if (remaining <= 0.0) {
+      obs::counter("serve.shed.deadline").add(1);
+      mode = ExecMode::kShedFloor;
+      result = handle_request(context_, item.request, mode);
+    } else {
+      core::DeadlineGuard guard(remaining);
+      result = handle_request(context_, item.request, mode);
+    }
+  } else {
+    result = handle_request(context_, item.request, mode);
+  }
+
+  const double elapsed_ms = now_elapsed_ms(item.arrival);
+  latency.observe(elapsed_ms);
+  if (!result.status.is_ok()) {
+    obs::counter("serve.completed.failed").add(1);
+  } else if (result.degradation != "none") {
+    obs::counter("serve.completed.degraded").add(1);
+  } else {
+    obs::counter("serve.completed.full").add(1);
+  }
+  respond(*item.conn, item.request.id, result.status, result.degradation,
+          elapsed_ms, result.status.is_ok() ? &result.result : nullptr);
+  obs::counter("serve.responded").add(1);
+}
+
+void Server::request_stop() {
+  if (!started_ || stop_requested_.exchange(true)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  obs::log_info("serve.draining", {{"queued", queue_.depth()}});
+  // Wake the accept loop.
+  const char byte = 1;
+  while (::write(stop_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+  // Close admission: pending items drain (shed to the floor), new
+  // frames get "draining".
+  queue_.close();
+  // Wake readers blocked in read(): shutting the read side delivers
+  // EOF without disturbing in-flight response writes.
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (const std::weak_ptr<Connection>& weak : conns_) {
+    if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+  }
+}
+
+void Server::wait() {
+  if (!started_ || joined_) return;
+  if (!stop_requested_.load()) return;  // still serving
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (std::thread& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reader_threads_.clear();
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  obs::gauge("serve.queue.high_water")
+      .set(static_cast<double>(queue_.high_water()));
+  obs::gauge("serve.drained").set(1.0);
+  joined_ = true;
+  obs::log_info("serve.drained", {});
+}
+
+}  // namespace lvf2::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/cancel.h"
 #include "exec/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -23,6 +24,9 @@ void run_shard(const StageElectrical& stage, const ArcCondition& condition,
       config.use_lhs ? sampler.sample_lhs(count, rng)
                      : sampler.sample_mc(count, rng);
   for (std::size_t j = 0; j < draws.size(); ++j) {
+    // Deadline checkpoint (lvf2d): at most 256 more evaluations run
+    // after a request's budget expires.
+    core::checkpoint_every(j, 256);
     const StageTimes t = simulate_stage(stage, condition, corner, draws[j]);
     result.delay_ns[begin + j] = t.delay_ns;
     result.transition_ns[begin + j] = t.transition_ns;
@@ -71,8 +75,9 @@ McResult run_monte_carlo(const StageElectrical& stage,
   McResult result;
   result.delay_ns.reserve(draws.size());
   result.transition_ns.reserve(draws.size());
-  for (const VariationSample& v : draws) {
-    const StageTimes t = simulate_stage(stage, condition, corner, v);
+  for (std::size_t j = 0; j < draws.size(); ++j) {
+    core::checkpoint_every(j, 256);
+    const StageTimes t = simulate_stage(stage, condition, corner, draws[j]);
     result.delay_ns.push_back(t.delay_ns);
     result.transition_ns.push_back(t.transition_ns);
   }

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/faults.h"
@@ -62,6 +63,9 @@ std::vector<stats::GridPdf> propagate_chain(
   std::vector<stats::GridPdf> cumulative;
   cumulative.reserve(stage_pdfs.size());
   for (std::size_t i = 0; i < stage_pdfs.size(); ++i) {
+    // Deadline checkpoint (lvf2d): at most one more stage convolution
+    // runs after a request's budget expires.
+    core::checkpoint();
     stats::GridPdf stage = stage_pdfs[i];
     if (robust::fire(robust::Fault::kSstaEmptyPdf)) {
       stage = stats::GridPdf();

@@ -1,24 +1,32 @@
 // Fault-matrix stress test of the deterministic fault-injection
 // harness (src/robust/): every fault mode is armed in turn and driven
-// through all four pipeline stages — EM fitting, characterization,
-// Liberty parsing, and block-based SSTA. Under every fault the
+// through all five pipeline stages — EM fitting, characterization,
+// Liberty parsing, block-based SSTA, and the serving/cache I/O
+// layer (frame round trips + shard reloads). Under every fault the
 // pipeline must (a) never crash, (b) never leak a non-finite value
 // into a surviving result, and (c) leave a nonzero robust.* survival
 // counter behind, proving the degradation chain actually engaged.
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "cells/characterize.h"
 #include "core/lvf2_model.h"
 #include "liberty/lvf_tables.h"
 #include "liberty/parser.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "robust/faults.h"
+#include "serve/protocol.h"
 #include "ssta/block_ssta.h"
 #include "ssta/timing_graph.h"
 #include "stats/grid_pdf.h"
@@ -237,6 +245,82 @@ void run_ssta_stage() {
   }
 }
 
+// Stage 5: serving-layer I/O. Frame round trips over a socketpair
+// exercise the socket.read / socket.write retry loops (transient
+// EINTRs and short transfers are absorbed; hard failures surface as a
+// clean kUnavailable, never a crash), and a store -> flush -> reload
+// cycle through a local ResultCache exercises the cache.read_io
+// retry + backoff path (a persistently unreadable shard degrades to
+// an absent one with a robust.downgrade.cache_io count).
+void run_io_stage() {
+  for (int round = 0; round < 24; ++round) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::string body =
+        "{\"id\":" + std::to_string(round) + ",\"op\":\"ping\"}";
+    const core::Status wrote = serve::write_frame(sv[0], body);
+    if (wrote.is_ok()) {
+      std::string got;
+      const core::Status read = serve::read_frame(sv[1], got);
+      if (read.is_ok()) {
+        EXPECT_EQ(got, body);
+      } else {
+        // A hard injected fault ends the connection; acceptable, and
+        // always with the canonical transient code.
+        EXPECT_EQ(read.code(), core::StatusCode::kUnavailable);
+      }
+    } else {
+      EXPECT_EQ(wrote.code(), core::StatusCode::kUnavailable);
+    }
+    ::close(sv[0]);
+    ::close(sv[1]);
+  }
+
+  static int dir_counter = 0;
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("lvf2_io_stage_" + std::to_string(dir_counter++));
+  std::filesystem::create_directories(dir);
+  {
+    cache::ResultCache producer;
+    producer.arm(dir.string(), cache::Mode::kReadWrite);
+    obs::JsonValue doc;
+    doc.type = obs::JsonValue::Type::kObject;
+    obs::JsonValue num;
+    num.type = obs::JsonValue::Type::kNumber;
+    num.number = 42.0;
+    doc.object.emplace_back("x", num);
+    // Keys spread over several shards (shard = top 4 key bits).
+    for (std::uint64_t shard = 0; shard < 4; ++shard) {
+      producer.store((shard << 60) | 0x1234u, doc);
+    }
+    producer.flush();
+
+    cache::ResultCache consumer;
+    consumer.arm(dir.string(), cache::Mode::kReadOnly);
+    std::size_t present = 0;
+    for (std::uint64_t shard = 0; shard < 4; ++shard) {
+      if (const auto hit = consumer.lookup((shard << 60) | 0x1234u)) {
+        // A shard that survived the injected I/O must reproduce its
+        // bytes exactly.
+        EXPECT_DOUBLE_EQ(hit->number_or("x", 0.0), 42.0);
+        ++present;
+      }
+    }
+    // Without cache.read_io armed every shard must load; with it
+    // armed a shard may legitimately degrade to absent (counted by
+    // robust.downgrade.cache_io), but absence is the worst allowed
+    // outcome.
+    if (!robust::FaultInjector::instance().armed(
+            robust::Fault::kCacheReadIo)) {
+      EXPECT_EQ(present, 4u);
+    }
+    consumer.disarm();
+    producer.disarm();
+  }
+  std::filesystem::remove_all(dir);
+}
+
 struct FaultCase {
   const char* name;
   // Counters of which at least one must increase while the fault is
@@ -269,6 +353,9 @@ const std::vector<FaultCase>& fault_matrix() {
       {"ssta.empty_pdf",
        {"robust.ssta.poisoned_stage", "robust.ssta.poisoned_arrival",
         "robust.ssta.poisoned_operand"}},
+      {"socket.read", {"serve.io.retry", "serve.io.injected_hard"}},
+      {"socket.write", {"serve.io.retry", "serve.io.injected_hard"}},
+      {"cache.read_io", {"cache.io_retry", "robust.downgrade.cache_io"}},
   };
   return kMatrix;
 }
@@ -298,6 +385,7 @@ TEST_F(FaultMatrixTest, EveryModeSurvivesEveryStage) {
     run_characterize_stage();
     run_liberty_stage();
     run_ssta_stage();
+    run_io_stage();
 
     EXPECT_GT(injector.injected_count(*fault), 0u)
         << "fault never fired: " << fc.name;
@@ -314,6 +402,7 @@ TEST_F(FaultMatrixTest, AllFaultsAtOnceStillSurvive) {
   run_characterize_stage();
   run_liberty_stage();
   run_ssta_stage();
+  run_io_stage();
 }
 
 TEST_F(FaultMatrixTest, SpecParsing) {

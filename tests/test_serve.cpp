@@ -1,0 +1,651 @@
+// Tests of the lvf2d serving layer (src/serve/): wire-protocol
+// framing, the hot-entry LRU, admission control, the
+// graceful-degradation handler chain, and — the concurrency contract
+// — eight client threads hammering the handlers while EM faults are
+// injected, where every answer must stay valid and degraded rather
+// than crashed or poisoned. The Serve* suites run under the TSan gate
+// (scripts/check.sh --tsan).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cells/library.h"
+#include "core/cancel.h"
+#include "core/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "robust/faults.h"
+#include "serve/admission.h"
+#include "serve/handlers.h"
+#include "serve/lru.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace lvf2 {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_writer() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  SocketPair sp;
+  const std::string body = R"({"id":7,"op":"ping","params":{}})";
+  ASSERT_TRUE(serve::write_frame(sp.fds[0], body).is_ok());
+  std::string got;
+  ASSERT_TRUE(serve::read_frame(sp.fds[1], got).is_ok());
+  EXPECT_EQ(got, body);
+
+  // Several frames back to back stay framed.
+  ASSERT_TRUE(serve::write_frame(sp.fds[0], "first").is_ok());
+  ASSERT_TRUE(serve::write_frame(sp.fds[0], "second").is_ok());
+  ASSERT_TRUE(serve::read_frame(sp.fds[1], got).is_ok());
+  EXPECT_EQ(got, "first");
+  ASSERT_TRUE(serve::read_frame(sp.fds[1], got).is_ok());
+  EXPECT_EQ(got, "second");
+}
+
+TEST(ServeProtocol, CleanEofIsCancelled) {
+  SocketPair sp;
+  sp.close_writer();
+  std::string got;
+  const core::Status st = serve::read_frame(sp.fds[1], got);
+  EXPECT_EQ(st.code(), core::StatusCode::kCancelled);
+}
+
+TEST(ServeProtocol, MidFrameEofIsUnavailable) {
+  SocketPair sp;
+  // Header promising 100 bytes, then only 10 arrive before EOF.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(sp.fds[0], header, 4), 4);
+  ASSERT_EQ(::write(sp.fds[0], "0123456789", 10), 10);
+  sp.close_writer();
+  std::string got;
+  const core::Status st = serve::read_frame(sp.fds[1], got);
+  EXPECT_EQ(st.code(), core::StatusCode::kUnavailable);
+}
+
+TEST(ServeProtocol, OversizedFrameIsResourceExhausted) {
+  SocketPair sp;
+  const std::uint32_t huge = serve::kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(huge >> 24),
+      static_cast<unsigned char>(huge >> 16),
+      static_cast<unsigned char>(huge >> 8),
+      static_cast<unsigned char>(huge)};
+  ASSERT_EQ(::write(sp.fds[0], header, 4), 4);
+  std::string got;
+  const core::Status st = serve::read_frame(sp.fds[1], got);
+  EXPECT_EQ(st.code(), core::StatusCode::kResourceExhausted);
+}
+
+TEST(ServeProtocol, ParseRequestFull) {
+  serve::Request request;
+  const core::Status st = serve::parse_request(
+      R"({"id":42,"op":"arc_dist","deadline_ms":25,)"
+      R"("params":{"cell":"INV_X1","load_idx":1}})",
+      request);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(request.id, 42u);
+  EXPECT_EQ(request.op, "arc_dist");
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 25.0);
+  EXPECT_EQ(request.params.string_or("cell", ""), "INV_X1");
+  EXPECT_DOUBLE_EQ(request.params.number_or("load_idx", -1.0), 1.0);
+}
+
+TEST(ServeProtocol, ParseRequestMissingOpKeepsId) {
+  serve::Request request;
+  const core::Status st = serve::parse_request(R"({"id":9})", request);
+  EXPECT_FALSE(st.is_ok());
+  // The id survives so the error can be answered on the right request.
+  EXPECT_EQ(request.id, 9u);
+}
+
+TEST(ServeProtocol, ParseRequestGarbageIsParseError) {
+  serve::Request request;
+  const core::Status st = serve::parse_request("{nope", request);
+  EXPECT_FALSE(st.is_ok());
+}
+
+TEST(ServeProtocol, RenderResponseRoundTrips) {
+  obs::JsonValue result;
+  result.type = obs::JsonValue::Type::kObject;
+  obs::JsonValue pong;
+  pong.type = obs::JsonValue::Type::kNumber;
+  pong.number = 1.0;
+  result.object.emplace_back("pong", pong);
+
+  const std::string ok_body = serve::render_response(
+      5, core::Status::ok(), "cached", 1.5, &result);
+  const std::optional<obs::JsonValue> ok_doc = obs::json_parse(ok_body);
+  ASSERT_TRUE(ok_doc.has_value() && ok_doc->is_object()) << ok_body;
+  EXPECT_DOUBLE_EQ(ok_doc->number_or("id", -1.0), 5.0);
+  EXPECT_EQ(ok_doc->string_or("status", ""), "ok");
+  EXPECT_EQ(ok_doc->string_or("degradation", ""), "cached");
+  EXPECT_DOUBLE_EQ(ok_doc->number_or("elapsed_ms", -1.0), 1.5);
+  EXPECT_EQ(ok_doc->find("retry_after_ms"), nullptr);
+  ASSERT_NE(ok_doc->find("result"), nullptr);
+  EXPECT_DOUBLE_EQ(ok_doc->find("result")->number_or("pong", 0.0), 1.0);
+
+  const std::string rej_body = serve::render_response(
+      6, core::Status::resource_exhausted("queue full"), "none", 0.1,
+      nullptr, 75.0);
+  const std::optional<obs::JsonValue> rej_doc = obs::json_parse(rej_body);
+  ASSERT_TRUE(rej_doc.has_value() && rej_doc->is_object()) << rej_body;
+  EXPECT_EQ(rej_doc->string_or("status", ""), "resource_exhausted");
+  EXPECT_DOUBLE_EQ(rej_doc->number_or("retry_after_ms", 0.0), 75.0);
+  EXPECT_NE(rej_doc->string_or("error", ""), "");
+}
+
+// --------------------------------------------------------------------- lru
+
+TEST(ServeLru, HitMissEvict) {
+  serve::HotLru lru(2);
+  EXPECT_FALSE(lru.get(1).has_value());
+  lru.put(1, "one");
+  lru.put(2, "two");
+  EXPECT_EQ(lru.get(1).value_or(""), "one");
+  // 1 is now most-recent, so inserting 3 evicts 2.
+  lru.put(3, "three");
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_FALSE(lru.get(2).has_value());
+  EXPECT_EQ(lru.get(1).value_or(""), "one");
+  EXPECT_EQ(lru.get(3).value_or(""), "three");
+  // Refreshing an existing key replaces the value, no growth.
+  lru.put(3, "replaced");
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.get(3).value_or(""), "replaced");
+}
+
+TEST(ServeLru, SetCapacityEvictsDown) {
+  serve::HotLru lru(8);
+  for (std::uint64_t k = 0; k < 8; ++k) lru.put(k, "v");
+  lru.set_capacity(3);
+  EXPECT_EQ(lru.capacity(), 3u);
+  EXPECT_LE(lru.size(), 3u);
+  // The most recently touched keys survive.
+  EXPECT_TRUE(lru.get(7).has_value());
+}
+
+TEST(ServeLru, ZeroCapacityDisables) {
+  serve::HotLru lru(0);
+  lru.put(1, "one");
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_FALSE(lru.get(1).has_value());
+}
+
+// --------------------------------------------------------------- admission
+
+struct FakeItem {
+  int id = 0;
+  bool shed = false;
+};
+
+TEST(ServeAdmission, WatermarkMarksShedAndFullRejects) {
+  serve::AdmissionQueue<FakeItem> queue(4, 3);
+  EXPECT_EQ(queue.try_push({1}), serve::Admit::kAccepted);
+  EXPECT_EQ(queue.try_push({2}), serve::Admit::kAccepted);
+  EXPECT_EQ(queue.try_push({3}), serve::Admit::kAcceptedShed);
+  EXPECT_EQ(queue.try_push({4}), serve::Admit::kAcceptedShed);
+  EXPECT_EQ(queue.try_push({5}), serve::Admit::kRejected);
+  EXPECT_EQ(queue.depth(), 4u);
+  EXPECT_EQ(queue.high_water(), 4u);
+
+  // The shed verdict is carried on the item itself.
+  std::vector<bool> shed;
+  while (auto item = queue.try_pop()) shed.push_back(item->shed);
+  EXPECT_EQ(shed, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(ServeAdmission, CloseDrainsPendingThenEndsForever) {
+  serve::AdmissionQueue<FakeItem> queue(4, 4);
+  EXPECT_EQ(queue.try_push({1}), serve::Admit::kAccepted);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  // New work is refused, queued work still drains.
+  EXPECT_EQ(queue.try_push({2}), serve::Admit::kRejected);
+  const auto drained = queue.pop();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->id, 1);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ServeAdmission, PopBlocksUntilPush) {
+  serve::AdmissionQueue<FakeItem> queue(4, 4);
+  std::optional<FakeItem> got;
+  std::thread popper([&] { got = queue.pop(); });
+  EXPECT_EQ(queue.try_push({11}), serve::Admit::kAccepted);
+  popper.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 11);
+}
+
+TEST(ServeAdmission, RetryAfterHintIsClamped) {
+  EXPECT_DOUBLE_EQ(serve::retry_after_hint_ms(0), 25.0);
+  EXPECT_DOUBLE_EQ(serve::retry_after_hint_ms(1), 25.0);
+  EXPECT_DOUBLE_EQ(serve::retry_after_hint_ms(20), 100.0);
+  EXPECT_DOUBLE_EQ(serve::retry_after_hint_ms(100000), 1000.0);
+}
+
+// ---------------------------------------------------------------- handlers
+
+// HandlerContext owns a mutex (the LRU) and is not movable, so tests
+// configure a local instance in place.
+void configure_context(serve::HandlerContext& ctx) {
+  ctx.library = cells::build_paper_library();
+  ctx.characterize.grid = cells::SlewLoadGrid::reduced(4);  // 2x2
+  ctx.characterize.mc_samples = 200;
+  ctx.lru.set_capacity(64);
+}
+
+serve::Request make_arc_request(const std::string& op,
+                                const std::string& cell,
+                                double deadline_ms = 0.0) {
+  serve::Request request;
+  request.id = 1;
+  request.op = op;
+  request.deadline_ms = deadline_ms;
+  std::string params = "{\"cell\":";
+  obs::json_append_string(params, cell);
+  params += ",\"load_idx\":0,\"slew_idx\":0}";
+  request.params = *obs::json_parse(params);
+  return request;
+}
+
+double result_number(const serve::HandlerResult& result,
+                     const char* outer, const char* inner = nullptr) {
+  const obs::JsonValue* v = result.result.find(outer);
+  if (v == nullptr) return std::nan("");
+  if (inner == nullptr) return v->number;
+  return v->number_or(inner, std::nan(""));
+}
+
+TEST(ServeHandlers, PingAndUnknownOp) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  serve::Request ping;
+  ping.op = "ping";
+  const serve::HandlerResult pong =
+      serve::handle_request(ctx, ping, serve::ExecMode::kFull);
+  EXPECT_TRUE(pong.status.is_ok());
+  EXPECT_EQ(pong.degradation, "none");
+
+  serve::Request bogus;
+  bogus.op = "frobnicate";
+  const serve::HandlerResult err =
+      serve::handle_request(ctx, bogus, serve::ExecMode::kFull);
+  EXPECT_EQ(err.status.code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeHandlers, UnknownCellIsNotFound) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::HandlerResult result = serve::handle_request(
+      ctx, make_arc_request("arc_dist", "NO_SUCH_CELL"),
+      serve::ExecMode::kFull);
+  EXPECT_EQ(result.status.code(), core::StatusCode::kNotFound);
+  EXPECT_EQ(result.degradation, "none");
+}
+
+TEST(ServeHandlers, GridIndexOutOfRangeIsInvalid) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  serve::Request request = make_arc_request("arc_dist", "INV_X1");
+  request.params = *obs::json_parse(
+      R"({"cell":"INV_X1","load_idx":7,"slew_idx":0})");  // grid is 2x2
+  const serve::HandlerResult result =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  EXPECT_EQ(result.status.code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeHandlers, FloorModeAnswersPointMass) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::HandlerResult result = serve::handle_request(
+      ctx, make_arc_request("arc_dist", "INV_X1"),
+      serve::ExecMode::kShedFloor);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.degradation, "point_mass");
+  const double mean = result_number(result, "delay", "mean");
+  EXPECT_TRUE(std::isfinite(mean) && mean > 0.0) << mean;
+  EXPECT_DOUBLE_EQ(result_number(result, "delay", "stddev"), 0.0);
+}
+
+TEST(ServeHandlers, LightModeAnswersSingleSn) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::HandlerResult result = serve::handle_request(
+      ctx, make_arc_request("arc_dist", "INV_X1"),
+      serve::ExecMode::kShedLight);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.degradation, "single_sn");
+  EXPECT_GT(result_number(result, "delay", "stddev"), 0.0);
+  // The honest single-component answer: mixture weight pinned to 0.
+  ASSERT_NE(result.result.find("lvf2_delay"), nullptr);
+  EXPECT_DOUBLE_EQ(result.result.find("lvf2_delay")->number_or("lambda", -1),
+                   0.0);
+}
+
+TEST(ServeHandlers, FullComputeSeedsLruForShedRequests) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::Request request = make_arc_request("arc_dist", "INV_X1");
+  const serve::HandlerResult full =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  ASSERT_TRUE(full.status.is_ok()) << full.status.to_string();
+  EXPECT_EQ(full.degradation, "none");
+  ASSERT_GT(ctx.lru.size(), 0u);
+
+  // A later shed request for the same entry rides the hot LRU: rung 1
+  // of the chain, tagged "cached", numerically identical to the full
+  // answer.
+  const serve::HandlerResult shed =
+      serve::handle_request(ctx, request, serve::ExecMode::kShedLight);
+  ASSERT_TRUE(shed.status.is_ok()) << shed.status.to_string();
+  EXPECT_EQ(shed.degradation, "cached");
+  EXPECT_DOUBLE_EQ(result_number(shed, "delay", "mean"),
+                   result_number(full, "delay", "mean"));
+}
+
+TEST(ServeHandlers, ExpiredDeadlineShedsToFloorNotError) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const std::uint64_t sheds_before =
+      obs::counter("serve.shed.deadline").value();
+  core::DeadlineGuard guard(0.0);  // already expired
+  const serve::HandlerResult result = serve::handle_request(
+      ctx, make_arc_request("arc_dist", "NAND2_X1"),
+      serve::ExecMode::kFull);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.degradation, "point_mass");
+  EXPECT_GT(obs::counter("serve.shed.deadline").value(), sheds_before);
+}
+
+TEST(ServeHandlers, DegradedOpsStayFinite) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::HandlerResult bin = serve::handle_request(
+      ctx, make_arc_request("bin", "INV_X1"), serve::ExecMode::kShedFloor);
+  ASSERT_TRUE(bin.status.is_ok());
+  // The re-inflated point mass still has a (tiny) positive sigma, so
+  // the sigma-bin probabilities are the standard-normal band masses;
+  // they must be finite, in [0, 1], and sum to ~1.
+  const obs::JsonValue* probs = bin.result.find("probabilities");
+  ASSERT_NE(probs, nullptr);
+  ASSERT_FALSE(probs->array.empty());
+  double total = 0.0;
+  for (const obs::JsonValue& v : probs->array) {
+    ASSERT_TRUE(std::isfinite(v.number));
+    EXPECT_GE(v.number, 0.0);
+    EXPECT_LE(v.number, 1.0);
+    total += v.number;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+
+  const serve::HandlerResult yield = serve::handle_request(
+      ctx, make_arc_request("yield3", "INV_X1"), serve::ExecMode::kShedFloor);
+  ASSERT_TRUE(yield.status.is_ok());
+  // The point-mass floor re-inflates stddev-0 moments to a tiny
+  // positive scale (robust.stats.point_mass), so the 3-sigma yield is
+  // Phi(3), not exactly 1.
+  const double y = result_number(yield, "yield");
+  EXPECT_TRUE(std::isfinite(y));
+  EXPECT_GE(y, 0.99);
+  EXPECT_LE(y, 1.0);
+
+  serve::Request path = make_arc_request("path_ssta", "INV_X1");
+  path.params.object.emplace_back("depth", [] {
+    obs::JsonValue v;
+    v.type = obs::JsonValue::Type::kNumber;
+    v.number = 6.0;
+    return v;
+  }());
+  const serve::HandlerResult ssta = serve::handle_request(
+      ctx, path, serve::ExecMode::kShedLight);
+  ASSERT_TRUE(ssta.status.is_ok()) << ssta.status.to_string();
+  EXPECT_TRUE(std::isfinite(result_number(ssta, "arrival_mean_ns")));
+  EXPECT_TRUE(std::isfinite(result_number(ssta, "yield_3sigma")));
+}
+
+// ------------------------------------------------------------- concurrency
+
+class ServeConcurrency : public ::testing::Test {
+ protected:
+  void TearDown() override { robust::FaultInjector::instance().clear(); }
+};
+
+// The satellite contract: eight threads issuing requests while EM
+// faults are injected must each get a valid, possibly-degraded answer
+// — never a crash, never a poisoned (non-finite) number, never a
+// cross-request mixup. gtest assertions are not thread-safe, so the
+// workers only collect and the main thread judges.
+TEST_F(ServeConcurrency, EightThreadsStayValidUnderEmFaults) {
+  robust::FaultInjector& injector = robust::FaultInjector::instance();
+  ASSERT_TRUE(injector.configure("em.collapse;seed=29").is_ok());
+  const std::uint64_t degraded_before =
+      obs::counter("robust.downgrade.single_sn").value();
+
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  ctx.characterize.mc_samples = 160;
+  const char* kCells[8] = {"INV_X1",   "BUFF_X1", "NAND2_X1", "NOR2_X1",
+                           "AND2_X1",  "OR2_X1",  "XOR2_X1",  "MUX2_X1"};
+
+  struct Outcome {
+    std::string cell;
+    serve::HandlerResult result;
+  };
+  std::mutex outcomes_mutex;
+  std::vector<Outcome> outcomes;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      // Mix of modes: full computes hit the faulted EM fits, shed
+      // requests exercise the LRU and analytic fallbacks concurrently.
+      const serve::ExecMode modes[3] = {serve::ExecMode::kFull,
+                                        serve::ExecMode::kShedLight,
+                                        serve::ExecMode::kShedFloor};
+      for (int k = 0; k < 3; ++k) {
+        const serve::Request request =
+            make_arc_request("arc_dist", kCells[t]);
+        serve::HandlerResult result =
+            serve::handle_request(ctx, request, modes[k]);
+        std::lock_guard<std::mutex> lock(outcomes_mutex);
+        outcomes.push_back({kCells[t], std::move(result)});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_EQ(outcomes.size(), 24u);
+  for (const Outcome& o : outcomes) {
+    SCOPED_TRACE(o.cell);
+    ASSERT_TRUE(o.result.status.is_ok()) << o.result.status.to_string();
+    const std::string& tag = o.result.degradation;
+    EXPECT_TRUE(tag == "none" || tag == "cached" || tag == "single_sn" ||
+                tag == "point_mass")
+        << tag;
+    // No cross-request mixup and no poisoned numbers.
+    EXPECT_EQ(o.result.result.string_or("cell", ""), o.cell);
+    const double mean = result_number(o.result, "delay", "mean");
+    EXPECT_TRUE(std::isfinite(mean) && mean > 0.0) << mean;
+  }
+  // The injected EM faults must have actually engaged the degradation
+  // chain inside the full fits.
+  EXPECT_GT(injector.injected_count(robust::Fault::kEmCollapse), 0u);
+  EXPECT_GT(obs::counter("robust.downgrade.single_sn").value(),
+            degraded_before);
+}
+
+TEST_F(ServeConcurrency, LruSurvivesThrash) {
+  serve::HotLru lru(16);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 400; ++i) {
+        const std::uint64_t key = (i + static_cast<std::uint64_t>(t)) % 32;
+        if (i % 3 == 0) {
+          lru.put(key, std::string(8, 'x'));
+        } else {
+          (void)lru.get(key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(lru.size(), 16u);
+}
+
+TEST_F(ServeConcurrency, AdmissionQueueSurvivesThrash) {
+  serve::AdmissionQueue<FakeItem> queue(8, 6);
+  std::atomic<int> popped{0};
+  std::atomic<int> pushed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (queue.try_push({i}) != serve::Admit::kRejected) {
+          pushed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (queue.pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  // Give producers time to finish, then close; poppers drain and exit.
+  for (int t = 0; t < 4; ++t) workers[static_cast<std::size_t>(t)].join();
+  queue.close();
+  for (std::size_t t = 4; t < workers.size(); ++t) workers[t].join();
+  EXPECT_EQ(popped.load(), pushed.load());
+}
+
+// ------------------------------------------------------------ end to end
+
+int connect_tcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ServeServer, EndToEndQueryShedAndDrain) {
+  serve::ServerOptions options;
+  options.listen = "tcp:0";
+  options.queue_capacity = 16;
+  options.characterize.grid = cells::SlewLoadGrid::reduced(4);
+  options.characterize.mc_samples = 160;
+  serve::Server server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  const int fd = connect_tcp(server.tcp_port());
+  ASSERT_GE(fd, 0);
+
+  // Plain ping round trip.
+  ASSERT_TRUE(
+      serve::write_frame(fd, R"({"id":1,"op":"ping","params":{}})").is_ok());
+  std::string reply;
+  ASSERT_TRUE(serve::read_frame(fd, reply).is_ok());
+  std::optional<obs::JsonValue> doc = obs::json_parse(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_DOUBLE_EQ(doc->number_or("id", 0.0), 1.0);
+  EXPECT_EQ(doc->string_or("status", ""), "ok");
+
+  // A microscopically budgeted query must come back ok + degraded,
+  // not as an error (DESIGN.md decision 19).
+  ASSERT_TRUE(serve::write_frame(
+                  fd,
+                  R"({"id":2,"op":"arc_dist","deadline_ms":0.001,)"
+                  R"("params":{"cell":"INV_X1"}})")
+                  .is_ok());
+  ASSERT_TRUE(serve::read_frame(fd, reply).is_ok());
+  doc = obs::json_parse(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_DOUBLE_EQ(doc->number_or("id", 0.0), 2.0);
+  EXPECT_EQ(doc->string_or("status", ""), "ok");
+  EXPECT_NE(doc->string_or("degradation", ""), "none");
+
+  // An unknown cell is a per-request error, never a dropped
+  // connection.
+  ASSERT_TRUE(serve::write_frame(
+                  fd,
+                  R"({"id":3,"op":"yield3","params":{"cell":"NOPE"}})")
+                  .is_ok());
+  ASSERT_TRUE(serve::read_frame(fd, reply).is_ok());
+  doc = obs::json_parse(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_EQ(doc->string_or("status", ""), "not_found");
+
+  server.request_stop();
+  server.wait();
+  ::close(fd);
+  EXPECT_DOUBLE_EQ(obs::gauge("serve.drained").value(), 1.0);
+}
+
+TEST(ServeServer, OversizedFrameIsAnsweredAndConnectionClosed) {
+  serve::ServerOptions options;
+  options.listen = "tcp:0";
+  options.characterize.grid = cells::SlewLoadGrid::reduced(4);
+  serve::Server server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  const int fd = connect_tcp(server.tcp_port());
+  ASSERT_GE(fd, 0);
+
+  const std::uint32_t huge = serve::kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(huge >> 24),
+      static_cast<unsigned char>(huge >> 16),
+      static_cast<unsigned char>(huge >> 8),
+      static_cast<unsigned char>(huge)};
+  ASSERT_EQ(::write(fd, header, 4), 4);
+  std::string reply;
+  ASSERT_TRUE(serve::read_frame(fd, reply).is_ok());
+  const std::optional<obs::JsonValue> doc = obs::json_parse(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_EQ(doc->string_or("status", ""), "resource_exhausted");
+  // The server then closes the connection — the stream is unframed.
+  const core::Status eof = serve::read_frame(fd, reply);
+  EXPECT_FALSE(eof.is_ok());
+  ::close(fd);
+
+  server.request_stop();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace lvf2

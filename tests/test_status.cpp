@@ -1,10 +1,14 @@
 // Tests of the Status / StatusOr error-propagation vocabulary used by
-// the graceful-degradation chain.
+// the graceful-degradation chain, plus the canonical serving codes
+// and the cooperative-deadline machinery (core/cancel.h) that lvf2d
+// builds on.
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
+#include "core/cancel.h"
 #include "core/status.h"
 
 namespace lvf2::core {
@@ -39,6 +43,116 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(to_string(StatusCode::kNonFinite), "non_finite");
   EXPECT_STREQ(to_string(StatusCode::kParseError), "parse_error");
   EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, ServingCodeFactories) {
+  EXPECT_EQ(Status::deadline_exceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::resource_exhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(Status, CodeNamesRoundTripThroughTheWireForm) {
+  // The lvf2d protocol carries codes by name; both directions must be
+  // stable for every code.
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kDegenerateData, StatusCode::kNonFinite,
+        StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+        StatusCode::kResourceExhausted, StatusCode::kNotFound,
+        StatusCode::kCancelled}) {
+    EXPECT_EQ(status_code_from_name(to_string(code)), code);
+  }
+  EXPECT_EQ(status_code_from_name("no_such_code"), StatusCode::kInternal);
+  EXPECT_EQ(status_code_from_name(""), StatusCode::kInternal);
+}
+
+TEST(Status, TransientCodesAreExactlyTheRetryableOnes) {
+  EXPECT_TRUE(is_transient(StatusCode::kUnavailable));
+  EXPECT_TRUE(is_transient(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(is_transient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_transient(StatusCode::kOk));
+  EXPECT_FALSE(is_transient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(is_transient(StatusCode::kNotFound));
+  EXPECT_FALSE(is_transient(StatusCode::kInternal));
+  EXPECT_TRUE(Status::unavailable("x").is_transient());
+  EXPECT_FALSE(Status::not_found("x").is_transient());
+}
+
+TEST(Cancel, NoGuardMeansNoDeadline) {
+  EXPECT_FALSE(deadline_armed());
+  EXPECT_GT(deadline_remaining_ms(), 1e12);
+  EXPECT_TRUE(deadline_status().is_ok());
+  EXPECT_NO_THROW(checkpoint());
+  EXPECT_NO_THROW(checkpoint_every(0, 256));
+}
+
+TEST(Cancel, GuardArmsAndExpiredDeadlineThrows) {
+  {
+    DeadlineGuard guard(10000.0);
+    EXPECT_TRUE(deadline_armed());
+    EXPECT_GT(deadline_remaining_ms(), 0.0);
+    EXPECT_TRUE(deadline_status().is_ok());
+    EXPECT_NO_THROW(checkpoint());
+  }
+  EXPECT_FALSE(deadline_armed());
+
+  DeadlineGuard expired(0.0);
+  EXPECT_LE(deadline_remaining_ms(), 0.0);
+  EXPECT_EQ(deadline_status().code(), StatusCode::kDeadlineExceeded);
+  try {
+    checkpoint();
+    FAIL() << "checkpoint() did not throw past the deadline";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(Cancel, NestedGuardOnlyTightens) {
+  DeadlineGuard outer(0.0);  // already expired
+  {
+    // An inner guard with a huge budget must not extend the outer
+    // deadline.
+    DeadlineGuard inner(1e9);
+    EXPECT_LE(deadline_remaining_ms(), 0.0);
+    EXPECT_THROW(checkpoint(), CancelledError);
+  }
+  EXPECT_THROW(checkpoint(), CancelledError);
+}
+
+TEST(Cancel, CheckpointEveryHonorsTheStride) {
+  DeadlineGuard expired(0.0);
+  // Off-stride indices never touch the clock; stride boundaries fire.
+  EXPECT_NO_THROW(checkpoint_every(1, 256));
+  EXPECT_NO_THROW(checkpoint_every(255, 256));
+  EXPECT_THROW(checkpoint_every(0, 256), CancelledError);
+  EXPECT_THROW(checkpoint_every(256, 256), CancelledError);
+  EXPECT_THROW(checkpoint_every(7, 0), CancelledError);  // stride 0 = always
+}
+
+TEST(Cancel, SuspendMasksTheDeadlineForItsScope) {
+  DeadlineGuard expired(0.0);
+  {
+    DeadlineSuspend suspend;
+    EXPECT_FALSE(deadline_armed());
+    EXPECT_NO_THROW(checkpoint());
+  }
+  EXPECT_TRUE(deadline_armed());
+  EXPECT_THROW(checkpoint(), CancelledError);
+}
+
+TEST(Cancel, StatusFromExceptionKeepsTheMostSpecificCode) {
+  const CancelledError cancelled(Status::deadline_exceeded("over budget"));
+  EXPECT_EQ(status_from_exception(cancelled).code(),
+            StatusCode::kDeadlineExceeded);
+  const std::runtime_error generic("boom");
+  const Status mapped = status_from_exception(generic);
+  EXPECT_EQ(mapped.code(), StatusCode::kInternal);
+  EXPECT_EQ(mapped.message(), "boom");
 }
 
 TEST(StatusOr, HoldsValue) {

@@ -1,0 +1,331 @@
+// lvf2d_soak — multi-client soak harness for the daemon. Drives N
+// mixed queries from several concurrent connections against a running
+// lvf2d (typically one with LVF2_FAULTS arming the socket/cache I/O
+// faults and a warm readonly cache) and asserts the survival
+// contract on every response:
+//
+//   - every response parses, echoes a sent id, and carries a valid
+//     canonical status code AND a valid degradation tag;
+//   - a request that carried a deadline and was answered ok reports a
+//     server-side elapsed_ms within deadline + slack (the
+//     "deadline + one checkpoint interval" guarantee, with scheduler
+//     headroom);
+//   - transient rejections (resource_exhausted / unavailable) honor
+//     the retry contract: back off per the server's retry_after_ms
+//     hint and try again — they must not be terminal;
+//   - hard injected socket faults may kill a connection, never the
+//     server: the client reconnects and keeps going.
+//
+// Exit 0 when every invariant held and enough requests were answered;
+// 1 with a diagnostic otherwise.
+//
+// usage: lvf2d_soak --connect unix:<path>|tcp:<port>
+//                   [--n 200] [--clients 4] [--deadline-ms 50]
+//                   [--min-answered-pct 90]
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cells/library.h"
+#include "core/status.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace lvf2;
+
+struct SoakConfig {
+  std::string connect = "unix:/tmp/lvf2d.sock";
+  std::size_t n = 200;
+  std::size_t clients = 4;
+  double deadline_ms = 50.0;       ///< budget on deadline-tagged requests
+  double deadline_slack_ms = 500;  ///< checkpoint interval + scheduler room
+  double min_answered_pct = 90.0;
+  std::uint64_t seed = 0x50AC;
+};
+
+struct SoakTally {
+  std::atomic<std::uint64_t> answered_ok{0};
+  std::atomic<std::uint64_t> answered_error{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::mutex log_mutex;
+
+  void violation(const std::string& what) {
+    violations.fetch_add(1);
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::fprintf(stderr, "soak: VIOLATION: %s\n", what.c_str());
+  }
+};
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int connect_to(const std::string& target) {
+  if (target.rfind("unix:", 0) == 0) {
+    const std::string path = target.substr(5);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (target.rfind("tcp:", 0) == 0) {
+    const int port = std::atoi(target.c_str() + 4);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  return -1;
+}
+
+bool valid_status_name(const std::string& name) {
+  return name == core::to_string(core::status_code_from_name(name));
+}
+
+bool valid_degradation(const std::string& tag) {
+  return tag == "none" || tag == "cached" || tag == "single_sn" ||
+         tag == "point_mass";
+}
+
+struct RequestSpec {
+  std::string body;
+  std::uint64_t id = 0;
+  double deadline_ms = 0.0;  ///< 0 = none sent
+};
+
+// One deterministic mixed query. ~10% address unknown cells/arcs (the
+// not_found path must answer, not kill connections), ~40% carry a
+// deadline, ops cycle through the whole surface.
+RequestSpec make_request(const SoakConfig& config,
+                         const std::vector<std::string>& cells,
+                         std::uint64_t id, std::uint64_t& rng) {
+  static const char* kOps[] = {"arc_dist", "bin",  "yield3",
+                               "path_ssta", "ping", "stats"};
+  RequestSpec spec;
+  spec.id = id;
+  const std::uint64_t r = splitmix64(rng);
+  const char* op = kOps[r % 6];
+  const bool bogus = (r >> 8) % 10 == 0;
+  const bool with_deadline = (r >> 16) % 10 < 4;
+  std::string body = "{\"id\":" + std::to_string(id) + ",\"op\":\"" + op +
+                     "\"";
+  if (with_deadline) {
+    spec.deadline_ms = config.deadline_ms;
+    body += ",\"deadline_ms\":";
+    obs::json_append_number(body, spec.deadline_ms);
+  }
+  body += ",\"params\":{";
+  if (std::strcmp(op, "ping") != 0 && std::strcmp(op, "stats") != 0) {
+    const std::string cell =
+        bogus ? "NO_SUCH_CELL" : cells[(r >> 24) % cells.size()];
+    body += "\"cell\":";
+    obs::json_append_string(body, cell);
+    body += ",\"load_idx\":" + std::to_string((r >> 32) % 8);
+    body += ",\"slew_idx\":" + std::to_string((r >> 40) % 8);
+    if (std::strcmp(op, "path_ssta") == 0) {
+      body += ",\"depth\":" + std::to_string(2 + (r >> 48) % 10);
+    }
+  }
+  body += "}}";
+  spec.body = std::move(body);
+  return spec;
+}
+
+// Sends one request, retrying transient rejections per the server's
+// hint and reconnecting on connection loss. Returns false when the
+// request never got an answer within the retry budget.
+bool run_one(const SoakConfig& config, const RequestSpec& spec, int& fd,
+             SoakTally& tally) {
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    if (fd < 0) {
+      fd = connect_to(config.connect);
+      if (fd < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+    }
+    if (!serve::write_frame(fd, spec.body).is_ok()) {
+      ::close(fd);
+      fd = -1;
+      tally.reconnects.fetch_add(1);
+      continue;
+    }
+    std::string reply;
+    if (!serve::read_frame(fd, reply).is_ok()) {
+      // Injected hard faults legitimately drop connections; the
+      // request may or may not have been answered server-side.
+      ::close(fd);
+      fd = -1;
+      tally.reconnects.fetch_add(1);
+      continue;
+    }
+    const std::optional<obs::JsonValue> doc = obs::json_parse(reply);
+    if (!doc || !doc->is_object()) {
+      tally.violation("response is not a JSON object: " + reply);
+      return false;
+    }
+    const auto id = static_cast<std::uint64_t>(doc->number_or("id", 0.0));
+    if (id != spec.id) {
+      tally.violation("response id " + std::to_string(id) +
+                      " != request id " + std::to_string(spec.id));
+      return false;
+    }
+    const std::string status = doc->string_or("status", "");
+    const std::string degradation = doc->string_or("degradation", "");
+    if (!valid_status_name(status)) {
+      tally.violation("invalid status \"" + status + "\" in: " + reply);
+      return false;
+    }
+    if (!valid_degradation(degradation)) {
+      tally.violation("invalid degradation \"" + degradation +
+                      "\" in: " + reply);
+      return false;
+    }
+    const core::StatusCode code = core::status_code_from_name(status);
+    if (code == core::StatusCode::kResourceExhausted ||
+        code == core::StatusCode::kUnavailable) {
+      // Backpressure: honor the hint and retry.
+      tally.retried.fetch_add(1);
+      const double hint = doc->number_or("retry_after_ms", 50.0);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(hint)));
+      continue;
+    }
+    if (code == core::StatusCode::kOk) {
+      if (spec.deadline_ms > 0.0) {
+        const double elapsed = doc->number_or("elapsed_ms", 0.0);
+        if (elapsed > spec.deadline_ms + config.deadline_slack_ms) {
+          tally.violation("deadline " + std::to_string(spec.deadline_ms) +
+                          "ms request took " + std::to_string(elapsed) +
+                          "ms server-side");
+          return false;
+        }
+      }
+      if (degradation != "none") tally.degraded.fetch_add(1);
+      tally.answered_ok.fetch_add(1);
+    } else {
+      tally.answered_error.fetch_add(1);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--connect" && value != nullptr) {
+      config.connect = value;
+      ++i;
+    } else if (arg == "--n" && value != nullptr) {
+      config.n = static_cast<std::size_t>(std::atoll(value));
+      ++i;
+    } else if (arg == "--clients" && value != nullptr) {
+      config.clients = static_cast<std::size_t>(std::atoll(value));
+      ++i;
+    } else if (arg == "--deadline-ms" && value != nullptr) {
+      config.deadline_ms = std::atof(value);
+      ++i;
+    } else if (arg == "--min-answered-pct" && value != nullptr) {
+      config.min_answered_pct = std::atof(value);
+      ++i;
+    } else {
+      std::fprintf(stderr, "lvf2d_soak: unknown argument \"%s\"\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (config.clients == 0) config.clients = 1;
+
+  std::vector<std::string> cell_names;
+  const cells::StandardCellLibrary library = cells::build_paper_library();
+  for (const cells::Cell& cell : library.cells()) {
+    cell_names.push_back(cell.name);
+  }
+
+  SoakTally tally;
+  std::atomic<std::uint64_t> next_id{1};
+  std::vector<std::thread> workers;
+  const std::size_t per_client =
+      (config.n + config.clients - 1) / config.clients;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::uint64_t rng = config.seed + c * 0x9e3779b9ull;
+      int fd = -1;
+      for (std::size_t k = 0; k < per_client; ++k) {
+        const std::uint64_t id = next_id.fetch_add(1);
+        if (id > config.n) break;
+        const RequestSpec spec =
+            make_request(config, cell_names, id, rng);
+        run_one(config, spec, fd, tally);
+      }
+      if (fd >= 0) ::close(fd);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const std::uint64_t answered =
+      tally.answered_ok.load() + tally.answered_error.load();
+  std::printf(
+      "soak: sent=%zu answered=%llu ok=%llu error=%llu degraded=%llu "
+      "retries=%llu reconnects=%llu violations=%llu\n",
+      config.n, static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(tally.answered_ok.load()),
+      static_cast<unsigned long long>(tally.answered_error.load()),
+      static_cast<unsigned long long>(tally.degraded.load()),
+      static_cast<unsigned long long>(tally.retried.load()),
+      static_cast<unsigned long long>(tally.reconnects.load()),
+      static_cast<unsigned long long>(tally.violations.load()));
+  if (tally.violations.load() != 0) return 1;
+  const double answered_pct =
+      100.0 * static_cast<double>(answered) /
+      static_cast<double>(config.n == 0 ? 1 : config.n);
+  if (answered_pct < config.min_answered_pct) {
+    std::fprintf(stderr, "soak: only %.1f%% of requests answered (need %.1f%%)\n",
+                 answered_pct, config.min_answered_pct);
+    return 1;
+  }
+  return 0;
+}
