@@ -18,6 +18,7 @@
 #include "core/model_factory.h"
 #include "obs/obs.h"
 #include "robust/faults.h"
+#include "serve/reqtrace.h"
 #include "spice/montecarlo.h"
 #include "stats/grid_pdf.h"
 #include "stats/lhs.h"
@@ -281,6 +282,22 @@ void BM_PoolTelemetryOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PoolTelemetryOverhead);
+
+// Disabled-path cost of per-request tracing: with LVF2_ACCESS_LOG
+// unset, the request path pays one relaxed atomic load per trace
+// point (DESIGN.md decision 20's cost budget) — the same contract as
+// the disabled trace span above.
+void BM_DisabledRequestTrace(benchmark::State& state) {
+  if (serve::reqtrace_enabled()) {
+    state.SkipWithError(
+        "LVF2_ACCESS_LOG is set; disabled-path bench is void");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::reqtrace_enabled());
+  }
+}
+BENCHMARK(BM_DisabledRequestTrace);
 
 // Always-on cost of a registry counter increment (relaxed fetch_add).
 void BM_MetricsCounterAdd(benchmark::State& state) {

@@ -40,7 +40,14 @@
 # SIGTERM with a manifest whose serve section shows
 # accepted == responded, and the soak client must see zero invariant
 # violations (valid status codes / degradation tags on every answer,
-# deadline-tagged requests within deadline + slack).
+# deadline-tagged requests within deadline + slack). The faulted soak
+# also exercises the serving-telemetry surface: the `metrics` op is
+# scraped mid-soak both inline (lvf2d_soak --scrape-every) and over a
+# live lvf2_top --prometheus scrape that must be well-formed and
+# reconcile with the drain manifest's serve_telemetry section, whose
+# deadline-population p99 queue+exec must fit the 250 ms budget; the
+# JSONL access log (LVF2_ACCESS_LOG) must parse line-for-line and
+# summarize cleanly under `lvf2_report serve`.
 #
 # Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf|--serve]
 #        [--update-golden] [--update-perf-golden] [build-dir]
@@ -294,7 +301,8 @@ fi
 if [ "$SERVE" = 1 ]; then
   echo "== lvf2d fault-tolerant serving gate =="
   cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
-  cmake --build "$BUILD_DIR" -j"$JOBS" --target lvf2d lvf2d_soak
+  cmake --build "$BUILD_DIR" -j"$JOBS" \
+    --target lvf2d lvf2d_soak lvf2_top lvf2_report
   # LVF2_SERVE_GATE_DIR keeps the daemon logs + manifest around (CI
   # uploads them as artifacts); default is a cleaned-up temp dir.
   if [ -n "${LVF2_SERVE_GATE_DIR:-}" ]; then
@@ -370,15 +378,39 @@ if [ "$SERVE" = 1 ]; then
     LVF2_DEADLINE_MS=250 \
     LVF2_FAULTS="socket.read:0.1,socket.write:0.1,cache.read_io:0.1,em.collapse:0.1;seed=2024" \
     LVF2_MANIFEST="$SOAK_DIR/serve_manifest.json" \
-    LVF2_METRICS="$SOAK_DIR/serve_metrics.json" || exit 1
+    LVF2_METRICS="$SOAK_DIR/serve_metrics.json" \
+    LVF2_ACCESS_LOG="$SOAK_DIR/access.log" || exit 1
+  # The soak runs in the background so lvf2_top can scrape the live
+  # daemon mid-soak; the soak itself also hits the metrics op inline
+  # every 25 requests (--scrape-every).
   timeout 600 "$BUILD_DIR/tools/lvf2d_soak" --connect "unix:$SOCK" \
-      --n "$N" --clients 4 \
+      --n "$N" --clients 4 --scrape-every 25 &
+  SOAK_PID=$!
+  sleep 0.5
+  SCRAPED=0
+  for _ in $(seq 1 100); do
+    if "$BUILD_DIR/tools/lvf2_top" --connect "unix:$SOCK" --once \
+        --prometheus >"$SOAK_DIR/metrics.prom" 2>/dev/null \
+        && grep -q '^lvf2_serve_op_' "$SOAK_DIR/metrics.prom" \
+        && grep -q '^lvf2_serve_accepted_total' "$SOAK_DIR/metrics.prom"; then
+      SCRAPED=1
+      break
+    fi
+    kill -0 "$SOAK_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  wait "$SOAK_PID" \
     || { echo "FAIL: faulted soak failed"; cat "$SOAK_DIR/soak_daemon.log"; \
+         exit 1; }
+  [ "$SCRAPED" = 1 ] \
+    || { echo "FAIL: mid-soak Prometheus scrape never saw per-op samples"; \
          exit 1; }
   stop_daemon || exit 1
 
   [ -s "$SOAK_DIR/serve_manifest.json" ] \
     || { echo "FAIL: drained daemon wrote no manifest"; exit 1; }
+  [ -s "$SOAK_DIR/access.log" ] \
+    || { echo "FAIL: soak left no access log"; exit 1; }
   if command -v python3 >/dev/null; then
     python3 - "$SOAK_DIR/serve_manifest.json" <<'EOF'
 import json, sys
@@ -405,6 +437,93 @@ EOF
       || { echo "FAIL: manifest has no serve section"; exit 1; }
     echo "python3 unavailable; skipped serve-section count assertions"
   fi
+
+  echo "-- serving telemetry: scrape well-formedness + manifest SLOs"
+  if command -v python3 >/dev/null; then
+    python3 - "$SOAK_DIR" <<'EOF'
+import json, re, sys, os
+d = sys.argv[1]
+manifest = json.load(open(os.path.join(d, "serve_manifest.json")))
+serve = manifest["serve"]
+tel = manifest.get("serve_telemetry")
+assert tel, "manifest has no serve_telemetry section"
+
+# Per-op telemetry must reconcile with the server's own drain counts:
+# every answered request is attributed to exactly one op row.
+ops = tel["ops"]
+responded = sum(int(row["responded"]) for row in ops.values())
+assert responded == serve["responded"], \
+    f"op rows sum to {responded}, serve.responded is {serve['responded']}"
+
+# Deadline SLO: the soak runs every timed request under the daemon's
+# 250 ms budget, and degradation (not lateness) is the escape hatch —
+# so the deadline population's p99 timeline must fit the budget.
+budget = tel["deadline_budget_ms"]
+assert budget == 250.0, tel
+dl = tel["deadline"]
+assert dl["total"] > 0, "no deadline-bounded requests recorded"
+assert 0.0 <= dl["compliance"] <= 1.0, dl
+p99 = dl["queue_p99_ms"] + dl["exec_p99_ms"]
+assert p99 <= budget, \
+    f"deadline p99 queue+exec {p99:.1f} ms exceeds the {budget:.0f} ms budget"
+
+# The mid-soak Prometheus scrape: every sample's family is declared
+# with # TYPE before use, values parse, and the cumulative per-op
+# counts can only have grown by drain time.
+declared = set()
+samples = {}
+for line in open(os.path.join(d, "metrics.prom")):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        declared.add(line.split()[2])
+        continue
+    if line.startswith("#"):
+        continue
+    m = re.fullmatch(r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)', line)
+    assert m, f"unparseable sample line: {line!r}"
+    name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+    float(value)  # must parse
+    family = re.sub(r'_(sum|count|bucket)$', '', name)
+    assert name in declared or family in declared, \
+        f"sample {name} has no # TYPE declaration"
+    samples[name + labels] = float(value)
+acc = samples["lvf2_serve_accepted_total"]
+resp = samples["lvf2_serve_responded_total"]
+assert 0 <= acc - resp <= 1024, f"accepted {acc} vs responded {resp}"
+scraped_ops = 0
+for key, value in samples.items():
+    m = re.fullmatch(r'lvf2_serve_op_requests_total\{op="([^"]+)"\}', key)
+    if not m:
+        continue
+    scraped_ops += 1
+    final = ops.get(m.group(1))
+    assert final is not None, f"scraped op {m.group(1)} missing at drain"
+    assert value <= final["requests"], \
+        f"{key}: scraped {value} > final {final['requests']}"
+assert scraped_ops > 0, "scrape carried no per-op request counters"
+
+# The access log: every line is one parseable JSON record.
+records = 0
+for line in open(os.path.join(d, "access.log")):
+    if not line.strip():
+        continue
+    rec = json.loads(line)
+    assert rec["rid"] > 0 and rec["op"], rec
+    records += 1
+assert records > 0, "access log is empty"
+print(f"ok: telemetry reconciles ({responded} responses over "
+      f"{len(ops)} ops), deadline p99 {p99:.1f} ms <= {budget:.0f} ms "
+      f"(compliance {dl['compliance']:.3f}), scrape well-formed "
+      f"({len(samples)} samples, {scraped_ops} ops), "
+      f"{records} access-log records")
+EOF
+  else
+    echo "python3 unavailable; skipped telemetry assertions"
+  fi
+  "$BUILD_DIR/tools/lvf2_report" serve "$SOAK_DIR/access.log" \
+    || { echo "FAIL: lvf2_report serve rejected the access log"; exit 1; }
   echo "check.sh: serve gate green"
   exit 0
 fi

@@ -124,6 +124,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return it->second;
 }
 
+Digest& MetricsRegistry::digest(std::string_view name, double compression) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = digests_.find(name);
+  if (it == digests_.end()) {
+    it = digests_.try_emplace(std::string(name), compression).first;
+  }
+  return it->second;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
@@ -177,7 +186,155 @@ std::string MetricsRegistry::to_json() const {
     append_json_number(out, h.sum());
     out += '}';
   }
+  out += "},\"digests\":{";
+  first = true;
+  for (const auto& [name, d] : digests_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    const TDigest snap = d.snapshot();
+    // Full centroid state (mergeable, 17-digit round-trippable) plus
+    // the headline quantiles so readers need not re-derive them.
+    out += json_write(snap.to_json(), JsonWriteOptions{17});
+    out.pop_back();  // reopen the digest object to append "q"
+    out += ",\"q\":{";
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95},
+        {"p99", 0.99}, {"p999", 0.999}};
+    bool first_q = true;
+    for (const auto& [label, q] : kQuantiles) {
+      if (!first_q) out += ',';
+      first_q = false;
+      append_json_string(out, label);
+      out += ':';
+      append_json_number(out, snap.count() > 0.0 ? snap.quantile(q) : 0.0);
+    }
+    out += "}}";
+  }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; registry names use
+// dots. Flatten everything else to '_'.
+std::string prom_name(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  out += name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void prom_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void prom_header(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string m = prom_name(prefix, name) + "_total";
+    prom_header(out, m, "counter");
+    out += m;
+    out += ' ';
+    out += std::to_string(c.value());
+    out += '\n';
+  }
+  for (const auto& [name, c] : double_counters_) {
+    const std::string m = prom_name(prefix, name) + "_total";
+    prom_header(out, m, "counter");
+    out += m;
+    out += ' ';
+    prom_number(out, c.value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string m = prom_name(prefix, name);
+    prom_header(out, m, "gauge");
+    out += m;
+    out += ' ';
+    prom_number(out, g.value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string m = prom_name(prefix, name);
+    prom_header(out, m, "histogram");
+    const auto& bounds = h.bounds();
+    const auto counts = h.bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += m;
+      out += "_bucket{le=\"";
+      if (i < bounds.size()) {
+        prom_number(out, bounds[i]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += m;
+    out += "_sum ";
+    prom_number(out, h.sum());
+    out += '\n';
+    out += m;
+    out += "_count ";
+    out += std::to_string(h.count());
+    out += '\n';
+  }
+  for (const auto& [name, d] : digests_) {
+    const std::string m = prom_name(prefix, name);
+    prom_header(out, m, "summary");
+    const TDigest snap = d.snapshot();
+    static constexpr const char* kLabels[] = {"0.5", "0.9", "0.95", "0.99",
+                                              "0.999"};
+    static constexpr double kQs[] = {0.50, 0.90, 0.95, 0.99, 0.999};
+    for (std::size_t i = 0; i < 5; ++i) {
+      out += m;
+      out += "{quantile=\"";
+      out += kLabels[i];
+      out += "\"} ";
+      prom_number(out, snap.quantile(kQs[i]));
+      out += '\n';
+    }
+    out += m;
+    out += "_sum ";
+    prom_number(out, snap.sum());
+    out += '\n';
+    out += m;
+    out += "_count ";
+    out += std::to_string(static_cast<std::uint64_t>(snap.count()));
+    out += '\n';
+  }
   return out;
 }
 
@@ -205,6 +362,14 @@ void MetricsRegistry::write_text(std::FILE* out) const {
         (h.count() > 0) ? h.sum() / static_cast<double>(h.count()) : 0.0;
     std::fprintf(out, "histogram %-32s count=%llu mean=%g\n", name.c_str(),
                  static_cast<unsigned long long>(h.count()), mean);
+  }
+  for (const auto& [name, d] : digests_) {
+    const TDigest snap = d.snapshot();
+    std::fprintf(out, "digest    %-32s count=%llu p50=%g p99=%g\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(snap.count()),
+                 snap.count() > 0.0 ? snap.quantile(0.5) : 0.0,
+                 snap.count() > 0.0 ? snap.quantile(0.99) : 0.0);
   }
 }
 

@@ -1,9 +1,11 @@
 #pragma once
-// Process-wide metrics registry: named counters, gauges, and
-// fixed-bucket histograms. Instruments are created on first access
-// and live for the whole process (stable addresses — cache a
-// reference in hot paths). Updates are lock-free relaxed atomics;
-// only name lookup takes the registry mutex.
+// Process-wide metrics registry: named counters, gauges, fixed-bucket
+// histograms, and streaming quantile digests. Instruments are created
+// on first access and live for the whole process (stable addresses —
+// cache a reference in hot paths). Counter/gauge/histogram updates
+// are lock-free relaxed atomics; a digest observation takes the
+// instrument's own mutex (an uncontended lock + a buffered push,
+// still nanoseconds); only name lookup takes the registry mutex.
 //
 // Sinks, both driven by environment variables read at startup:
 //   LVF2_METRICS=<path>     JSON dump at process exit
@@ -19,6 +21,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/tdigest.h"
 
 namespace lvf2::obs {
 
@@ -92,6 +96,34 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Streaming quantile instrument: a mutex-guarded mergeable t-digest
+/// (obs/tdigest.h). Built for latency tails — p99/p999 stay sharp
+/// wherever the distribution lands, unlike a fixed bucket ladder.
+class Digest {
+ public:
+  explicit Digest(double compression = 100.0) : digest_(compression) {}
+
+  void observe(double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    digest_.add(v);
+  }
+  /// Consistent point-in-time copy (merge it, serialize it, query it).
+  TDigest snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    digest_.compress();
+    return digest_;
+  }
+  double quantile(double q) const { return snapshot().quantile(q); }
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::uint64_t>(digest_.count());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  TDigest digest_;
+};
+
 /// The process-wide registry (leaked singleton, never destroyed).
 class MetricsRegistry {
  public:
@@ -103,10 +135,21 @@ class MetricsRegistry {
   /// First call fixes the bucket bounds; later calls with the same
   /// name return the existing histogram regardless of `bounds`.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// First call fixes the compression; later calls with the same name
+  /// return the existing digest regardless of `compression`.
+  Digest& digest(std::string_view name, double compression = 100.0);
 
   /// Full registry state as a JSON object
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// {"counters":{...},"gauges":{...},"histograms":{...},
+  ///  "digests":{...}} (each digest carries its serialized centroid
+  /// state plus a "q" block of p50/p90/p95/p99/p999 estimates).
   std::string to_json() const;
+  /// Prometheus text exposition (version 0.0.4): counters as
+  /// `<prefix><name>_total`, gauges plain, histograms as cumulative
+  /// `_bucket{le=...}` + `_sum`/`_count`, digests as
+  /// `{quantile=...}` summaries + `_sum`/`_count`. Metric names are
+  /// the registry names with non-[a-zA-Z0-9_] flattened to '_'.
+  std::string to_prometheus(std::string_view prefix = "lvf2_") const;
   /// Writes to_json() to `path` (best-effort; logs to stderr on
   /// failure).
   void write_json(const std::string& path) const;
@@ -121,6 +164,7 @@ class MetricsRegistry {
   std::map<std::string, DoubleCounter, std::less<>> double_counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Digest, std::less<>> digests_;
 };
 
 /// Convenience accessors against the process registry.
@@ -136,6 +180,9 @@ inline Gauge& gauge(std::string_view name) {
 inline Histogram& histogram(std::string_view name,
                             std::vector<double> bounds) {
   return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+inline Digest& digest(std::string_view name, double compression = 100.0) {
+  return MetricsRegistry::instance().digest(name, compression);
 }
 
 }  // namespace lvf2::obs

@@ -1,0 +1,91 @@
+#pragma once
+// Mergeable streaming quantile sketch (merging t-digest, fixed
+// compression). The serving layer records every request's queue wait
+// and exec wall time into digests and answers "p99 right now" from
+// ~2*compression centroids instead of a fixed bucket ladder — the
+// tails (p99/p999) keep full resolution no matter where the
+// distribution lands, which fixed histogram bounds cannot promise
+// (DESIGN.md decision 20).
+//
+// Determinism contract: the digest is a deterministic function of the
+// insertion sequence (and, for merge(), of the operand order).
+// Incoming points buffer until kBufferFactor * compression entries,
+// then a single sorted merge pass rebuilds the centroid list with the
+// canonical asin scale function bounding per-centroid weight. The
+// same sequence therefore always yields byte-identical to_json()
+// output, which is what the manifest / golden-file gates diff.
+// Merge is associative only up to sketch accuracy — quantiles of
+// (a+b)+c and a+(b+c) agree to ~1/compression, not bitwise
+// (tests/test_properties.cpp pins both properties).
+//
+// Thread safety: TDigest itself is not synchronized. The registry
+// instrument (obs::Digest, metrics.h) wraps one behind a mutex.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lvf2::obs {
+
+/// One t-digest centroid: a weighted mean.
+struct Centroid {
+  double mean = 0.0;
+  double weight = 0.0;
+};
+
+class TDigest {
+ public:
+  /// Larger compression = more centroids = tighter quantile error
+  /// (~O(1/compression) at the median, much tighter in the tails).
+  explicit TDigest(double compression = 100.0);
+
+  /// Adds a point (weight w). Amortized O(1): buffers, then merges.
+  void add(double x, double w = 1.0);
+
+  /// Folds `other` into this digest (other is unchanged). The result
+  /// is the digest of the concatenated streams up to sketch accuracy.
+  void merge(const TDigest& other);
+
+  /// Interpolated quantile estimate, q in [0,1]. NaN when empty;
+  /// exact min/max at q=0/1.
+  double quantile(double q) const;
+
+  double count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double compression() const { return compression_; }
+
+  /// Flushes the pending buffer into the centroid list (idempotent).
+  void compress() const;
+  /// Centroids sorted by mean (compresses first).
+  const std::vector<Centroid>& centroids() const;
+
+  /// {"compression":C,"count":N,"sum":S,"min":m,"max":M,
+  ///  "centroids":[[mean,weight],...]} — 17-digit doubles, so a
+  /// serialize/parse round trip is bit-exact.
+  JsonValue to_json() const;
+  std::string to_json_text() const;
+  /// Rebuilds a digest from to_json() output; nullopt on a document
+  /// that does not look like one.
+  static std::optional<TDigest> from_json(const JsonValue& doc);
+
+ private:
+  static constexpr std::size_t kBufferFactor = 5;
+
+  void merge_buffer() const;
+
+  double compression_ = 100.0;
+  double count_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Lazily compacted on read: quantile()/centroids()/to_json() are
+  // logically const but may fold the buffer first.
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<Centroid> buffer_;
+};
+
+}  // namespace lvf2::obs

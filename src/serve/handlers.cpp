@@ -1,5 +1,6 @@
 #include "serve/handlers.h"
 
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "core/lvf2_model.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "serve/telemetry.h"
 #include "spice/montecarlo.h"
 #include "ssta/block_ssta.h"
 #include "stats/grid_pdf.h"
@@ -205,6 +207,44 @@ EntryView acquire_entry(HandlerContext& ctx, const ArcRef& ref,
     case ExecMode::kFull:
       break;
   }
+  // Single-flight: concurrent identical-key full computes coalesce
+  // behind one leader. Followers wait in bounded slices (so an armed
+  // deadline still fires via checkpoint -> CancelledError -> floor),
+  // then re-read the caches the leader populated.
+  {
+    std::unique_lock<std::mutex> lock(ctx.flight_mutex);
+    if (!ctx.inflight_keys.insert(key).second) {
+      static obs::Counter& coalesced = obs::counter("serve.coalesced");
+      coalesced.add(1);
+      while (ctx.inflight_keys.count(key) != 0) {
+        ctx.flight_cv.wait_for(lock, std::chrono::milliseconds(10));
+        lock.unlock();
+        core::checkpoint();  // honors this follower's own deadline
+        lock.lock();
+      }
+      lock.unlock();
+      if (auto cached = lookup_cached_entry(ctx, key, hit_tag)) {
+        return std::move(*cached);
+      }
+      // The leader failed (entry not cached): retry, likely becoming
+      // the new leader. Depth is bounded by the number of concurrent
+      // identical-key requests.
+      return acquire_entry(ctx, ref, mode);
+    }
+  }
+  // Leader: the erase + notify must run on every exit path, including
+  // a CancelledError unwinding out of the Monte Carlo.
+  struct FlightGuard {
+    HandlerContext& ctx;
+    std::uint64_t key;
+    ~FlightGuard() {
+      {
+        std::lock_guard<std::mutex> lock(ctx.flight_mutex);
+        ctx.inflight_keys.erase(key);
+      }
+      ctx.flight_cv.notify_all();
+    }
+  } flight_guard{ctx, key};
   const cells::Characterizer characterizer(ctx.corner, ctx.characterize);
   EntryView view;
   view.cc = characterizer.characterize_entry(*ref.cell, *ref.arc,
@@ -427,6 +467,32 @@ HandlerResult op_stats(const HandlerContext& ctx) {
   return out;
 }
 
+// The `metrics` op: the live telemetry snapshot (per-op counts, rung
+// mix, rolling rates, deadline compliance, queue/exec quantiles, the
+// whole metrics registry) as JSON, or the Prometheus text exposition
+// wrapped in {"format":"prometheus","text":...} when
+// params.format == "prometheus".
+HandlerResult op_metrics(const obs::JsonValue& params) {
+  const std::string format = params.string_or("format", "json");
+  HandlerResult out;
+  if (format == "prometheus") {
+    out.result = json_object();
+    out.result.object.emplace_back("format", json_string("prometheus"));
+    out.result.object.emplace_back(
+        "text", json_string(ServeTelemetry::instance().prometheus()));
+    return out;
+  }
+  if (format != "json") {
+    return HandlerResult{
+        core::Status::invalid_argument(
+            "params.format must be \"json\" or \"prometheus\""),
+        "none",
+        {}};
+  }
+  out.result = ServeTelemetry::instance().snapshot_json();
+  return out;
+}
+
 HandlerResult dispatch(HandlerContext& ctx, const Request& request,
                        ExecMode mode) {
   if (request.op == "ping") {
@@ -436,6 +502,7 @@ HandlerResult dispatch(HandlerContext& ctx, const Request& request,
     return out;
   }
   if (request.op == "stats") return op_stats(ctx);
+  if (request.op == "metrics") return op_metrics(request.params);
   const core::StatusOr<ArcRef> ref = resolve_arc(ctx, request.params);
   if (!ref.is_ok()) return HandlerResult{ref.status(), "none", {}};
   if (request.op == "arc_dist") return op_arc_dist(ctx, ref.value(), mode);

@@ -17,8 +17,11 @@
 // quality it got, and nobody gets an error for being unlucky about
 // arrival time (DESIGN.md decision 19).
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 
 #include "cells/characterize.h"
 #include "cells/library.h"
@@ -45,6 +48,16 @@ struct HandlerContext {
   spice::ProcessCorner corner = spice::ProcessCorner::tt_global_local_mc();
   cells::CharacterizeOptions characterize;
   HotLru lru;
+
+  /// Single-flight coalescing state for identical-key full
+  /// characterizations (acquire_entry): the first request through
+  /// becomes the leader and computes; concurrent identical-key
+  /// requests wait (counted in serve.coalesced) and re-read the
+  /// caches when the leader finishes, instead of burning a pool slot
+  /// on the same Monte Carlo.
+  std::mutex flight_mutex;
+  std::condition_variable flight_cv;
+  std::unordered_set<std::uint64_t> inflight_keys;
 };
 
 /// Outcome of one handled request.
@@ -57,8 +70,8 @@ struct HandlerResult {
 /// Executes one request under `mode`. Never throws: a deadline expiry
 /// mid-compute is caught internally and re-answered from the
 /// degradation floor; any other failure becomes the result's Status.
-/// Ops: ping, stats, arc_dist, bin, yield3, path_ssta (README
-/// "Serving" documents params and results).
+/// Ops: ping, stats, metrics, arc_dist, bin, yield3, path_ssta
+/// (README "Serving" documents params and results).
 HandlerResult handle_request(HandlerContext& ctx, const Request& request,
                              ExecMode mode);
 

@@ -17,10 +17,19 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
+#include "serve/reqtrace.h"
+#include "serve/telemetry.h"
 
 namespace lvf2::serve {
 
 namespace {
+
+/// Server-minted request ids: unique per process, monotone, never 0.
+/// Distinct from the client-chosen Request::id echoed in responses —
+/// the rid names the request in traces and refusal payloads even when
+/// clients reuse ids across connections.
+std::atomic<std::uint64_t> g_next_rid{1};
+std::atomic<std::uint64_t> g_next_conn{1};
 
 double env_double(const char* name, double fallback) {
   const char* text = std::getenv(name);
@@ -81,6 +90,31 @@ std::string render_serve_section() {
   add("drained", obs::gauge("serve.drained").value());
   out += "}";
   return out;
+}
+
+// The manifest's "serve_telemetry" section: per-op totals, rung mix,
+// quantiles, and the deadline block check.sh --serve gates on. The
+// telemetry singleton is leaked, so this stays valid at atexit.
+std::string render_serve_telemetry_section() {
+  return ServeTelemetry::instance().manifest_section();
+}
+
+// A refused request (drain or admission-full) still leaves a trace
+// record so the access log accounts for every parsed frame.
+void trace_refusal(std::uint64_t rid, std::uint64_t conn_number,
+                   const Request& request, const core::Status& status,
+                   std::uint32_t bytes_in, std::size_t bytes_out) {
+  if (!reqtrace_enabled()) return;
+  RequestTrace t;
+  t.rid = rid;
+  t.conn = conn_number;
+  t.bytes_in = bytes_in;
+  t.bytes_out = static_cast<std::uint32_t>(bytes_out);
+  RequestTrace::set_field(t.op, request.op);
+  RequestTrace::set_field(t.status, core::to_string(status.code()));
+  RequestTrace::set_field(t.degradation, "none");
+  RequestTrace::set_field(t.mode, "refused");
+  RequestTraceLog::instance().record(t);
 }
 
 }  // namespace
@@ -198,6 +232,15 @@ core::Status Server::start() {
   if (core::Status st = bind_listener(); !st.is_ok()) return st;
   obs::ManifestRecorder::instance().set_section_provider(
       "serve", render_serve_section);
+  obs::ManifestRecorder::instance().set_section_provider(
+      "serve_telemetry", render_serve_telemetry_section);
+  {
+    ServeTelemetry& telemetry = ServeTelemetry::instance();
+    telemetry.set_deadline_budget_ms(options_.default_deadline_ms);
+    // Cleared in wait(): the provider captures `this`.
+    telemetry.set_queue_depth_provider([this] { return queue_.depth(); });
+  }
+  RequestTraceLog::instance().configure_from_env();
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatcher_thread_ = std::thread([this] { dispatcher_loop(); });
@@ -227,6 +270,7 @@ void Server::accept_loop() {
     obs::counter("serve.connections").add(1);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->number = g_next_conn.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conns_mutex_);
     conns_.push_back(conn);
     reader_threads_.emplace_back(
@@ -234,14 +278,15 @@ void Server::accept_loop() {
   }
 }
 
-void Server::respond(Connection& conn, std::uint64_t id,
-                     const core::Status& status, std::string_view degradation,
-                     double elapsed_ms, const obs::JsonValue* result,
-                     double retry_after_ms) {
+std::size_t Server::respond(Connection& conn, std::uint64_t id,
+                            const core::Status& status,
+                            std::string_view degradation, double elapsed_ms,
+                            const obs::JsonValue* result,
+                            double retry_after_ms) {
   const std::string body = render_response(id, status, degradation,
                                            elapsed_ms, result, retry_after_ms);
   std::lock_guard<std::mutex> lock(conn.write_mutex);
-  if (conn.broken.load(std::memory_order_relaxed)) return;
+  if (conn.broken.load(std::memory_order_relaxed)) return 0;
   if (core::Status st = write_frame(conn.fd, body); !st.is_ok()) {
     obs::counter("serve.io.write_failed").add(1);
     obs::log_warn("serve.write_failed", {{"error", st.to_string()}});
@@ -251,7 +296,9 @@ void Server::respond(Connection& conn, std::uint64_t id,
     // and so our own reader loop tears the connection down.
     conn.broken.store(true, std::memory_order_relaxed);
     ::shutdown(conn.fd, SHUT_RDWR);
+    return 0;
   }
+  return body.size();
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
@@ -271,6 +318,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       break;
     }
     const auto arrival = std::chrono::steady_clock::now();
+    const std::uint32_t bytes_in = static_cast<std::uint32_t>(body.size());
     Request request;
     if (core::Status st = parse_request(body, request); !st.is_ok()) {
       // Malformed body inside a well-formed frame: the connection
@@ -278,25 +326,46 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       respond(*conn, request.id, st, "none", 0.0, nullptr);
       continue;
     }
+    const std::uint64_t rid =
+        g_next_rid.fetch_add(1, std::memory_order_relaxed);
+    ServeTelemetry::instance().record_request(request.op);
     if (draining_.load(std::memory_order_relaxed)) {
       obs::counter("serve.drain_refused").add(1);
-      respond(*conn, request.id,
-              core::Status::unavailable("server draining"), "none", 0.0,
-              nullptr, retry_after_hint_ms(queue_.depth()));
+      // The refusal payload names the server-minted request id so a
+      // client (or operator grepping the access log) can correlate
+      // which in-flight requests the drain turned away.
+      const core::Status refusal = core::Status::unavailable(
+          "server draining; request " + std::to_string(rid) +
+          " not admitted");
+      const std::size_t bytes_out =
+          respond(*conn, request.id, refusal, "none", 0.0, nullptr,
+                  retry_after_hint_ms(queue_.depth()));
+      trace_refusal(rid, conn->number, request, refusal, bytes_in,
+                    bytes_out);
       continue;
     }
     PendingRequest item;
     item.conn = conn;
     item.request = std::move(request);
     item.arrival = arrival;
+    item.rid = rid;
+    item.bytes_in = bytes_in;
     const std::uint64_t id = item.request.id;
+    const std::string op = item.request.op;  // survives the push
     // try_push marks item.shed when admission crosses the watermark;
     // the dispatcher reads the verdict off the queued item.
     if (queue_.try_push(std::move(item)) == Admit::kRejected) {
       obs::counter("serve.rejected").add(1);
-      respond(*conn, id,
-              core::Status::resource_exhausted("admission queue full"),
-              "none", 0.0, nullptr, retry_after_hint_ms(queue_.depth()));
+      const core::Status refusal = core::Status::resource_exhausted(
+          "admission queue full; request " + std::to_string(rid) +
+          " not admitted");
+      const std::size_t bytes_out =
+          respond(*conn, id, refusal, "none", 0.0, nullptr,
+                  retry_after_hint_ms(queue_.depth()));
+      Request refused;
+      refused.op = op;
+      trace_refusal(rid, conn->number, refused, refusal, bytes_in,
+                    bytes_out);
     } else {
       obs::counter("serve.accepted").add(1);
     }
@@ -327,6 +396,14 @@ void Server::dispatcher_loop() {
 void Server::process(PendingRequest& item) {
   static obs::Histogram& latency = obs::histogram(
       "serve.latency_ms", {1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000});
+  // Timeline split: queue_ms covers arrival -> here (admission wait +
+  // dispatch), exec_ms covers the handler + response write.
+  const auto exec_start = std::chrono::steady_clock::now();
+  const double queue_ms = std::chrono::duration<double, std::milli>(
+                              exec_start - item.arrival)
+                              .count();
+  ServeTelemetry& telemetry = ServeTelemetry::instance();
+  telemetry.inflight_add(1);
   ExecMode mode = ExecMode::kFull;
   if (draining_.load(std::memory_order_relaxed)) {
     // Drain shed: queued work still gets an answer, from the floor.
@@ -365,9 +442,29 @@ void Server::process(PendingRequest& item) {
   } else {
     obs::counter("serve.completed.full").add(1);
   }
-  respond(*item.conn, item.request.id, result.status, result.degradation,
-          elapsed_ms, result.status.is_ok() ? &result.result : nullptr);
+  const std::size_t bytes_out =
+      respond(*item.conn, item.request.id, result.status, result.degradation,
+              elapsed_ms, result.status.is_ok() ? &result.result : nullptr);
   obs::counter("serve.responded").add(1);
+  const double exec_ms = now_elapsed_ms(exec_start);
+  telemetry.inflight_add(-1);
+  telemetry.record_response(item.request.op, result.status.is_ok(),
+                            result.degradation, queue_ms, exec_ms,
+                            budget_ms);
+  if (reqtrace_enabled()) {
+    RequestTrace t;
+    t.rid = item.rid;
+    t.conn = item.conn->number;
+    t.queue_ms = queue_ms;
+    t.exec_ms = exec_ms;
+    t.bytes_in = item.bytes_in;
+    t.bytes_out = static_cast<std::uint32_t>(bytes_out);
+    RequestTrace::set_field(t.op, item.request.op);
+    RequestTrace::set_field(t.status, core::to_string(result.status.code()));
+    RequestTrace::set_field(t.degradation, result.degradation);
+    RequestTrace::set_field(t.mode, "ok");
+    RequestTraceLog::instance().record(t);
+  }
 }
 
 void Server::request_stop() {
@@ -416,6 +513,9 @@ void Server::wait() {
   obs::gauge("serve.queue.high_water")
       .set(static_cast<double>(queue_.high_water()));
   obs::gauge("serve.drained").set(1.0);
+  // The provider captured `this`; the telemetry singleton outlives us.
+  ServeTelemetry::instance().set_queue_depth_provider(nullptr);
+  RequestTraceLog::instance().stop();
   joined_ = true;
   obs::log_info("serve.drained", {});
 }

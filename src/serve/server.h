@@ -94,6 +94,7 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
+    std::uint64_t number = 0;  ///< accept-order id, for request traces
     std::mutex write_mutex;
     /// Set when a response write failed: the peer is stuck mid-frame,
     /// so the stream can never be re-synchronized and must be torn
@@ -106,6 +107,8 @@ class Server {
     std::shared_ptr<Connection> conn;
     Request request;
     std::chrono::steady_clock::time_point arrival;
+    std::uint64_t rid = 0;        ///< server-minted request id
+    std::uint32_t bytes_in = 0;   ///< request frame payload bytes
     bool shed = false;  ///< admitted above the watermark
   };
 
@@ -114,9 +117,14 @@ class Server {
   void reader_loop(std::shared_ptr<Connection> conn);
   void dispatcher_loop();
   void process(PendingRequest& item);
-  void respond(Connection& conn, std::uint64_t id, const core::Status& status,
-               std::string_view degradation, double elapsed_ms,
-               const obs::JsonValue* result, double retry_after_ms = 0.0);
+  /// Returns the response payload bytes written (0 when the write
+  /// failed or the connection was already broken) — the request
+  /// trace's bytes_out.
+  std::size_t respond(Connection& conn, std::uint64_t id,
+                      const core::Status& status,
+                      std::string_view degradation, double elapsed_ms,
+                      const obs::JsonValue* result,
+                      double retry_after_ms = 0.0);
 
   ServerOptions options_;
   HandlerContext context_;

@@ -1,0 +1,438 @@
+#include "serve/telemetry.h"
+
+#include <utility>
+
+namespace lvf2::serve {
+
+namespace {
+
+// Known op surface. Everything else folds into "other" so a hostile
+// client spraying random op names cannot grow the stats map.
+constexpr std::string_view kKnownOps[] = {
+    "ping", "stats", "metrics", "arc_dist", "bin", "yield3", "path_ssta"};
+
+std::string_view fold_op(std::string_view name) {
+  for (const std::string_view known : kKnownOps) {
+    if (name == known) return known;
+  }
+  return "other";
+}
+
+obs::JsonValue json_object() {
+  obs::JsonValue v;
+  v.type = obs::JsonValue::Type::kObject;
+  return v;
+}
+
+obs::JsonValue json_number(double v) {
+  obs::JsonValue out;
+  out.type = obs::JsonValue::Type::kNumber;
+  out.number = v;
+  return out;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 1.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+double quantile_or_zero(const obs::TDigest& d, double q) {
+  return d.count() > 0.0 ? d.quantile(q) : 0.0;
+}
+
+}  // namespace
+
+std::size_t rung_index(std::string_view degradation) {
+  if (degradation == "cached") return 1;
+  if (degradation == "single_sn") return 2;
+  if (degradation == "point_mass") return 3;
+  return 0;  // "none"
+}
+
+std::string_view rung_name(std::size_t index) {
+  static constexpr std::string_view kNames[] = {"none", "cached",
+                                                "single_sn", "point_mass"};
+  return kNames[index < 4 ? index : 0];
+}
+
+ServeTelemetry::ServeTelemetry()
+    : start_(std::chrono::steady_clock::now()) {}
+
+ServeTelemetry& ServeTelemetry::instance() {
+  static ServeTelemetry* telemetry = new ServeTelemetry();  // leaked
+  return *telemetry;
+}
+
+std::int64_t ServeTelemetry::now_s() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double ServeTelemetry::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+OpStats& ServeTelemetry::op(std::string_view name) {
+  const std::string_view key = fold_op(name);
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  auto it = ops_.find(key);
+  if (it == ops_.end()) {
+    it = ops_.try_emplace(std::string(key)).first;
+  }
+  return it->second;
+}
+
+void ServeTelemetry::record_request(std::string_view op_name) {
+  OpStats& stats = op(op_name);
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+  stats.rate.record(now_s());
+}
+
+void ServeTelemetry::record_response(std::string_view op_name, bool is_ok,
+                                     std::string_view degradation,
+                                     double queue_ms, double exec_ms,
+                                     double budget_ms) {
+  OpStats& stats = op(op_name);
+  stats.responded.fetch_add(1, std::memory_order_relaxed);
+  if (is_ok) {
+    stats.ok.fetch_add(1, std::memory_order_relaxed);
+    stats.rung[rung_index(degradation)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  } else {
+    stats.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats.queue_ms.observe(queue_ms);
+  stats.exec_ms.observe(exec_ms);
+
+  static obs::Digest& global_queue = obs::digest("serve.queue_ms");
+  static obs::Digest& global_exec = obs::digest("serve.exec_ms");
+  global_queue.observe(queue_ms);
+  global_exec.observe(exec_ms);
+
+  if (budget_ms > 0.0) {
+    stats.deadline_total.fetch_add(1, std::memory_order_relaxed);
+    if (is_ok && queue_ms + exec_ms <= budget_ms) {
+      stats.deadline_met.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Deadline-bounded population only: these are the digests the SLO
+    // gate holds against the configured budget.
+    static obs::Digest& deadline_queue =
+        obs::digest("serve.deadline.queue_ms");
+    static obs::Digest& deadline_exec = obs::digest("serve.deadline.exec_ms");
+    deadline_queue.observe(queue_ms);
+    deadline_exec.observe(exec_ms);
+  }
+}
+
+void ServeTelemetry::inflight_add(int delta) {
+  inflight_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t ServeTelemetry::inflight() const {
+  return inflight_.load(std::memory_order_relaxed);
+}
+
+void ServeTelemetry::set_queue_depth_provider(
+    std::function<std::size_t()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mutex_);
+  queue_depth_provider_ = std::move(provider);
+}
+
+std::size_t ServeTelemetry::queue_depth() const {
+  std::lock_guard<std::mutex> lock(provider_mutex_);
+  return queue_depth_provider_ ? queue_depth_provider_() : 0;
+}
+
+void ServeTelemetry::set_deadline_budget_ms(double budget) {
+  deadline_budget_ms_.store(budget, std::memory_order_relaxed);
+}
+
+double ServeTelemetry::deadline_budget_ms() const {
+  return deadline_budget_ms_.load(std::memory_order_relaxed);
+}
+
+obs::JsonValue ServeTelemetry::snapshot_json() const {
+  const std::int64_t now = now_s();
+  obs::JsonValue out = json_object();
+  out.object.emplace_back("uptime_s", json_number(uptime_s()));
+  out.object.emplace_back("queue_depth",
+                          json_number(static_cast<double>(queue_depth())));
+  out.object.emplace_back("inflight",
+                          json_number(static_cast<double>(inflight())));
+  out.object.emplace_back("deadline_budget_ms",
+                          json_number(deadline_budget_ms()));
+
+  obs::JsonValue ops = json_object();
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    for (const auto& [name, stats] : ops_) {
+      obs::JsonValue row = json_object();
+      const auto add_count = [&row](const char* key, std::uint64_t v) {
+        row.object.emplace_back(key, json_number(static_cast<double>(v)));
+      };
+      add_count("requests", stats.requests.load(std::memory_order_relaxed));
+      add_count("responded", stats.responded.load(std::memory_order_relaxed));
+      add_count("ok", stats.ok.load(std::memory_order_relaxed));
+      add_count("failed", stats.failed.load(std::memory_order_relaxed));
+      obs::JsonValue rung = json_object();
+      for (std::size_t i = 0; i < 4; ++i) {
+        rung.object.emplace_back(
+            std::string(rung_name(i)),
+            json_number(static_cast<double>(
+                stats.rung[i].load(std::memory_order_relaxed))));
+      }
+      row.object.emplace_back("degradation", std::move(rung));
+      add_count("rate_1s", stats.rate.sum(now, 1));
+      add_count("rate_10s", stats.rate.sum(now, 10));
+      add_count("rate_60s", stats.rate.sum(now, 60));
+      const std::uint64_t dl_total =
+          stats.deadline_total.load(std::memory_order_relaxed);
+      const std::uint64_t dl_met =
+          stats.deadline_met.load(std::memory_order_relaxed);
+      obs::JsonValue deadline = json_object();
+      deadline.object.emplace_back(
+          "total", json_number(static_cast<double>(dl_total)));
+      deadline.object.emplace_back("met",
+                                   json_number(static_cast<double>(dl_met)));
+      deadline.object.emplace_back("compliance",
+                                   json_number(ratio(dl_met, dl_total)));
+      row.object.emplace_back("deadline", std::move(deadline));
+      const auto add_quantiles = [&row](const char* key,
+                                        const obs::Digest& digest) {
+        const obs::TDigest snap = digest.snapshot();
+        obs::JsonValue q = json_object();
+        q.object.emplace_back("count", json_number(snap.count()));
+        q.object.emplace_back("p50", json_number(quantile_or_zero(snap, 0.5)));
+        q.object.emplace_back("p95",
+                              json_number(quantile_or_zero(snap, 0.95)));
+        q.object.emplace_back("p99",
+                              json_number(quantile_or_zero(snap, 0.99)));
+        row.object.emplace_back(key, std::move(q));
+      };
+      add_quantiles("queue_ms", stats.queue_ms);
+      add_quantiles("exec_ms", stats.exec_ms);
+      ops.object.emplace_back(name, std::move(row));
+    }
+  }
+  out.object.emplace_back("ops", std::move(ops));
+
+  // The whole registry rides along (counters, gauges, histograms,
+  // digests), so one op answers everything an operator can ask.
+  std::string error;
+  if (auto registry = obs::json_parse(
+          obs::MetricsRegistry::instance().to_json(), &error)) {
+    out.object.emplace_back("registry", std::move(*registry));
+  }
+  return out;
+}
+
+std::string ServeTelemetry::prometheus() const {
+  const std::int64_t now = now_s();
+  std::string out = obs::MetricsRegistry::instance().to_prometheus();
+  const auto sample = [&out](std::string_view family,
+                             std::string_view labels, double v) {
+    out += family;
+    out += labels;
+    out += ' ';
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+    out += '\n';
+  };
+  out += "# TYPE lvf2_serve_uptime_seconds gauge\n";
+  sample("lvf2_serve_uptime_seconds", "", uptime_s());
+  out += "# TYPE lvf2_serve_queue_depth gauge\n";
+  sample("lvf2_serve_queue_depth", "",
+         static_cast<double>(queue_depth()));
+  out += "# TYPE lvf2_serve_inflight gauge\n";
+  sample("lvf2_serve_inflight", "", static_cast<double>(inflight()));
+
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  const auto op_label = [](std::string_view op, std::string_view extra = "") {
+    std::string l = "{op=\"";
+    l += op;
+    l += '"';
+    l += extra;
+    l += '}';
+    return l;
+  };
+  const auto family =
+      [&](const char* name, const char* type,
+          const std::function<void(std::string_view, const OpStats&)>& emit) {
+        out += "# TYPE ";
+        out += name;
+        out += ' ';
+        out += type;
+        out += '\n';
+        for (const auto& [op, stats] : ops_) emit(op, stats);
+      };
+  family("lvf2_serve_op_requests_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           sample("lvf2_serve_op_requests_total", op_label(op),
+                  static_cast<double>(
+                      s.requests.load(std::memory_order_relaxed)));
+         });
+  family("lvf2_serve_op_responded_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           sample("lvf2_serve_op_responded_total", op_label(op),
+                  static_cast<double>(
+                      s.responded.load(std::memory_order_relaxed)));
+         });
+  family("lvf2_serve_op_failed_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           sample("lvf2_serve_op_failed_total", op_label(op),
+                  static_cast<double>(
+                      s.failed.load(std::memory_order_relaxed)));
+         });
+  family("lvf2_serve_op_degraded_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           for (std::size_t i = 0; i < 4; ++i) {
+             std::string extra = ",rung=\"";
+             extra += rung_name(i);
+             extra += '"';
+             sample("lvf2_serve_op_degraded_total", op_label(op, extra),
+                    static_cast<double>(
+                        s.rung[i].load(std::memory_order_relaxed)));
+           }
+         });
+  family("lvf2_serve_op_rate", "gauge",
+         [&](std::string_view op, const OpStats& s) {
+           static constexpr std::pair<const char*, int> kWindows[] = {
+               {"1s", 1}, {"10s", 10}, {"60s", 60}};
+           for (const auto& [label, span] : kWindows) {
+             std::string extra = ",window=\"";
+             extra += label;
+             extra += '"';
+             sample("lvf2_serve_op_rate", op_label(op, extra),
+                    static_cast<double>(s.rate.sum(now, span)) /
+                        static_cast<double>(span));
+           }
+         });
+  family("lvf2_serve_op_deadline_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           sample("lvf2_serve_op_deadline_total", op_label(op),
+                  static_cast<double>(
+                      s.deadline_total.load(std::memory_order_relaxed)));
+         });
+  family("lvf2_serve_op_deadline_met_total", "counter",
+         [&](std::string_view op, const OpStats& s) {
+           sample("lvf2_serve_op_deadline_met_total", op_label(op),
+                  static_cast<double>(
+                      s.deadline_met.load(std::memory_order_relaxed)));
+         });
+  const auto quantile_family = [&](const char* name,
+                                   obs::Digest OpStats::*member) {
+    out += "# TYPE ";
+    out += name;
+    out += " summary\n";
+    for (const auto& [op, stats] : ops_) {
+      const obs::TDigest snap = (stats.*member).snapshot();
+      static constexpr std::pair<const char*, double> kQs[] = {
+          {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const auto& [label, q] : kQs) {
+        std::string extra = ",quantile=\"";
+        extra += label;
+        extra += '"';
+        sample(name, op_label(op, extra), snap.quantile(q));
+      }
+      sample(std::string(name) + "_sum", op_label(op), snap.sum());
+      sample(std::string(name) + "_count", op_label(op), snap.count());
+    }
+  };
+  quantile_family("lvf2_serve_op_queue_ms", &OpStats::queue_ms);
+  quantile_family("lvf2_serve_op_exec_ms", &OpStats::exec_ms);
+  return out;
+}
+
+std::string ServeTelemetry::manifest_section() const {
+  std::string out = "{";
+  const auto add_key = [&out](const char* key) {
+    obs::json_append_string(out, key);
+    out += ':';
+  };
+  add_key("uptime_s");
+  obs::json_append_number(out, uptime_s());
+  out += ',';
+  add_key("deadline_budget_ms");
+  obs::json_append_number(out, deadline_budget_ms());
+  out += ',';
+
+  // Deadline-bounded population quantiles: what the --serve gate
+  // holds against the configured budget.
+  const obs::TDigest dl_queue =
+      obs::digest("serve.deadline.queue_ms").snapshot();
+  const obs::TDigest dl_exec =
+      obs::digest("serve.deadline.exec_ms").snapshot();
+  std::uint64_t dl_total = 0;
+  std::uint64_t dl_met = 0;
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    for (const auto& [name, stats] : ops_) {
+      dl_total += stats.deadline_total.load(std::memory_order_relaxed);
+      dl_met += stats.deadline_met.load(std::memory_order_relaxed);
+    }
+  }
+  add_key("deadline");
+  out += "{\"total\":";
+  obs::json_append_number(out, static_cast<double>(dl_total));
+  out += ",\"met\":";
+  obs::json_append_number(out, static_cast<double>(dl_met));
+  out += ",\"compliance\":";
+  obs::json_append_number(out, ratio(dl_met, dl_total));
+  out += ",\"queue_p99_ms\":";
+  obs::json_append_number(out, quantile_or_zero(dl_queue, 0.99));
+  out += ",\"exec_p99_ms\":";
+  obs::json_append_number(out, quantile_or_zero(dl_exec, 0.99));
+  out += "},";
+
+  add_key("ops");
+  out += '{';
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    bool first = true;
+    for (const auto& [name, stats] : ops_) {
+      if (!first) out += ',';
+      first = false;
+      obs::json_append_string(out, name);
+      out += ":{";
+      const auto add_count = [&out](const char* key, std::uint64_t v,
+                                    bool comma = true) {
+        obs::json_append_string(out, key);
+        out += ':';
+        obs::json_append_number(out, static_cast<double>(v));
+        if (comma) out += ',';
+      };
+      add_count("requests", stats.requests.load(std::memory_order_relaxed));
+      add_count("responded",
+                stats.responded.load(std::memory_order_relaxed));
+      add_count("ok", stats.ok.load(std::memory_order_relaxed));
+      add_count("failed", stats.failed.load(std::memory_order_relaxed));
+      for (std::size_t i = 0; i < 4; ++i) {
+        add_count(("rung_" + std::string(rung_name(i))).c_str(),
+                  stats.rung[i].load(std::memory_order_relaxed));
+      }
+      add_count("deadline_total",
+                stats.deadline_total.load(std::memory_order_relaxed));
+      add_count("deadline_met",
+                stats.deadline_met.load(std::memory_order_relaxed));
+      const obs::TDigest queue = stats.queue_ms.snapshot();
+      const obs::TDigest exec = stats.exec_ms.snapshot();
+      out += "\"queue_p50_ms\":";
+      obs::json_append_number(out, quantile_or_zero(queue, 0.5));
+      out += ",\"queue_p99_ms\":";
+      obs::json_append_number(out, quantile_or_zero(queue, 0.99));
+      out += ",\"exec_p50_ms\":";
+      obs::json_append_number(out, quantile_or_zero(exec, 0.5));
+      out += ",\"exec_p99_ms\":";
+      obs::json_append_number(out, quantile_or_zero(exec, 0.99));
+      out += '}';
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace lvf2::serve

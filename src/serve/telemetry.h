@@ -1,0 +1,152 @@
+#pragma once
+// Live serving telemetry behind the `metrics` protocol op and the
+// manifest's "serve_telemetry" section: per-op request/response
+// counts, degradation-rung mix, rolling 1s/10s/60s request rates,
+// queue-wait / exec-wall quantile digests, and deadline-compliance
+// ratios. One leaked process-wide singleton, same lifetime contract
+// as the metrics registry — the manifest section provider reads it at
+// atexit, long after the Server object is gone.
+//
+// Cost model: recording is a handful of relaxed atomic increments
+// plus two digest observations (an uncontended mutex each) per
+// request — request handling is milliseconds, this is nanoseconds.
+// Snapshotting (the `metrics` op) walks everything under the op-map
+// mutex; it is read-path-only and never blocks recording for long.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lvf2::serve {
+
+/// Rolling per-second event counts over the last 64 seconds, written
+/// lock-free. Bucket claiming races can misattribute a handful of
+/// events at second boundaries under heavy concurrency — rates are
+/// for operators' eyes, the exact totals live in the counters.
+class RateWindow {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t now_s, std::uint64_t n = 1) {
+    const std::size_t i =
+        static_cast<std::size_t>(now_s) & (kBuckets - 1);
+    std::int64_t stamp = stamps_[i].load(std::memory_order_relaxed);
+    if (stamp != now_s &&
+        stamps_[i].compare_exchange_strong(stamp, now_s,
+                                           std::memory_order_relaxed)) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Events in the `span_s` whole seconds ending at (and including)
+  /// `now_s`.
+  std::uint64_t sum(std::int64_t now_s, int span_s) const {
+    std::uint64_t total = 0;
+    if (span_s > kBuckets) span_s = kBuckets;
+    for (int k = 0; k < span_s; ++k) {
+      const std::int64_t s = now_s - k;
+      if (s < 0) break;
+      const std::size_t i = static_cast<std::size_t>(s) & (kBuckets - 1);
+      if (stamps_[i].load(std::memory_order_relaxed) == s) {
+        total += counts_[i].load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> stamps_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+/// Per-op serving statistics. Stable address once created (map node);
+/// every field is independently thread-safe.
+struct OpStats {
+  std::atomic<std::uint64_t> requests{0};   ///< parsed frames (pre-queue)
+  std::atomic<std::uint64_t> responded{0};  ///< answered by process()
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  /// Degradation-rung mix of ok answers: none/cached/single_sn/
+  /// point_mass.
+  std::array<std::atomic<std::uint64_t>, 4> rung{};
+  std::atomic<std::uint64_t> deadline_total{0};
+  std::atomic<std::uint64_t> deadline_met{0};
+  RateWindow rate;
+  obs::Digest queue_ms{64.0};
+  obs::Digest exec_ms{64.0};
+};
+
+/// Index into OpStats::rung for a degradation tag.
+std::size_t rung_index(std::string_view degradation);
+std::string_view rung_name(std::size_t index);
+
+class ServeTelemetry {
+ public:
+  static ServeTelemetry& instance();
+
+  /// Seconds since the telemetry singleton was created (~ process
+  /// start), as a monotone integer — the RateWindow clock.
+  std::int64_t now_s() const;
+  double uptime_s() const;
+
+  /// Per-op stats row. Unknown ops fold into "other" so a hostile
+  /// client cannot grow the map without bound.
+  OpStats& op(std::string_view name);
+
+  /// Records a parsed request (reader side, pre-admission).
+  void record_request(std::string_view op);
+
+  /// Records a completed response (dispatcher side). `budget_ms` <= 0
+  /// means the request ran without a deadline; `met` is whether the
+  /// whole timeline fit the budget.
+  void record_response(std::string_view op, bool is_ok,
+                       std::string_view degradation, double queue_ms,
+                       double exec_ms, double budget_ms);
+
+  /// In-flight request tracking (between dispatch and respond).
+  void inflight_add(int delta);
+  std::int64_t inflight() const;
+
+  /// The server installs a live queue-depth reader at start() and
+  /// clears it in wait(); snapshots report 0 when no server is up.
+  void set_queue_depth_provider(std::function<std::size_t()> provider);
+  std::size_t queue_depth() const;
+
+  /// Configured default deadline budget (ms; 0 = none), for SLO
+  /// reporting. Set by the server at start().
+  void set_deadline_budget_ms(double budget);
+  double deadline_budget_ms() const;
+
+  /// The `metrics` op JSON payload: uptime, queue/inflight, per-op
+  /// rows (counts, rung mix, 1s/10s/60s rates, deadline compliance,
+  /// queue/exec quantiles) and the full metrics-registry state.
+  obs::JsonValue snapshot_json() const;
+  /// Prometheus text exposition: the registry families plus per-op
+  /// labeled families (lvf2_serve_op_*) and uptime.
+  std::string prometheus() const;
+  /// The manifest "serve_telemetry" section (serialized JSON object).
+  std::string manifest_section() const;
+
+ private:
+  ServeTelemetry();
+
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<double> deadline_budget_ms_{0.0};
+  mutable std::mutex ops_mutex_;
+  std::map<std::string, OpStats, std::less<>> ops_;
+  mutable std::mutex provider_mutex_;
+  std::function<std::size_t()> queue_depth_provider_;
+};
+
+}  // namespace lvf2::serve

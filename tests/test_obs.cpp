@@ -321,6 +321,37 @@ TEST(MetricsRegistry, JsonDumpParsesAndContainsInstruments) {
   EXPECT_GE(hist.at("count").number, 1.0);
 }
 
+TEST(MetricsRegistry, DigestInstrumentSnapshotsAndExports) {
+  obs::Digest& d = obs::digest("test.digest.latency");
+  for (int i = 1; i <= 200; ++i) d.observe(static_cast<double>(i));
+  EXPECT_GE(d.count(), 200.0);
+  EXPECT_NEAR(d.quantile(0.5), 100.0, 10.0);
+
+  // JSON dump: digests section carries centroids plus the headline
+  // pre-computed quantile block.
+  const std::string json = obs::MetricsRegistry::instance().to_json();
+  JsonParser parser(json);
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const JsonValue& dig = root.at("digests").at("test.digest.latency");
+  EXPECT_GE(dig.at("count").number, 200.0);
+  EXPECT_EQ(dig.at("centroids").type, JsonValue::Type::kArray);
+  EXPECT_GT(dig.at("centroids").array.size(), 0u);
+  const JsonValue& q = dig.at("q");
+  EXPECT_NEAR(q.at("p50").number, 100.0, 10.0);
+  EXPECT_GE(q.at("p99").number, q.at("p50").number);
+
+  // Prometheus exposition: a summary family with quantile labels and
+  // the _sum/_count pair.
+  const std::string prom = obs::MetricsRegistry::instance().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE lvf2_test_digest_latency summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lvf2_test_digest_latency{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lvf2_test_digest_latency_count"), std::string::npos);
+  EXPECT_NE(prom.find("lvf2_test_digest_latency_sum"), std::string::npos);
+}
+
 TEST(MetricsRegistry, WriteJsonRoundTrips) {
   const std::string path = temp_path("lvf2_metrics_test.json");
   obs::counter("test.file.counter").add(1);

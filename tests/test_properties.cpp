@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -18,6 +19,7 @@
 #include "core/lvf2_model.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/tdigest.h"
 #include "stats/rng.h"
 #include "stats/skew_normal.h"
 
@@ -257,6 +259,147 @@ TEST(Properties, JsonFuzzLiteNeverCrashesAndRoundTrips) {
   }
   // The mutation schedule must actually exercise the error paths.
   EXPECT_GT(rejected, 100);
+}
+
+// --- t-digest (obs/tdigest.h): the serving layer's latency sketch. ---
+
+// A reproducible latency-shaped stream: lognormal-ish body with a
+// heavy right tail, the regime the digest exists to summarize.
+std::vector<double> latency_stream(std::uint64_t seed, std::size_t n) {
+  stats::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = std::exp(rng.uniform(-1.0, 2.5));
+    if (rng.uniform() < 0.02) x *= rng.uniform(5.0, 50.0);  // tail spikes
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+double sorted_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+TEST(Properties, TDigestDeterministicSerialization) {
+  // Same insertion sequence => byte-identical to_json_text(), the
+  // contract the manifest golden-file diffs rely on.
+  for (std::uint64_t seed : {7u, 21u, 1001u}) {
+    const std::vector<double> xs = latency_stream(seed, 4000);
+    obs::TDigest a(64.0);
+    obs::TDigest b(64.0);
+    for (const double x : xs) {
+      a.add(x);
+      b.add(x);
+    }
+    EXPECT_EQ(a.to_json_text(), b.to_json_text()) << "seed " << seed;
+  }
+}
+
+TEST(Properties, TDigestQuantilesTrackSortedReference) {
+  const std::vector<double> xs = latency_stream(0xD16E57, 10000);
+  obs::TDigest digest(100.0);
+  for (const double x : xs) digest.add(x);
+  ASSERT_EQ(digest.count(), static_cast<double>(xs.size()));
+  // Exact extremes.
+  EXPECT_DOUBLE_EQ(digest.quantile(0.0),
+                   *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(digest.quantile(1.0),
+                   *std::max_element(xs.begin(), xs.end()));
+  // Interior quantiles within a small fraction of the value range.
+  const double range = digest.max() - digest.min();
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double want = sorted_quantile(xs, q);
+    const double got = digest.quantile(q);
+    EXPECT_NEAR(got, want, 0.02 * range) << "q=" << q;
+  }
+  // Quantile function is monotone in q.
+  double prev = digest.quantile(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const double cur = digest.quantile(i / 100.0);
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << i / 100.0;
+    prev = cur;
+  }
+}
+
+TEST(Properties, TDigestMergeMatchesConcatenation) {
+  // Merging shards approximates the digest of the concatenated
+  // stream: counts/sums exact, quantiles within sketch accuracy —
+  // regardless of association order.
+  const std::vector<double> a = latency_stream(11, 3000);
+  const std::vector<double> b = latency_stream(22, 5000);
+  const std::vector<double> c = latency_stream(33, 2000);
+
+  obs::TDigest da(64.0), db(64.0), dc(64.0), whole(64.0);
+  std::vector<double> all;
+  for (const double x : a) {
+    da.add(x);
+    all.push_back(x);
+  }
+  for (const double x : b) {
+    db.add(x);
+    all.push_back(x);
+  }
+  for (const double x : c) {
+    dc.add(x);
+    all.push_back(x);
+  }
+  for (const double x : all) whole.add(x);
+
+  obs::TDigest left(64.0);  // (a+b)+c
+  left.merge(da);
+  left.merge(db);
+  left.merge(dc);
+  obs::TDigest right(64.0);  // a+(b+c)
+  obs::TDigest bc(64.0);
+  bc.merge(db);
+  bc.merge(dc);
+  right.merge(da);
+  right.merge(bc);
+
+  const double range = whole.max() - whole.min();
+  for (obs::TDigest* merged : {&left, &right}) {
+    EXPECT_DOUBLE_EQ(merged->count(), static_cast<double>(all.size()));
+    EXPECT_NEAR(merged->sum(), whole.sum(), 1e-6 * std::fabs(whole.sum()));
+    EXPECT_DOUBLE_EQ(merged->min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged->max(), whole.max());
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+      EXPECT_NEAR(merged->quantile(q), whole.quantile(q), 0.03 * range)
+          << "q=" << q;
+    }
+  }
+  // And the two association orders agree with each other.
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(left.quantile(q), right.quantile(q), 0.03 * range)
+        << "q=" << q;
+  }
+}
+
+TEST(Properties, TDigestJsonRoundTripIsLossless) {
+  const std::vector<double> xs = latency_stream(0xABCDE, 2500);
+  obs::TDigest digest(64.0);
+  for (const double x : xs) digest.add(x);
+  const std::string text = digest.to_json_text();
+  const auto doc = obs::json_parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const std::optional<obs::TDigest> back = obs::TDigest::from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  // 17-digit doubles make the round trip bit-exact: re-serializing
+  // reproduces the original text, and every quantile agrees.
+  EXPECT_EQ(back->to_json_text(), text);
+  for (int i = 0; i <= 20; ++i) {
+    const double q = i / 20.0;
+    EXPECT_DOUBLE_EQ(back->quantile(q), digest.quantile(q)) << "q=" << q;
+  }
+  // A non-digest document is rejected, not misparsed.
+  EXPECT_FALSE(
+      obs::TDigest::from_json(*obs::json_parse(R"({"counters":{}})"))
+          .has_value());
 }
 
 }  // namespace

@@ -13,26 +13,33 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cells/characterize_cache.h"
 #include "cells/library.h"
 #include "core/cancel.h"
 #include "core/status.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "report.h"
 #include "robust/faults.h"
 #include "serve/admission.h"
 #include "serve/handlers.h"
 #include "serve/lru.h"
 #include "serve/protocol.h"
+#include "serve/reqtrace.h"
 #include "serve/server.h"
+#include "serve/telemetry.h"
 
 namespace lvf2 {
 namespace {
@@ -431,6 +438,51 @@ TEST(ServeHandlers, DegradedOpsStayFinite) {
   EXPECT_TRUE(std::isfinite(result_number(ssta, "yield_3sigma")));
 }
 
+TEST(ServeHandlers, MetricsOpExposesSnapshotAndPrometheus) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  // Seed the telemetry so the snapshot has at least one op row.
+  serve::ServeTelemetry& telemetry = serve::ServeTelemetry::instance();
+  telemetry.record_request("ping");
+  telemetry.record_response("ping", /*is_ok=*/true, "none",
+                            /*queue_ms=*/0.25, /*exec_ms=*/1.5,
+                            /*budget_ms=*/250.0);
+
+  serve::Request request;
+  request.op = "metrics";
+  request.params = *obs::json_parse("{}");
+  const serve::HandlerResult json_result =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  ASSERT_TRUE(json_result.status.is_ok()) << json_result.status.to_string();
+  const obs::JsonValue* ops = json_result.result.find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_TRUE(ops->is_object());
+  const obs::JsonValue* ping_row = ops->find("ping");
+  ASSERT_NE(ping_row, nullptr);
+  EXPECT_GE(ping_row->number_or("requests", 0.0), 1.0);
+  EXPECT_GE(ping_row->number_or("responded", 0.0), 1.0);
+  ASSERT_NE(ping_row->find("deadline"), nullptr);
+  EXPECT_GE(ping_row->find("deadline")->number_or("total", 0.0), 1.0);
+  ASSERT_NE(ping_row->find("queue_ms"), nullptr);
+  EXPECT_NE(json_result.result.find("registry"), nullptr);
+  EXPECT_GE(json_result.result.number_or("uptime_s", -1.0), 0.0);
+
+  request.params = *obs::json_parse(R"({"format":"prometheus"})");
+  const serve::HandlerResult prom_result =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  ASSERT_TRUE(prom_result.status.is_ok()) << prom_result.status.to_string();
+  const std::string text = prom_result.result.string_or("text", "");
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("lvf2_serve_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("lvf2_serve_op_requests_total{op=\"ping\"}"),
+            std::string::npos);
+
+  request.params = *obs::json_parse(R"({"format":"xml"})");
+  const serve::HandlerResult bad =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  EXPECT_EQ(bad.status.code(), core::StatusCode::kInvalidArgument);
+}
+
 // ------------------------------------------------------------- concurrency
 
 class ServeConcurrency : public ::testing::Test {
@@ -547,6 +599,247 @@ TEST_F(ServeConcurrency, AdmissionQueueSurvivesThrash) {
   EXPECT_EQ(popped.load(), pushed.load());
 }
 
+// Deterministic single-flight check: the test poses as the leader by
+// planting the entry's key in inflight_keys, so the real request must
+// take the follower path (bumping serve.coalesced before it waits).
+// Releasing the key wakes it; the cache is still cold, so it retries
+// and becomes the leader itself.
+TEST_F(ServeConcurrency, CoalescedFollowerWaitsThenRetries) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const cells::Cell* cell = ctx.library.find("INV_X1");
+  ASSERT_NE(cell, nullptr);
+  ASSERT_FALSE(cell->arcs.empty());
+  const cells::TimingArc& arc = cell->arcs.front();
+  const std::uint64_t key =
+      cells::entry_cache_key(ctx.corner, ctx.characterize, *cell, arc,
+                             arc.label(), 0, 0);
+  obs::Counter& coalesced = obs::counter("serve.coalesced");
+  const std::uint64_t before = coalesced.value();
+  {
+    std::lock_guard<std::mutex> lock(ctx.flight_mutex);
+    ASSERT_TRUE(ctx.inflight_keys.insert(key).second);
+  }
+  serve::HandlerResult result;
+  std::thread follower([&] {
+    result = serve::handle_request(
+        ctx, make_arc_request("arc_dist", "INV_X1"), serve::ExecMode::kFull);
+  });
+  for (int i = 0; i < 1000 && coalesced.value() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(coalesced.value(), before);
+  {
+    std::lock_guard<std::mutex> lock(ctx.flight_mutex);
+    ctx.inflight_keys.erase(key);
+  }
+  ctx.flight_cv.notify_all();
+  follower.join();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.degradation, "none");
+  const double mean = result_number(result, "delay", "mean");
+  EXPECT_TRUE(std::isfinite(mean) && mean > 0.0) << mean;
+  EXPECT_GT(ctx.lru.size(), 0u);
+}
+
+// Eight racing full computes of the same entry: whether a thread ends
+// up leader, coalesced follower, or late cache hit, everyone gets the
+// same full-quality bytes (the compute is seeded, so equality is
+// exact) and nobody is told it was degraded.
+TEST_F(ServeConcurrency, ConcurrentIdenticalFullComputesAgree) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  ctx.characterize.mc_samples = 400;  // slow enough that threads overlap
+
+  std::mutex results_mutex;
+  std::vector<serve::HandlerResult> results;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      serve::HandlerResult r = serve::handle_request(
+          ctx, make_arc_request("arc_dist", "NAND2_X1"),
+          serve::ExecMode::kFull);
+      std::lock_guard<std::mutex> lock(results_mutex);
+      results.push_back(std::move(r));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_EQ(results.size(), 8u);
+  const double mean0 = result_number(results.front(), "delay", "mean");
+  ASSERT_TRUE(std::isfinite(mean0) && mean0 > 0.0) << mean0;
+  for (const serve::HandlerResult& r : results) {
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_EQ(r.degradation, "none");
+    EXPECT_DOUBLE_EQ(result_number(r, "delay", "mean"), mean0);
+  }
+}
+
+// ----------------------------------------------------- request tracing
+
+TEST(ServeReqTrace, RingIsFifoAndBounded) {
+  serve::TraceRing ring;
+  serve::RequestTrace t;
+  for (std::size_t i = 0; i < serve::TraceRing::kCapacity; ++i) {
+    t.rid = i + 1;
+    ASSERT_TRUE(ring.try_push(t));
+  }
+  t.rid = 999999;
+  EXPECT_FALSE(ring.try_push(t));  // full: drop, never overwrite
+  serve::RequestTrace out;
+  for (std::size_t i = 0; i < serve::TraceRing::kCapacity; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out.rid, i + 1);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  // FIFO holds across the wrap-around boundary.
+  for (std::uint64_t i = 0; i < 3 * serve::TraceRing::kCapacity; ++i) {
+    t.rid = i;
+    ASSERT_TRUE(ring.try_push(t));
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out.rid, i);
+  }
+}
+
+TEST(ServeReqTrace, ConcurrentRecordingIsAccountedAndParseable) {
+  if (serve::reqtrace_enabled()) {
+    GTEST_SKIP() << "an access-log session is already active";
+  }
+  serve::RequestTraceLog& log = serve::RequestTraceLog::instance();
+  const std::string path = testing::TempDir() + "lvf2_access_test.jsonl";
+  ASSERT_TRUE(log.configure(path, /*max_kb=*/16384));
+  const std::uint64_t written_before = log.written();
+  const std::uint64_t dropped_before = log.dropped();
+  log.start();
+  ASSERT_TRUE(serve::reqtrace_enabled());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::RequestTrace trace;
+        trace.rid = static_cast<std::uint64_t>(t) * kPerThread +
+                    static_cast<std::uint64_t>(i) + 1;
+        trace.conn = static_cast<std::uint64_t>(t) + 1;
+        trace.queue_ms = 0.25;
+        trace.exec_ms = 1.5;
+        trace.bytes_in = 64;
+        trace.bytes_out = 256;
+        serve::RequestTrace::set_field(trace.op, "arc_dist");
+        serve::RequestTrace::set_field(trace.status, "ok");
+        serve::RequestTrace::set_field(trace.degradation, "none");
+        serve::RequestTrace::set_field(trace.mode, "ok");
+        log.record(trace);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  log.stop();
+  EXPECT_FALSE(serve::reqtrace_enabled());
+
+  // Every record is accounted for: written to the log or counted as a
+  // ring-overflow drop. Nothing vanishes, nothing is double-counted.
+  const std::uint64_t written = log.written() - written_before;
+  const std::uint64_t dropped = log.dropped() - dropped_before;
+  EXPECT_EQ(written + dropped,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(written, 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::optional<obs::JsonValue> doc = obs::json_parse(line);
+    ASSERT_TRUE(doc.has_value() && doc->is_object()) << line;
+    EXPECT_GT(doc->number_or("rid", 0.0), 0.0);
+    EXPECT_EQ(doc->string_or("op", ""), "arc_dist");
+    EXPECT_EQ(doc->string_or("mode", ""), "ok");
+    EXPECT_DOUBLE_EQ(doc->number_or("exec_ms", 0.0), 1.5);
+    EXPECT_DOUBLE_EQ(doc->number_or("bytes_out", 0.0), 256.0);
+  }
+  EXPECT_EQ(lines, written);
+  std::remove(path.c_str());
+}
+
+TEST(ServeReqTrace, RotationCapsTheLogFile) {
+  if (serve::reqtrace_enabled()) {
+    GTEST_SKIP() << "an access-log session is already active";
+  }
+  serve::RequestTraceLog& log = serve::RequestTraceLog::instance();
+  const std::string path = testing::TempDir() + "lvf2_access_rotate.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(rotated.c_str());
+  ASSERT_TRUE(log.configure(path, /*max_kb=*/1));
+  log.start();
+
+  const auto burst = [&log](std::uint64_t base) {
+    for (std::uint64_t i = 0; i < 30; ++i) {  // ~4 KB per burst
+      serve::RequestTrace trace;
+      trace.rid = base + i;
+      serve::RequestTrace::set_field(trace.op, "ping");
+      serve::RequestTrace::set_field(trace.status, "ok");
+      serve::RequestTrace::set_field(trace.degradation, "none");
+      serve::RequestTrace::set_field(trace.mode, "ok");
+      log.record(trace);
+    }
+  };
+  burst(1);
+  // Let the writer flush the first burst so the second append finds a
+  // non-empty over-cap file and rotates it to <path>.1.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  burst(1000);
+  log.stop();
+
+  std::ifstream live(path);
+  EXPECT_TRUE(live.is_open());
+  std::ifstream old(rotated);
+  EXPECT_TRUE(old.is_open());
+  for (std::ifstream* f : {&live, &old}) {
+    std::string line;
+    while (std::getline(*f, line)) {
+      if (line.empty()) continue;
+      const std::optional<obs::JsonValue> doc = obs::json_parse(line);
+      ASSERT_TRUE(doc.has_value() && doc->is_object()) << line;
+      EXPECT_EQ(doc->string_or("op", ""), "ping");
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+// ------------------------------------------------------- report: serve
+
+TEST(ServeReport, AccessLogSummaryRollsUpOps) {
+  const std::string text =
+      R"({"rid":1,"conn":1,"op":"arc_dist","status":"ok","degradation":"none","mode":"ok","queue_ms":0.2,"exec_ms":4.0,"bytes_in":60,"bytes_out":300})"
+      "\n"
+      R"({"rid":2,"conn":1,"op":"arc_dist","status":"ok","degradation":"cached","mode":"ok","queue_ms":0.1,"exec_ms":0.5,"bytes_in":60,"bytes_out":300})"
+      "\n"
+      R"({"rid":3,"conn":2,"op":"arc_dist","status":"not_found","degradation":"none","mode":"ok","queue_ms":0.1,"exec_ms":0.2,"bytes_in":55,"bytes_out":90})"
+      "\n"
+      R"({"rid":4,"conn":3,"op":"ping","status":"unavailable","degradation":"none","mode":"refused","queue_ms":0,"exec_ms":0,"bytes_in":20,"bytes_out":80})"
+      "\n"
+      "this line is not json\n";
+  std::string error;
+  const std::optional<std::string> summary =
+      tools::render_access_log(text, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_NE(summary->find("4 record(s), 1 malformed line(s)"),
+            std::string::npos)
+      << *summary;
+  EXPECT_NE(summary->find("arc_dist"), std::string::npos);
+  EXPECT_NE(summary->find("cached=1"), std::string::npos) << *summary;
+
+  // All-garbage input is an error, not an empty report.
+  EXPECT_FALSE(tools::render_access_log("nope\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
 // ------------------------------------------------------------ end to end
 
 int connect_tcp(int port) {
@@ -615,6 +908,54 @@ TEST(ServeServer, EndToEndQueryShedAndDrain) {
   server.wait();
   ::close(fd);
   EXPECT_DOUBLE_EQ(obs::gauge("serve.drained").value(), 1.0);
+}
+
+// Refusals answered during the drain race window must carry the
+// server-minted request id so clients (and the soak harness) can
+// correlate them with their own logs. The window is inherently racy —
+// frames already in flight when request_stop() lands may be admitted,
+// refused, or cut off by the read shutdown — so this asserts the
+// id-bearing format on whatever refusals actually surface, never a
+// minimum count (lvf2d_soak owns the statistical version).
+TEST(ServeServer, DrainRefusalsCarryTheRequestId) {
+  serve::ServerOptions options;
+  options.listen = "tcp:0";
+  options.queue_capacity = 16;
+  options.characterize.grid = cells::SlewLoadGrid::reduced(4);
+  serve::Server server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  const int fd = connect_tcp(server.tcp_port());
+  ASSERT_GE(fd, 0);
+
+  for (int i = 0; i < 32; ++i) {
+    const std::string body =
+        "{\"id\":" + std::to_string(i + 1) + ",\"op\":\"ping\"}";
+    if (!serve::write_frame(fd, body).is_ok()) break;
+  }
+  server.request_stop();
+  // wait() is what finally closes the drained connections, so it must
+  // run concurrently with the read loop or EOF never arrives.
+  std::thread waiter([&server] { server.wait(); });
+
+  int replies = 0;
+  std::string reply;
+  std::vector<std::string> bodies;
+  while (serve::read_frame(fd, reply).is_ok()) {
+    ++replies;
+    bodies.push_back(reply);
+  }
+  waiter.join();
+  ::close(fd);
+
+  EXPECT_LE(replies, 32);
+  for (const std::string& body : bodies) {
+    const std::optional<obs::JsonValue> doc = obs::json_parse(body);
+    ASSERT_TRUE(doc.has_value() && doc->is_object()) << body;
+    if (doc->string_or("status", "") == "ok") continue;
+    const std::string error = doc->string_or("error", "");
+    EXPECT_NE(error.find("request "), std::string::npos) << body;
+    EXPECT_NE(error.find("not admitted"), std::string::npos) << body;
+  }
 }
 
 TEST(ServeServer, OversizedFrameIsAnsweredAndConnectionClosed) {

@@ -19,9 +19,16 @@
 // Exit 0 when every invariant held and enough requests were answered;
 // 1 with a diagnostic otherwise.
 //
+//   - transient refusals name the server-minted request id in their
+//     error payload ("request <rid> not admitted"), so a refusal is
+//     attributable in logs;
+//   - with --scrape-every N, every Nth request is preceded by a
+//     `metrics` op scrape whose snapshot must be well-formed and
+//     whose live accepted/responded counters must reconcile.
+//
 // usage: lvf2d_soak --connect unix:<path>|tcp:<port>
 //                   [--n 200] [--clients 4] [--deadline-ms 50]
-//                   [--min-answered-pct 90]
+//                   [--min-answered-pct 90] [--scrape-every N]
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -57,6 +64,7 @@ struct SoakConfig {
   double deadline_ms = 50.0;       ///< budget on deadline-tagged requests
   double deadline_slack_ms = 500;  ///< checkpoint interval + scheduler room
   double min_answered_pct = 90.0;
+  std::size_t scrape_every = 0;  ///< 0 = no mid-soak metrics scrapes
   std::uint64_t seed = 0x50AC;
 };
 
@@ -66,6 +74,7 @@ struct SoakTally {
   std::atomic<std::uint64_t> degraded{0};
   std::atomic<std::uint64_t> retried{0};
   std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> scrapes{0};
   std::atomic<std::uint64_t> violations{0};
   std::mutex log_mutex;
 
@@ -222,6 +231,13 @@ bool run_one(const SoakConfig& config, const RequestSpec& spec, int& fd,
     const core::StatusCode code = core::status_code_from_name(status);
     if (code == core::StatusCode::kResourceExhausted ||
         code == core::StatusCode::kUnavailable) {
+      // A refusal must be attributable: drain / admission refusals
+      // carry the server-minted request id in the error payload.
+      const std::string error = doc->string_or("error", "");
+      if (error.find("request ") == std::string::npos) {
+        tally.violation("transient refusal without a request id: " + reply);
+        return false;
+      }
       // Backpressure: honor the hint and retry.
       tally.retried.fetch_add(1);
       const double hint = doc->number_or("retry_after_ms", 50.0);
@@ -249,6 +265,63 @@ bool run_one(const SoakConfig& config, const RequestSpec& spec, int& fd,
   return false;
 }
 
+// One mid-soak `metrics` scrape. A transient refusal (drain /
+// admission pressure) is not a failure — the scrape is skipped — but
+// an ok answer must be a well-formed snapshot whose live
+// accepted/responded counters reconcile: responded never exceeds
+// accepted, and the gap is bounded by queued + in-flight work.
+void scrape_metrics(const SoakConfig& config, int& fd, SoakTally& tally) {
+  if (fd < 0) fd = connect_to(config.connect);
+  if (fd < 0) return;
+  const std::string body = "{\"id\":900000000,\"op\":\"metrics\"}";
+  std::string reply;
+  if (!serve::write_frame(fd, body).is_ok() ||
+      !serve::read_frame(fd, reply).is_ok()) {
+    ::close(fd);
+    fd = -1;
+    tally.reconnects.fetch_add(1);
+    return;
+  }
+  const std::optional<obs::JsonValue> doc = obs::json_parse(reply);
+  if (!doc || !doc->is_object()) {
+    tally.violation("metrics scrape is not a JSON object: " + reply);
+    return;
+  }
+  if (doc->string_or("status", "") != "ok") return;  // refusal: skip
+  tally.scrapes.fetch_add(1);
+  const obs::JsonValue* result = doc->find("result");
+  if (result == nullptr || !result->is_object()) {
+    tally.violation("metrics scrape has no result object");
+    return;
+  }
+  const obs::JsonValue* ops = result->find("ops");
+  if (ops == nullptr || !ops->is_object()) {
+    tally.violation("metrics scrape has no ops object");
+    return;
+  }
+  const obs::JsonValue* registry = result->find("registry");
+  const obs::JsonValue* counters =
+      registry != nullptr ? registry->find("counters") : nullptr;
+  if (counters == nullptr || !counters->is_object()) {
+    tally.violation("metrics scrape has no registry counters");
+    return;
+  }
+  const double accepted = counters->number_or("serve.accepted", -1.0);
+  const double responded = counters->number_or("serve.responded", -1.0);
+  if (accepted < 0.0 || responded < 0.0) {
+    tally.violation("metrics scrape lost serve.accepted/serve.responded");
+    return;
+  }
+  // responded counts processed requests only, and every processed
+  // request was first accepted; mid-soak the gap is the admission
+  // queue plus the dispatch batch.
+  if (responded > accepted || accepted - responded > 1024.0) {
+    tally.violation("live counters do not reconcile: accepted=" +
+                    std::to_string(accepted) +
+                    " responded=" + std::to_string(responded));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +343,9 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--min-answered-pct" && value != nullptr) {
       config.min_answered_pct = std::atof(value);
+      ++i;
+    } else if (arg == "--scrape-every" && value != nullptr) {
+      config.scrape_every = static_cast<std::size_t>(std::atoll(value));
       ++i;
     } else {
       std::fprintf(stderr, "lvf2d_soak: unknown argument \"%s\"\n",
@@ -297,6 +373,9 @@ int main(int argc, char** argv) {
       for (std::size_t k = 0; k < per_client; ++k) {
         const std::uint64_t id = next_id.fetch_add(1);
         if (id > config.n) break;
+        if (config.scrape_every != 0 && id % config.scrape_every == 0) {
+          scrape_metrics(config, fd, tally);
+        }
         const RequestSpec spec =
             make_request(config, cell_names, id, rng);
         run_one(config, spec, fd, tally);
@@ -310,13 +389,14 @@ int main(int argc, char** argv) {
       tally.answered_ok.load() + tally.answered_error.load();
   std::printf(
       "soak: sent=%zu answered=%llu ok=%llu error=%llu degraded=%llu "
-      "retries=%llu reconnects=%llu violations=%llu\n",
+      "retries=%llu reconnects=%llu scrapes=%llu violations=%llu\n",
       config.n, static_cast<unsigned long long>(answered),
       static_cast<unsigned long long>(tally.answered_ok.load()),
       static_cast<unsigned long long>(tally.answered_error.load()),
       static_cast<unsigned long long>(tally.degraded.load()),
       static_cast<unsigned long long>(tally.retried.load()),
       static_cast<unsigned long long>(tally.reconnects.load()),
+      static_cast<unsigned long long>(tally.scrapes.load()),
       static_cast<unsigned long long>(tally.violations.load()));
   if (tally.violations.load() != 0) return 1;
   const double answered_pct =

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "obs/manifest.h"
+#include "obs/tdigest.h"
 
 namespace lvf2::tools {
 
@@ -584,6 +586,98 @@ std::string render_flame(const std::vector<FoldedStack>& stacks,
   return out;
 }
 
+std::optional<std::string> render_access_log(std::string_view text,
+                                             std::string* error) {
+  struct OpRollup {
+    std::uint64_t total = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t refused = 0;
+    std::map<std::string, std::uint64_t> rungs;
+    obs::TDigest queue_ms{64.0};
+    obs::TDigest exec_ms{64.0};
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+  std::map<std::string, OpRollup> ops;
+  std::uint64_t records = 0;
+  std::uint64_t malformed = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::optional<obs::JsonValue> doc = obs::json_parse(line);
+    if (!doc || !doc->is_object()) {
+      ++malformed;
+      continue;
+    }
+    ++records;
+    OpRollup& op = ops[doc->string_or("op", "?")];
+    ++op.total;
+    const std::string mode = doc->string_or("mode", "ok");
+    const std::string status = doc->string_or("status", "?");
+    if (mode == "refused") {
+      ++op.refused;
+    } else if (status == "ok") {
+      ++op.ok;
+      ++op.rungs[doc->string_or("degradation", "none")];
+      op.queue_ms.add(doc->number_or("queue_ms", 0.0));
+      op.exec_ms.add(doc->number_or("exec_ms", 0.0));
+    } else {
+      ++op.failed;
+    }
+    op.bytes_in += static_cast<std::uint64_t>(doc->number_or("bytes_in", 0));
+    op.bytes_out +=
+        static_cast<std::uint64_t>(doc->number_or("bytes_out", 0));
+  }
+  if (records == 0) {
+    if (error) *error = "no valid access-log records";
+    return std::nullopt;
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "access log: %llu record(s), %llu malformed line(s)\n\n",
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(malformed));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-10s %8s %8s %8s %8s %10s %10s\n", "op",
+                "total", "ok", "failed", "refused", "q_p50/p99", "x_p50/p99");
+  out += buf;
+  for (const auto& [name, op] : ops) {
+    const auto q = [](const obs::TDigest& d, double p) {
+      return d.count() > 0.0 ? d.quantile(p) : 0.0;
+    };
+    std::snprintf(buf, sizeof(buf),
+                  "%-10s %8llu %8llu %8llu %8llu %4.1f/%-5.1f %4.1f/%-5.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(op.total),
+                  static_cast<unsigned long long>(op.ok),
+                  static_cast<unsigned long long>(op.failed),
+                  static_cast<unsigned long long>(op.refused),
+                  q(op.queue_ms, 0.5), q(op.queue_ms, 0.99),
+                  q(op.exec_ms, 0.5), q(op.exec_ms, 0.99));
+    out += buf;
+    if (!op.rungs.empty()) {
+      out += "           degradation:";
+      for (const auto& [rung, count] : op.rungs) {
+        std::snprintf(buf, sizeof(buf), " %s=%llu", rung.c_str(),
+                      static_cast<unsigned long long>(count));
+        out += buf;
+      }
+      out += '\n';
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "           bytes: in=%llu out=%llu\n",
+                  static_cast<unsigned long long>(op.bytes_in),
+                  static_cast<unsigned long long>(op.bytes_out));
+    out += buf;
+  }
+  return out;
+}
+
 int report_main(int argc, const char* const* argv) {
   const auto usage = [] {
     std::fprintf(
@@ -595,6 +689,7 @@ int report_main(int argc, const char* const* argv) {
         "       lvf2_report perf <baseline.json> <current.json>"
         " [--budget-pct P] [--abs-ms M] [--abs-kb K]\n"
         "       lvf2_report flame <profile.folded> [--top N]\n"
+        "       lvf2_report serve <access.log>\n"
         "exit: 0 ok, 1 diff/perf found a regression, 2 usage / IO error\n");
     return 2;
   };
@@ -733,6 +828,22 @@ int report_main(int argc, const char* const* argv) {
       return 2;
     }
     std::fputs(render_flame(*stacks, top_n).c_str(), stdout);
+    return 0;
+  }
+
+  if (command == "serve") {
+    std::string text;
+    if (!read_file(argv[2], text, &error)) {
+      std::fprintf(stderr, "lvf2_report: %s\n", error.c_str());
+      return 2;
+    }
+    const std::optional<std::string> summary =
+        render_access_log(text, &error);
+    if (!summary) {
+      std::fprintf(stderr, "lvf2_report: %s: %s\n", argv[2], error.c_str());
+      return 2;
+    }
+    std::fputs(summary->c_str(), stdout);
     return 0;
   }
   return usage();

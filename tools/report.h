@@ -103,9 +103,18 @@ std::optional<std::vector<FoldedStack>> parse_folded(
 std::string render_flame(const std::vector<FoldedStack>& stacks,
                          std::size_t top_n);
 
+/// Summarizes an lvf2d access log (JSONL request traces written under
+/// LVF2_ACCESS_LOG) as per-op rollups: request counts split
+/// ok/failed/refused, the degradation-rung mix, and queue/exec
+/// latency quantiles re-aggregated through a t-digest. Malformed
+/// lines are skipped and counted. Returns nullopt (with a one-line
+/// description in `error`) only when the text holds no valid record.
+std::optional<std::string> render_access_log(std::string_view text,
+                                             std::string* error = nullptr);
+
 /// CLI entry point (exposed for tests):
-/// `lvf2_report show|canon|diff|perf|flame`. Returns 0 on success, 1
-/// on a diff/perf regression, 2 on usage/IO errors.
+/// `lvf2_report show|canon|diff|perf|flame|serve`. Returns 0 on
+/// success, 1 on a diff/perf regression, 2 on usage/IO errors.
 int report_main(int argc, const char* const* argv);
 
 }  // namespace lvf2::tools
