@@ -19,6 +19,8 @@
 #include "obs/obs.h"
 #include "robust/faults.h"
 #include "serve/reqtrace.h"
+#include "simd/simd.h"
+#include "spice/cellsim.h"
 #include "spice/montecarlo.h"
 #include "stats/grid_pdf.h"
 #include "stats/lhs.h"
@@ -78,6 +80,140 @@ void BM_SkewNormalCdf(benchmark::State& state) {
 }
 BENCHMARK(BM_SkewNormalCdf);
 
+// ---- Batch kernel throughput (src/simd), per dispatch tier. ----
+// The benchmark Arg is the simd::Tier (0 scalar, 1 sse2, 2 avx2);
+// tiers the host cannot run are skipped, so one binary covers any
+// machine. Per-iteration time divided by kKernelBatch is the cost per
+// sample; the recorded JSON keys keep the /tier suffix.
+
+constexpr std::size_t kKernelBatch = 4096;
+
+std::vector<double> kernel_inputs(double lo, double hi) {
+  std::vector<double> x(kKernelBatch);
+  for (std::size_t i = 0; i < kKernelBatch; ++i) {
+    x[i] = lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(kKernelBatch - 1);
+  }
+  return x;
+}
+
+// Selects the benched tier for the duration of one benchmark run and
+// restores the dispatched tier afterwards.
+class TierGuard {
+ public:
+  explicit TierGuard(simd::Tier tier)
+      : prev_(simd::set_tier_for_testing(tier)) {}
+  ~TierGuard() { simd::set_tier_for_testing(prev_); }
+
+ private:
+  simd::Tier prev_;
+};
+
+bool skip_unavailable(benchmark::State& state, simd::Tier tier) {
+  if (simd::tier_available(tier)) return false;
+  state.SkipWithError("simd tier unavailable on this host");
+  return true;
+}
+
+void tally_batch(benchmark::State& state, simd::Tier tier) {
+  state.SetLabel(simd::tier_name(tier));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelBatch));
+}
+
+void BM_NormalCdfKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> x = kernel_inputs(-8.0, 8.0);
+  std::vector<double> out(kKernelBatch);
+  for (auto _ : state) {
+    simd::normal_cdf(x, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_NormalCdfKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_OwensTKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> h = kernel_inputs(-4.0, 4.0);
+  std::vector<double> out(kKernelBatch);
+  for (auto _ : state) {
+    simd::owens_t(h, 2.3, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_OwensTKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SkewNormalLogPdfKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> x = kernel_inputs(0.05, 0.15);
+  std::vector<double> out(kKernelBatch);
+  for (auto _ : state) {
+    simd::sn_log_pdf(0.1, 0.01, 2.0, x, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_SkewNormalLogPdfKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SkewNormalCdfKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> x = kernel_inputs(0.05, 0.15);
+  std::vector<double> out(kKernelBatch);
+  for (auto _ : state) {
+    simd::sn_cdf(0.1, 0.01, 2.0, x, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_SkewNormalCdfKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EmResponsibilitiesKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> x = kernel_inputs(0.05, 0.15);
+  std::vector<double> lpa(kKernelBatch), lpb(kKernelBatch);
+  simd::sn_log_pdf(0.09, 0.010, 1.5, x, lpa);
+  simd::sn_log_pdf(0.12, 0.014, -0.5, x, lpb);
+  std::vector<double> resp(kKernelBatch), lse(kKernelBatch);
+  for (auto _ : state) {
+    simd::em_responsibilities(-0.51, -0.92, lpa, lpb, resp, lse);
+    benchmark::DoNotOptimize(resp.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_EmResponsibilitiesKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_NormalQuantileKernel(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  const std::vector<double> p = kernel_inputs(1e-6, 1.0 - 1e-6);
+  std::vector<double> out(kKernelBatch);
+  for (auto _ : state) {
+    simd::normal_quantile(p, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tally_batch(state, tier);
+}
+BENCHMARK(BM_NormalQuantileKernel)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_McSampleThroughput(benchmark::State& state) {
   const spice::StageElectrical stage;
   const spice::ProcessCorner corner;
@@ -102,6 +238,55 @@ void BM_LhsDesign(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_LhsDesign)->Arg(1024)->Arg(16384);
+
+// SoA batch variant of the sample loop above: per-condition
+// invariants hoisted once, outputs written to SoA slices.
+void BM_McSampleBatch(benchmark::State& state) {
+  const spice::StageElectrical stage;
+  const spice::ProcessCorner corner;
+  const spice::VariationSampler sampler(corner);
+  stats::Rng rng(1);
+  const auto draws = sampler.sample_lhs(1024, rng);
+  std::vector<double> delay(draws.size()), transition(draws.size());
+  for (auto _ : state) {
+    spice::simulate_stage_batch(stage, {0.05, 0.05}, corner, draws, delay,
+                                transition);
+    benchmark::DoNotOptimize(delay.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(draws.size()));
+}
+BENCHMARK(BM_McSampleBatch);
+
+// Cold cost of one characterization entry: Monte-Carlo + all four
+// model fits + metrics, with no result cache involved (LVF2_CACHE
+// unset). This is the end-to-end number the batch kernels move. The
+// Arg selects the dispatch tier (0 scalar, 1 sse2, 2 avx2) so one
+// run records the scalar-vs-vector cold-entry pair side by side.
+void BM_CharacterizeEntryCold(benchmark::State& state) {
+  if (cache::enabled()) {
+    state.SkipWithError("LVF2_CACHE is set; cold-entry bench is void");
+    return;
+  }
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unavailable(state, tier)) return;
+  const TierGuard guard(tier);
+  cells::CharacterizeOptions options;
+  options.mc_samples = 2000;
+  const cells::Cell inv = cells::build_cell(cells::CellFamily::kInv, 1, 1.0);
+  const cells::Characterizer ch(spice::ProcessCorner{}, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ch.characterize_entry(inv, inv.arcs[0], "bench", 0, 0));
+  }
+  state.SetLabel(simd::tier_name(tier));
+}
+BENCHMARK(BM_CharacterizeEntryCold)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // Fit-cost ablation: LVF^2 EM with binned likelihood at different
 // resolutions vs raw samples (bins = 0). DESIGN.md decision 1.
@@ -395,6 +580,7 @@ int main(int argc, char** argv) {
     // flattened; values are per-iteration real times in each bench's
     // own time unit (ns unless the bench sets one).
     bench::PerfRecord record("perf_micro");
+    bool cold_entry_recorded = false;
     for (const auto& [name, time] : reporter.results) {
       std::string key = name;
       for (char& c : key) {
@@ -402,7 +588,20 @@ int main(int argc, char** argv) {
           c = '_';
         }
       }
+      if (key.rfind("BM_CharacterizeEntryCold", 0) == 0) {
+        cold_entry_recorded = true;
+      }
       record.set(key, time);
+    }
+    if (cold_entry_recorded) {
+      // Frozen reference for the cold-entry speedup trajectory: ms per
+      // characterize_entry of the pre-src/simd tree (scalar-only,
+      // same loop and mc_samples as BM_CharacterizeEntryCold),
+      // measured on the reference machine when the kernel layer
+      // landed. Dividing it by BM_CharacterizeEntryCold_2 (avx2)
+      // gives the end-to-end speedup the batch kernels bought.
+      record.set("BM_CharacterizeEntryCold_pre_simd_scalar_baseline_ms",
+                 726.0);
     }
   }
   benchmark::Shutdown();

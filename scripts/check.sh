@@ -224,9 +224,13 @@ if [ "$PERF" = 1 ]; then
     && { echo "FAIL: telemetry sections leaked into the canonical form"; \
          exit 1; }
 
-  echo "-- disabled-hook budget (bench_perf micro benches)"
-  LVF2_BENCH_JSON="$(pwd)" "$BUILD_DIR/bench/bench_perf" \
-    --benchmark_filter='BM_Disabled.*|BM_PoolTelemetryOverhead' \
+  echo "-- disabled-hook budget + kernel throughput (bench_perf)"
+  # One run records the disabled-path overhead gauges, the per-tier
+  # BM_*Kernel throughput rows, and the scalar-vs-vector cold-entry
+  # pair into BENCH_perf_micro.json (env -u LVF2_CACHE: any cache
+  # setting, even =off, voids the cold-entry bench).
+  env -u LVF2_CACHE LVF2_BENCH_JSON="$(pwd)" "$BUILD_DIR/bench/bench_perf" \
+    --benchmark_filter='BM_Disabled.*|BM_PoolTelemetryOverhead|BM_.*Kernel/.*|BM_CharacterizeEntryCold/.*' \
     --benchmark_min_time=0.2 >"$PERF_DIR/bench_perf.txt" 2>&1 \
     || { cat "$PERF_DIR/bench_perf.txt"; exit 1; }
   [ -s BENCH_perf_micro.json ] \
@@ -247,6 +251,24 @@ for key, value in reg.items():
         checked += 1
 assert checked >= 2, f"only {checked} disabled-path benches recorded"
 print(f"ok: {checked} disabled-path hooks within {budget} ns")
+# The perf trajectory must carry real kernel data, not only the
+# disabled-path gauges: per-tier BM_*Kernel rows (suffix _0 scalar /
+# _1 sse2 / _2 avx2) and the cold-entry pair with its frozen pre-SIMD
+# scalar reference.
+kernel_rows = [k for k in reg if "Kernel_" in k]
+assert len(kernel_rows) >= 6, f"only {len(kernel_rows)} BM_*Kernel rows"
+cold = [k for k in reg if k.startswith("BM_CharacterizeEntryCold_")]
+assert "BM_CharacterizeEntryCold_0" in cold, "no scalar cold-entry row"
+assert "BM_CharacterizeEntryCold_pre_simd_scalar_baseline_ms" in cold, \
+    "no frozen pre-SIMD cold-entry baseline"
+vec = [k for k in ("BM_CharacterizeEntryCold_1", "BM_CharacterizeEntryCold_2")
+       if k in reg]
+assert vec, "no vector-tier cold-entry row (SSE2/AVX2 both unavailable?)"
+base = reg["BM_CharacterizeEntryCold_pre_simd_scalar_baseline_ms"]
+best = min(reg[k] for k in vec)
+print(f"ok: {len(kernel_rows)} kernel rows; cold entry best vector tier "
+      f"{best:.0f} ms vs pre-SIMD scalar {base:.0f} ms "
+      f"({base / best:.1f}x)")
 EOF
   else
     echo "python3 unavailable; skipped disabled-hook ns assertions"
@@ -586,18 +608,31 @@ fi
 echo "== QoR regression gate =="
 GOLDEN=scripts/golden/qor_manifest.json
 REPORT="$BUILD_DIR/tools/lvf2_report"
+# The golden manifest is recorded from — and reproduced by — the
+# scalar dispatch tier at ZERO tolerance: LVF2_SIMD=scalar loops the
+# per-sample stats:: functions and is the bitwise reference path. The
+# ambient-tier smoke manifest above (avx2/sse2 where available) is
+# held to the toleranced diff instead: the vector kernels are a few
+# ULP off per call, which EM iteration counts amplify into small QoR
+# shifts that rtol absorbs and a genuine accuracy bug does not.
+LVF2_SIMD=scalar LVF2_MANIFEST="$SMOKE_DIR/manifest_scalar.json" \
+  "$BUILD_DIR/bench/bench_table1_scenarios" --samples 4000 --seed 2024 \
+  >/dev/null
 if [ "$UPDATE_GOLDEN" = 1 ]; then
   mkdir -p scripts/golden
-  "$REPORT" canon "$SMOKE_DIR/manifest.json" > "$GOLDEN"
-  echo "re-recorded $GOLDEN from this run"
+  "$REPORT" canon "$SMOKE_DIR/manifest_scalar.json" > "$GOLDEN"
+  echo "re-recorded $GOLDEN from the scalar-tier run"
 elif [ -f "$GOLDEN" ]; then
-  # The run above is fixed-seed, so model-fit QoR is deterministic up
-  # to libm/platform noise; the tolerances absorb that, and anything
-  # beyond them is a genuine accuracy regression.
+  "$REPORT" diff "$GOLDEN" "$SMOKE_DIR/manifest_scalar.json" \
+      --rtol 0 --atol 0 \
+    || { echo "FAIL: the scalar tier no longer reproduces $GOLDEN" \
+              "bitwise (rerun with --update-golden only if the scalar" \
+              "numerics changed intentionally)"; exit 1; }
   "$REPORT" diff "$GOLDEN" "$SMOKE_DIR/manifest.json" \
       --rtol 0.35 --atol 1e-6 \
-    || { echo "FAIL: QoR drifted vs $GOLDEN (rerun with --update-golden" \
-              "if the change is intentional)"; exit 1; }
+    || { echo "FAIL: vector-tier QoR drifted vs $GOLDEN beyond the" \
+              "SIMD tolerance (accuracy regression in the batch" \
+              "kernels)"; exit 1; }
 else
   echo "WARN: $GOLDEN missing; run scripts/check.sh --update-golden"
 fi

@@ -14,6 +14,7 @@
 #include "exec/pool.h"
 #include "obs/obs.h"
 #include "robust/faults.h"
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
@@ -106,6 +107,8 @@ void record_manifest_config(const CharacterizeOptions& options) {
                  static_cast<std::uint64_t>(options.mc_samples));
     m.set_config("characterize.seed_base", options.seed_base);
     m.set_config("characterize.use_lhs", options.use_lhs);
+    m.set_config("characterize.simd_tier",
+                 simd::tier_name(simd::active_tier()));
   });
 }
 

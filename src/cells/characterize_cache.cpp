@@ -4,6 +4,7 @@
 
 #include "cache/cache.h"
 #include "cells/cell_types.h"
+#include "simd/simd.h"
 
 namespace lvf2::cells {
 
@@ -243,6 +244,10 @@ std::uint64_t entry_cache_key(const spice::ProcessCorner& corner,
                               std::size_t load_idx, std::size_t slew_idx) {
   cache::KeyHasher h;
   h.feed(kCharacterizeCacheSalt);
+  // Kernel tier: SIMD tiers agree with scalar only within tolerance,
+  // so entries fitted under one tier must not be replayed under
+  // another.
+  h.feed(static_cast<std::uint64_t>(simd::active_tier()));
   // Cell identity. The name participates because condition_seed hashes
   // it; family/inputs/drive pin down the rebuild path used by verify.
   h.feed(cell.name);

@@ -40,6 +40,13 @@ std::vector<double> bin_probabilities(const CdfFn& cdf,
   return bins_from_cdf_values(cdf_values);
 }
 
+std::vector<double> bin_probabilities(const TimingModel& model,
+                                      std::span<const double> boundaries) {
+  std::vector<double> cdf_values(boundaries.size());
+  model.cdf_batch(boundaries, cdf_values);
+  return bins_from_cdf_values(cdf_values);
+}
+
 std::vector<double> bin_probabilities(const stats::EmpiricalCdf& golden,
                                       std::span<const double> boundaries) {
   std::vector<double> cdf_values;
@@ -65,8 +72,8 @@ double binning_error(const TimingModel& model,
   const stats::Moments m = stats::compute_moments(golden.sorted_samples());
   const std::vector<double> boundaries =
       sigma_bin_boundaries(m.mean, m.stddev);
-  const std::vector<double> model_bins = bin_probabilities(
-      [&model](double x) { return model.cdf(x); }, boundaries);
+  const std::vector<double> model_bins =
+      bin_probabilities(model, boundaries);
   const std::vector<double> golden_bins =
       bin_probabilities(golden, boundaries);
   return binning_error(model_bins, golden_bins);

@@ -32,6 +32,11 @@ std::vector<double> sigma_bin_boundaries(double mu, double sigma);
 std::vector<double> bin_probabilities(const CdfFn& cdf,
                                       std::span<const double> boundaries);
 
+/// Batch variant: evaluates the model CDF at all boundaries in one
+/// cdf_batch pass.
+std::vector<double> bin_probabilities(const TimingModel& model,
+                                      std::span<const double> boundaries);
+
 /// Empirical bin probabilities of a golden sample set.
 std::vector<double> bin_probabilities(const stats::EmpiricalCdf& golden,
                                       std::span<const double> boundaries);

@@ -54,6 +54,26 @@ double LesnModel::cdf(double x) const {
   return std::visit([x](const auto& d) { return d.cdf(x); }, dist_);
 }
 
+void LesnModel::pdf_batch(std::span<const double> x,
+                          std::span<double> out) const {
+  // Only the skew-normal fallback has a batch kernel; the log-domain
+  // LESN evaluates per sample (change of variables is data-dependent).
+  if (const auto* sn = std::get_if<stats::SkewNormal>(&dist_)) {
+    sn->pdf(x, out);
+    return;
+  }
+  TimingModel::pdf_batch(x, out);
+}
+
+void LesnModel::cdf_batch(std::span<const double> x,
+                          std::span<double> out) const {
+  if (const auto* sn = std::get_if<stats::SkewNormal>(&dist_)) {
+    sn->cdf(x, out);
+    return;
+  }
+  TimingModel::cdf_batch(x, out);
+}
+
 double LesnModel::quantile(double p) const {
   return std::visit([p](const auto& d) { return d.quantile(p); }, dist_);
 }

@@ -29,6 +29,14 @@ class LvfModel final : public TimingModel {
   ModelKind kind() const override { return ModelKind::kLvf; }
   double pdf(double x) const override { return sn_.pdf(x); }
   double cdf(double x) const override { return sn_.cdf(x); }
+  void pdf_batch(std::span<const double> x,
+                 std::span<double> out) const override {
+    sn_.pdf(x, out);
+  }
+  void cdf_batch(std::span<const double> x,
+                 std::span<double> out) const override {
+    sn_.cdf(x, out);
+  }
   double quantile(double p) const override { return sn_.quantile(p); }
   double mean() const override { return sn_.mean(); }
   double stddev() const override { return sn_.stddev(); }

@@ -55,6 +55,30 @@ double LvfKModel::cdf(double x) const {
   return sum;
 }
 
+void LvfKModel::pdf_batch(std::span<const double> x,
+                          std::span<double> out) const {
+  const std::size_t n = x.size();
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n), 0.0);
+  std::vector<double> buf(n);
+  // Accumulate in component order so the sums match pdf() bitwise on
+  // the scalar tier.
+  for (const Component& c : components_) {
+    c.sn.pdf(x, buf);
+    for (std::size_t i = 0; i < n; ++i) out[i] += c.weight * buf[i];
+  }
+}
+
+void LvfKModel::cdf_batch(std::span<const double> x,
+                          std::span<double> out) const {
+  const std::size_t n = x.size();
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n), 0.0);
+  std::vector<double> buf(n);
+  for (const Component& c : components_) {
+    c.sn.cdf(x, buf);
+    for (std::size_t i = 0; i < n; ++i) out[i] += c.weight * buf[i];
+  }
+}
+
 double LvfKModel::quantile(double p) const {
   if (p <= 0.0) return -std::numeric_limits<double>::infinity();
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
@@ -107,9 +131,24 @@ double LvfKModel::sample(stats::Rng& rng) const {
 }
 
 double LvfKModel::log_likelihood(const WeightedData& data) const {
+  // Batch each positive-weight component's log-pdf once, then combine
+  // per sample in the same component order as log_pdf().
+  const std::size_t n = data.size();
+  std::vector<std::vector<double>> lp;
+  std::vector<double> lw;
+  for (const Component& c : components_) {
+    if (c.weight <= 0.0) continue;
+    lp.emplace_back(n);
+    c.sn.log_pdf(data.x, lp.back());
+    lw.push_back(std::log(c.weight));
+  }
   double ll = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    ll += data.w[i] * log_pdf(data.x[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lse = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < lp.size(); ++j) {
+      lse = stats::log_sum_exp(lse, lw[j] + lp[j][i]);
+    }
+    ll += data.w[i] * lse;
   }
   return ll;
 }
@@ -172,13 +211,21 @@ KEmState run_em_k(const WeightedData& data, KEmState state,
   for (std::size_t iter = 0; iter < options.em_max_iterations; ++iter) {
     state.report.iterations = iter + 1;
 
-    // E-step: responsibilities via log-sum-exp.
+    // E-step: component log-densities in K batch passes, then the
+    // K-way log-sum-exp combine kept scalar-sequential per sample (the
+    // reduction order is part of the numeric contract).
     double ll = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      state.comps[c].log_pdf(data.x, resp[c]);
+    }
+    std::vector<double> lw(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      lw[c] = std::log(std::max(state.weights[c], 1e-300));
+    }
     for (std::size_t i = 0; i < n; ++i) {
       double lse = -std::numeric_limits<double>::infinity();
       for (std::size_t c = 0; c < k; ++c) {
-        const double term = std::log(std::max(state.weights[c], 1e-300)) +
-                            state.comps[c].log_pdf(data.x[i]);
+        const double term = lw[c] + resp[c][i];
         resp[c][i] = term;
         lse = stats::log_sum_exp(lse, term);
       }

@@ -62,6 +62,10 @@ class LvfKModel final : public TimingModel {
   double pdf(double x) const override;
   double log_pdf(double x) const;
   double cdf(double x) const override;
+  void pdf_batch(std::span<const double> x,
+                 std::span<double> out) const override;
+  void cdf_batch(std::span<const double> x,
+                 std::span<double> out) const override;
   double quantile(double p) const override;
   double mean() const override;
   double stddev() const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "core/binning.h"
 #include "core/model_factory.h"
@@ -25,6 +26,29 @@ double cdf_rmse(const std::function<double(double)>& model_cdf,
   for (std::size_t i = 0; i < points; ++i) {
     const double x = lo + step * static_cast<double>(i);
     const double d = model_cdf(x) - golden(x);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(points));
+}
+
+double cdf_rmse(const TimingModel& model, const stats::EmpiricalCdf& golden,
+                std::size_t points, double eps) {
+  if (golden.empty() || points == 0) {
+    throw std::invalid_argument("cdf_rmse: empty input");
+  }
+  const double lo = golden.quantile(eps);
+  const double hi = golden.quantile(1.0 - eps);
+  const double step =
+      (points > 1) ? (hi - lo) / static_cast<double>(points - 1) : 0.0;
+  std::vector<double> xs(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + step * static_cast<double>(i);
+  }
+  std::vector<double> model_cdf(points);
+  model.cdf_batch(xs, model_cdf);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double d = model_cdf[i] - golden(xs[i]);
     sum += d * d;
   }
   return std::sqrt(sum / static_cast<double>(points));
@@ -88,12 +112,11 @@ ModelEvaluation evaluate_models(std::span<const double> samples,
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     const TimingModel* m = eval.models[i].get();
     if (m == nullptr) continue;
-    const auto model_cdf = [m](double x) { return m->cdf(x); };
     const std::vector<double> model_bins =
-        bin_probabilities(model_cdf, boundaries);
+        bin_probabilities(*m, boundaries);
     eval.errors[i].binning = binning_error(model_bins, golden_bins);
     eval.errors[i].yield_3sigma = three_sigma_yield_error(*m, golden);
-    eval.errors[i].cdf_rmse = cdf_rmse(model_cdf, golden);
+    eval.errors[i].cdf_rmse = cdf_rmse(*m, golden);
   }
 
   const ModelErrors& base = eval.errors_of(ModelKind::kLvf);

@@ -25,6 +25,13 @@ double cdf_rmse(const std::function<double(double)>& model_cdf,
                 const stats::EmpiricalCdf& golden, std::size_t points = 256,
                 double eps = 1e-4);
 
+/// Batch variant: evaluates the model CDF over the whole grid with
+/// one cdf_batch pass; the sum of squares stays sequential, so the
+/// result matches the functional overload bitwise on the scalar
+/// kernel tier.
+double cdf_rmse(const TimingModel& model, const stats::EmpiricalCdf& golden,
+                std::size_t points = 256, double eps = 1e-4);
+
 /// Kolmogorov-Smirnov distance between a model CDF and the golden
 /// empirical CDF (sup over golden sample points).
 double ks_distance(const std::function<double(double)>& model_cdf,

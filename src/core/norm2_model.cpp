@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/kmeans.h"
 #include "stats/optimize.h"
@@ -26,6 +27,26 @@ double Norm2Model::pdf(double x) const {
 
 double Norm2Model::cdf(double x) const {
   return (1.0 - lambda_) * first_.cdf(x) + lambda_ * second_.cdf(x);
+}
+
+void Norm2Model::pdf_batch(std::span<const double> x,
+                           std::span<double> out) const {
+  std::vector<double> buf(x.size());
+  first_.pdf(x, out);
+  second_.pdf(x, buf);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (1.0 - lambda_) * out[i] + lambda_ * buf[i];
+  }
+}
+
+void Norm2Model::cdf_batch(std::span<const double> x,
+                           std::span<double> out) const {
+  std::vector<double> buf(x.size());
+  first_.cdf(x, out);
+  second_.cdf(x, buf);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (1.0 - lambda_) * out[i] + lambda_ * buf[i];
+  }
 }
 
 double Norm2Model::quantile(double p) const {
@@ -106,23 +127,20 @@ std::optional<Norm2Model> Norm2Model::fit_weighted(const WeightedData& data,
   // --- EM iterations (closed-form M-step). ---
   const double sigma_floor = 1e-5 * global.stddev;
   std::vector<double> resp(n);  // responsibility of component 2
+  std::vector<double> lp1(n), lp2(n), lse(n);  // E-step batch buffers
   double prev_ll = -std::numeric_limits<double>::infinity();
   EmReport rep;
   for (std::size_t iter = 0; iter < options.em_max_iterations; ++iter) {
     rep.iterations = iter + 1;
-    // E-step (paper Eq. 6, adapted to Gaussian components).
-    double ll = 0.0;
-    const stats::Normal c1(mu[0], sigma[0]);
-    const stats::Normal c2(mu[1], sigma[1]);
+    // E-step (paper Eq. 6, adapted to Gaussian components), through
+    // the batch kernels; the weighted reduction stays sequential.
     const double l1 = std::log(std::max(1.0 - lambda, 1e-300));
     const double l2 = std::log(std::max(lambda, 1e-300));
-    for (std::size_t i = 0; i < n; ++i) {
-      const double a = l1 + c1.log_pdf(data.x[i]);
-      const double b = l2 + c2.log_pdf(data.x[i]);
-      const double lse = stats::log_sum_exp(a, b);
-      resp[i] = std::exp(b - lse);
-      ll += data.w[i] * lse;
-    }
+    simd::normal_mu_sigma_log_pdf(mu[0], sigma[0], data.x, lp1);
+    simd::normal_mu_sigma_log_pdf(mu[1], sigma[1], data.x, lp2);
+    simd::em_responsibilities(l1, l2, lp1, lp2, resp, lse);
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ll += data.w[i] * lse[i];
     rep.log_likelihood = ll;
     // M-step: weighted means / variances.
     double w2 = 0.0, m1 = 0.0, m2 = 0.0;

@@ -39,6 +39,10 @@ class Norm2Model final : public TimingModel {
   ModelKind kind() const override { return ModelKind::kNorm2; }
   double pdf(double x) const override;
   double cdf(double x) const override;
+  void pdf_batch(std::span<const double> x,
+                 std::span<double> out) const override;
+  void cdf_batch(std::span<const double> x,
+                 std::span<double> out) const override;
   double quantile(double p) const override;
   double mean() const override;
   double stddev() const override;

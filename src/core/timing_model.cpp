@@ -1,6 +1,8 @@
 #include "core/timing_model.h"
 
 #include <array>
+#include <cmath>
+#include <vector>
 
 namespace lvf2::core {
 
@@ -26,14 +28,40 @@ std::span<const ModelKind> all_model_kinds() {
   return kAll;
 }
 
+void TimingModel::pdf_batch(std::span<const double> x,
+                            std::span<double> out) const {
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = pdf(x[i]);
+}
+
+void TimingModel::cdf_batch(std::span<const double> x,
+                            std::span<double> out) const {
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = cdf(x[i]);
+}
+
 stats::GridPdf TimingModel::to_grid(std::size_t points,
                                     double span_sigmas) const {
   const double mu = mean();
   const double sd = stddev();
   const double lo = mu - span_sigmas * sd;
   const double hi = mu + span_sigmas * sd;
-  return stats::GridPdf::from_function([this](double x) { return pdf(x); },
-                                       lo, hi, points);
+  if (!(hi > lo) || points < 8) {
+    // Degenerate span: keep from_function's validation/throw behavior.
+    return stats::GridPdf::from_function([this](double x) { return pdf(x); },
+                                         lo, hi, points);
+  }
+  // Same grid and sanitization as GridPdf::from_function, with the
+  // density filled by one batch pass.
+  std::vector<double> xs(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + step * static_cast<double>(i);
+  }
+  std::vector<double> values(points);
+  pdf_batch(xs, values);
+  for (double& v : values) {
+    if (!(std::isfinite(v) && v > 0.0)) v = 0.0;
+  }
+  return stats::GridPdf::from_values(lo, hi, std::move(values));
 }
 
 }  // namespace lvf2::core

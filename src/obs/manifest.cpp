@@ -252,6 +252,18 @@ void ManifestRecorder::set_config(std::string_view key, bool value) {
   set_config_rendered(key, value ? "true" : "false");
 }
 
+void ManifestRecorder::set_config_provider(
+    std::string key, std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, fn] : config_providers_) {
+    if (k == key) {
+      fn = std::move(provider);
+      return;
+    }
+  }
+  config_providers_.emplace_back(std::move(key), std::move(provider));
+}
+
 namespace {
 
 JsonValue jnum(double v) {
@@ -399,25 +411,56 @@ std::string ManifestRecorder::to_json() const {
   // take its own subsystem lock (e.g. the result cache), and holding
   // ours across that call would impose a lock order for no benefit.
   std::vector<std::pair<std::string, std::function<std::string()>>> providers;
+  std::vector<std::pair<std::string, std::function<std::string()>>> config_fns;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     providers = sections_;
+    config_fns = config_providers_;
   }
   std::vector<std::pair<std::string, std::string>> sections;
   sections.reserve(providers.size());
   for (const auto& [key, fn] : providers) {
     if (fn) sections.emplace_back(key, fn());
   }
+  // Provided config entries render after the session's own set_config
+  // entries (a fixed position regardless of when during the session
+  // the provider was registered, so repeated runs stay byte-stable),
+  // and a plain set_config of the same key wins.
+  std::vector<std::pair<std::string, std::string>> provided;
+  provided.reserve(config_fns.size());
+  for (const auto& [key, fn] : config_fns) {
+    if (!fn) continue;
+    std::string rendered;
+    json_append_string(rendered, fn());
+    provided.emplace_back(key, std::move(rendered));
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"schema_version\":";
   out += std::to_string(kManifestSchemaVersion);
   out += ",\"tool\":\"lvf2\",\"config\":{";
-  for (std::size_t i = 0; i < config_.size(); ++i) {
-    if (i > 0) out += ',';
-    json_append_string(out, config_[i].first);
+  bool first_config = true;
+  for (const auto& [key, rendered] : config_) {
+    if (!first_config) out += ',';
+    first_config = false;
+    json_append_string(out, key);
     out += ':';
-    out += config_[i].second;
+    out += rendered;
+  }
+  for (const auto& [key, rendered] : provided) {
+    bool overridden = false;
+    for (const auto& [k, v] : config_) {
+      if (k == key) {
+        overridden = true;
+        break;
+      }
+    }
+    if (overridden) continue;
+    if (!first_config) out += ',';
+    first_config = false;
+    json_append_string(out, key);
+    out += ':';
+    out += rendered;
   }
   out += "},\"stages\":{";
   for (std::size_t i = 0; i < rollups.size(); ++i) {

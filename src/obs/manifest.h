@@ -127,6 +127,20 @@ class ManifestRecorder {
   void set_config(std::string_view key, std::uint64_t value);
   void set_config(std::string_view key, bool value);
 
+  /// Registers a persistent config entry: the provider is evaluated
+  /// at to_json() time and its result rendered into the config
+  /// section after the plain set_config entries — a fixed position
+  /// regardless of when during a session the provider was registered,
+  /// which keeps byte-compared manifest pairs stable. Plain
+  /// set_config entries are cleared on stop(), so a process-lifetime
+  /// fact recorded once — e.g. the resolved SIMD tier — would appear
+  /// only in whichever session happened to be armed at resolution
+  /// time; a provider lands it in every manifest. Last registration
+  /// per key wins; a plain set_config of the same key in a session
+  /// overrides the provided value for that manifest.
+  void set_config_provider(std::string key,
+                           std::function<std::string()> provider);
+
   void add_arc(ArcQor arc);
   void add_endpoint(EndpointQor endpoint);
 
@@ -152,6 +166,8 @@ class ManifestRecorder {
   std::string path_;
   bool armed_ = false;
   std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      config_providers_;  // persist across start()/stop() cycles
   std::vector<ArcQor> arcs_;
   std::vector<EndpointQor> endpoints_;
   std::vector<std::pair<std::string, std::function<std::string()>>>

@@ -1,0 +1,536 @@
+#pragma once
+// Vectorized double-precision exp / log / erfc and the normal-CDF
+// family built on them, templated on the lane wrappers in vec.h.
+// Only the per-tier translation units include this header.
+//
+// Accuracy (validated against long-double libm over dense sweeps):
+//   vexp   <= 1 ULP over the full finite range (incl. subnormal
+//            results via two-step 2^n scaling),
+//   vlog   <= 1 ULP (incl. subnormal inputs via 2^54 prescale),
+//   verfc  <= 8 ULP on [-28, 28] sweeps (<= 2 ULP for |t| < 0.84375,
+//            which is where the edge-input gates sit).
+//
+// The exp kernel is the classic fdlibm e_exp reduction generalized to
+// exp(hi + lo): the extra low word absorbs the residual of the
+// -z^2 - 0.5625 + correction argument assembly, so the tail branch
+// pays a single exp on an effectively exact argument.
+// erfc follows the fdlibm s_erf.c branch layout: a compensated Taylor
+// series (cancellation in 1 - erf removed with an exact two-product
+// and a Sterbenz-exact 1 - p) for t < 0.84375, the (1 - erx) -
+// P(s)/Q(s) rational around t = 1, and for t >= 1.25 the exp form
+//   erfc(t) = exp(-z^2 - 0.5625 + (z - t)(z + t) + R(s)/S(s)) / t,
+// s = 1/t^2, with z = t truncated to its high mantissa word so z^2 is
+// exact. The tail's log-domain argument (hi, lo) is exposed
+// separately: log Phi composes it directly and never exponentiates,
+// which is what makes the batched EM objective fast. The around-one
+// rational is fdlibm's; the tail rationals are least-squares fits in
+// a rescaled variable (see the table comments); the Taylor table is
+// exact rationals rounded once.
+
+#include <bit>
+#include <cstdint>
+
+#include "simd/vec.h"
+
+namespace lvf2::simd {
+
+// fdlibm exp reduction constants.
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kInvLn2 = 1.44269504088896338700e+00;
+inline constexpr double kExpP1 = 1.66666666666666019037e-01;
+inline constexpr double kExpP2 = -2.77777777770155933842e-03;
+inline constexpr double kExpP3 = 6.61375632143793436117e-05;
+inline constexpr double kExpP4 = -1.65339022054652515390e-06;
+inline constexpr double kExpP5 = 4.13813679705723846039e-08;
+
+// fdlibm log polynomial.
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+
+inline constexpr double kTwoOverSqrtPi = 1.12837916709551257390;
+
+// fdlibm s_erf.c rational tables. erx = erf(1) rounded to double.
+inline constexpr double kErx = 8.45062911510467529297e-01;
+// [0.84375, 1.25): erf(t) = erx + P(s)/Q(s), s = t - 1.
+inline constexpr double kErfcPa[7] = {
+    -2.36211856075265944077e-03, 4.14856118683748331666e-01,
+    -3.72207876035701323847e-01, 3.18346619901161753674e-01,
+    -1.10894694282396677476e-01, 3.54783043256182359371e-02,
+    -2.16637559486879084300e-03};
+inline constexpr double kErfcQa[7] = {
+    0.0, 1.06420880400844228286e-01, 5.40397917702171048937e-01,
+    7.18286544141962662868e-02, 1.26171219808761642112e-01,
+    1.36370839120290507362e-02, 1.19844998467991074170e-02};
+// Tail rational tables approximate f(s) = log(t erfc(t)) + t^2 +
+// 0.5625 as R(u)/S(u) in the affinely rescaled u = s*scale - shift
+// (u in [-1, 1] per branch, which keeps the Horner chains perfectly
+// conditioned). Fitted here by iterated linearized least squares on
+// Chebyshev nodes against long-double erfcl; max |f error| 2.5e-16
+// (branch a) / 1.1e-16 (branch b) over 40k-point validation sweeps.
+// t in [1.25, 1/0.35): u = s*kTailAScale - kTailAShift.
+inline constexpr double kTailAScale = 3.8647342995169085;
+inline constexpr double kTailAShift = 1.4734299516908216;
+inline constexpr double kErfcRa[9] = {
+    -0.14917905895199052,     -0.2659263657017078,
+    -0.12804612338668964,     0.036760413267950133,
+    0.057410732959224386,     0.02199564183128478,
+    0.0038252065149139429,    0.00029610000475123352,
+    7.532589254911071e-06};
+inline constexpr double kErfcSa[10] = {
+    0.0,                      1.2916726848070024,
+    0.28777178979898571,      -0.3188227752106263,
+    -0.22368672393091513,     -0.058285567509747588,
+    -0.0070235884940768115,   -0.00035750314187065439,
+    -4.9715776656995278e-06,  1.2844465937316722e-08};
+// t in [1/0.35, 27.25): u = s*kTailBScale - kTailBShift.
+inline constexpr double kTailBScale = 16.508009288447276;
+inline constexpr double kTailBShift = 1.0222311378347915;
+inline constexpr double kErfcRb[7] = {
+    -0.038732422748436003,    -0.074571311261605766,
+    -0.05369613207925885,     -0.01838263490794434,
+    -0.0030982117659909556,   -0.00023531708124410993,
+    -5.8756446030425772e-06};
+inline constexpr double kErfcSb[8] = {
+    0.0,                      1.2427286011380925,
+    0.5783861010117004,       0.12557181480855023,
+    0.01284040352031858,      0.00053984989256415867,
+    5.6990304722153501e-06,   -1.7344915771406392e-08};
+// Rational-table split point, 1/0.35.
+inline constexpr double kErfcTailSplit = 2.857142857142857;
+// Clears the low mantissa word so z * z is exact (<= 26 significant
+// bits squared).
+inline constexpr double kHiWordMask =
+    std::bit_cast<double>(std::uint64_t{0xFFFFFFFF00000000ULL});
+
+// log Phi middle band |x| <= 3.5: log Phi(x) = -exp(h), h = R(u)/S(u),
+// u = x * kLogPhiScale -/+ 1. Fitting h = log(-log Phi(x)) instead of
+// log Phi itself keeps the target O(1) across a band where |log Phi|
+// spans four decades, so an absolute-error rational fit gives a
+// near-machine-precision relative error after the exp. Two same-degree
+// fits split at x = 0 (one wide rational stalls at ~5e-14); matching
+// degrees lets mixed-sign blocks select coefficients per lane with
+// blends instead of a second Horner chain. Least-squares fits (same
+// Sanathanan-Koerner procedure as the erfc tail tables); max |dh| is
+// 1.2e-15 on the negative half and 4.9e-15 on the positive half.
+inline constexpr double kLogPhiScale = 0.5714285714285714;  // 2 / 3.5
+// x in [-3.5, 0): u = x * scale + 1.
+inline constexpr double kLogPhiRn[10] = {
+    1.1685729570486181,       -2.2411047489888318,
+    0.72956994003977493,      0.8164239763136093,
+    -0.87270437315231209,     0.37247903850240444,
+    -0.085969843740532431,    0.010764572856898264,
+    -0.00062922385556554348,  1.063377785731622e-05};
+inline constexpr double kLogPhiSn[9] = {
+    -0.91534125700484692,     -0.060252269322478527,
+    0.48531818518412173,      -0.31496668944950623,
+    0.10200926709424062,      -0.018625762502690272,
+    0.0018390404758606793,    -8.1136530039228888e-05,
+    9.0779498311838675e-07};
+// x in [0, 3.5]: u = x * scale - 1.
+inline constexpr double kLogPhiRp[10] = {
+    -3.1970258303472301,      -1.9635233194247006,
+    -1.6567406185748126,      -1.5150134988681754,
+    -0.17031686485546579,     -0.35236791890152713,
+    0.013857653479311061,     -0.02558060136019091,
+    0.0012844845936291448,    -0.00032131080829860231};
+inline constexpr double kLogPhiSp[9] = {
+    -0.58918585922802991,     0.84973335069964107,
+    -0.37661832996264388,     0.22961228825403726,
+    -0.071998722599627529,    0.02176423223732642,
+    -0.0040473416196619098,   0.00051273099455936214,
+    -3.0310713636744035e-05};
+
+// Taylor coefficients of (erf(t)/((2/sqrt(pi)) t) - 1) in t^2:
+// (-1)^k / (k! (2k+1)), k = 1..18 (exact rationals, rounded once).
+inline constexpr double kErfcTaylor[19] = {
+    0.0,
+    -0.33333333333333331, 0.10000000000000001, -0.023809523809523808,
+    0.0046296296296296294, -0.00075757575757575758, 0.00010683760683760684,
+    -1.3227513227513228e-05, 1.4589169000933706e-06, -1.4503852223150468e-07,
+    1.3122532963802806e-08, -1.0892221037148573e-09, 8.3507027951472397e-11,
+    -5.9477940136376354e-12, 3.9554295164585257e-13, -2.4668270102644571e-14,
+    1.4483264643598138e-15, -8.0327350124157733e-17, 4.2214072888070882e-18};
+
+/// exp(hi + lo) for hi in [-746, 710] and |lo| <= ~1e-13 (the caller
+/// clamps the range and owns specials). fdlibm kernel; the low word
+/// rides through the t_lo correction term.
+template <class V>
+V exp_dd(V hi, V lo) {
+  const V n = round_nearest(hi * V::broadcast(kInvLn2));
+  const V t_hi = hi - n * V::broadcast(kLn2Hi);
+  const V t_lo = n * V::broadcast(kLn2Lo) - lo;
+  const V r = t_hi - t_lo;
+  const V t = r * r;
+  V p = mul_add(t, V::broadcast(kExpP5), V::broadcast(kExpP4));
+  p = mul_add(t, p, V::broadcast(kExpP3));
+  p = mul_add(t, p, V::broadcast(kExpP2));
+  p = mul_add(t, p, V::broadcast(kExpP1));
+  const V c = r - t * p;
+  const V one = V::broadcast(1.0);
+  const V y =
+      one - ((t_lo - (r * c) / (V::broadcast(2.0) - c)) - t_hi);
+  // 2^n scaling, split in two steps when |n| > 1021 so the scale
+  // factor itself stays a normal power of two (subnormal results
+  // round correctly through the final multiply).
+  const V lim = V::broadcast(1021.0);
+  const V big = V::broadcast(512.0);
+  V shift = and_v(cmp_lt(lim, n), big);
+  shift = blend_v(cmp_lt(n, neg(lim)), neg(big), shift);
+  return ldexp_small(ldexp_small(y, n - shift), shift);
+}
+
+/// exp(x) with full special handling: NaN propagates, overflow to
+/// +inf, underflow to 0.
+template <class V>
+V vexp(V x) {
+  const V nan_mask = cmp_nan(x);
+  const V over = cmp_lt(V::broadcast(709.782712893384), x);
+  const V under = cmp_lt(x, V::broadcast(-745.2));
+  // Clamp the core's input so the reduction stays in range; the
+  // clamped lanes are overwritten below.
+  V xc = min_v(max_v(blend_v(nan_mask, V::zero(), x),
+                     V::broadcast(-745.0)),
+               V::broadcast(709.0));
+  V r = exp_dd(xc, V::zero());
+  r = blend_v(over, V::broadcast(1.0) / V::zero(), r);
+  r = andnot_v(under, r);
+  return blend_v(nan_mask, x, r);
+}
+
+/// log(x) with full special handling (x < 0 -> NaN, 0 -> -inf,
+/// +inf -> +inf, NaN propagates, subnormals prescaled by 2^54).
+template <class V>
+V vlog(V x) {
+  const V nan_mask = cmp_nan(x);
+  const V zero_mask = cmp_eq(x, V::zero());
+  const V neg_mask = cmp_lt(x, V::zero());
+  const V inf_mask = cmp_eq(x, V::broadcast(1.0) / V::zero());
+  const V sub_mask =
+      andnot_v(or_v(zero_mask, neg_mask),
+               cmp_lt(x, V::broadcast(2.2250738585072014e-308)));
+  // Make every lane a positive normal number for the core (specials
+  // are blended back at the end).
+  V xs = blend_v(sub_mask, x * V::broadcast(0x1p54), x);
+  xs = blend_v(or_v(or_v(nan_mask, or_v(zero_mask, neg_mask)), inf_mask),
+               V::broadcast(1.0), xs);
+  V m, k;
+  log_split(xs, m, k);
+  k = k - and_v(sub_mask, V::broadcast(54.0));
+  const V one = V::broadcast(1.0);
+  const V f = m - one;
+  const V hfsq = V::broadcast(0.5) * f * f;
+  const V s = f / (V::broadcast(2.0) + f);
+  const V z = s * s;
+  const V w = z * z;
+  const V t1 =
+      w * mul_add(w, mul_add(w, V::broadcast(kLg6), V::broadcast(kLg4)),
+                  V::broadcast(kLg2));
+  const V t2 =
+      z * mul_add(
+              w,
+              mul_add(w, mul_add(w, V::broadcast(kLg7), V::broadcast(kLg5)),
+                      V::broadcast(kLg3)),
+              V::broadcast(kLg1));
+  const V R = t2 + t1;
+  V r = k * V::broadcast(kLn2Hi) -
+        ((hfsq - (s * (hfsq + R) + k * V::broadcast(kLn2Lo))) - f);
+  const V ninf = neg(one) / V::zero();
+  r = blend_v(zero_mask, ninf, r);
+  r = blend_v(neg_mask, V::zero() / V::zero(), r);
+  r = blend_v(inf_mask, x, r);
+  return blend_v(nan_mask, x, r);
+}
+
+/// log(1 + y) for y in [0, 1]: log of the rounded sum plus the exact
+/// residual correction (y - (s - 1))/s; ~2 ULP, where a raw
+/// vlog(1 + y) would lose all digits for y near machine epsilon.
+template <class V>
+V vlog1p_unit(V y) {
+  const V one = V::broadcast(1.0);
+  const V s = one + y;
+  const V c = (one - s) + y;  // exact: Sterbenz on 1 - s, then + y
+  return vlog(s) + c / s;
+}
+
+/// erfc on [0, 0.84375): 1 - (2/sqrt(pi)) t (1 + T(t^2)) with the
+/// cancellation compensated: p = (2/sqrt(pi)) t as an exact product
+/// pair, 1 - p exact by Sterbenz for p >= 0.5, series and residual
+/// folded into one final subtraction.
+template <class V>
+V erfc_taylor(V t) {
+  const V q = t * t;
+  V T = V::zero();
+  for (int k = 18; k >= 1; --k) {
+    T = mul_add(T, q, V::broadcast(kErfcTaylor[k]));
+  }
+  T = T * q;
+  const V s = V::broadcast(kTwoOverSqrtPi);
+  V p, pe;
+  two_prod(s, t, p, pe);
+  const V one = V::broadcast(1.0);
+  const V d = one - p;
+  return d - mul_add(p, T, pe * (one + T));
+}
+
+/// erfc on [0.84375, 1.25): (1 - erx) - P(s)/Q(s), s = t - 1
+/// (fdlibm's dedicated around-one rational; no exp needed).
+template <class V>
+V erfc_mid(V t) {
+  const V one = V::broadcast(1.0);
+  const V s = t - one;
+  V P = V::broadcast(kErfcPa[6]);
+  for (int k = 5; k >= 0; --k) {
+    P = mul_add(P, s, V::broadcast(kErfcPa[k]));
+  }
+  V Q = V::broadcast(kErfcQa[6]);
+  for (int k = 5; k >= 1; --k) {
+    Q = mul_add(Q, s, V::broadcast(kErfcQa[k]));
+  }
+  Q = mul_add(Q, s, one);
+  return (one - V::broadcast(kErx)) - P / Q;
+}
+
+/// Log-domain tail core for t in [1.25, 27.25): hi + lo =
+/// log(t erfc(t)) = -z^2 - 0.5625 + (z - t)(z + t) + R(s)/S(s) with
+/// z = t truncated so z^2 is exact. Callers either exponentiate the
+/// pair through exp_dd (erfc itself) or sum it directly (log Phi).
+template <class V>
+void erfc_tail_log(V t, V& hi, V& lo) {
+  const V one = V::broadcast(1.0);
+  const V s = one / (t * t);
+  const V m_ra = cmp_lt(t, V::broadcast(kErfcTailSplit));
+  const V m_rb = cmp_ge(t, V::broadcast(kErfcTailSplit));
+  V R = V::zero();
+  V S = one;
+  if (any(m_ra)) {
+    const V u = mul_add(s, V::broadcast(kTailAScale),
+                        V::broadcast(-kTailAShift));
+    V Ra = V::broadcast(kErfcRa[8]);
+    for (int k = 7; k >= 0; --k) {
+      Ra = mul_add(Ra, u, V::broadcast(kErfcRa[k]));
+    }
+    V Sa = V::broadcast(kErfcSa[9]);
+    for (int k = 8; k >= 1; --k) {
+      Sa = mul_add(Sa, u, V::broadcast(kErfcSa[k]));
+    }
+    Sa = mul_add(Sa, u, one);
+    R = blend_v(m_ra, Ra, R);
+    S = blend_v(m_ra, Sa, S);
+  }
+  if (any(m_rb)) {
+    const V u = mul_add(s, V::broadcast(kTailBScale),
+                        V::broadcast(-kTailBShift));
+    V Rb = V::broadcast(kErfcRb[6]);
+    for (int k = 5; k >= 0; --k) {
+      Rb = mul_add(Rb, u, V::broadcast(kErfcRb[k]));
+    }
+    V Sb = V::broadcast(kErfcSb[7]);
+    for (int k = 6; k >= 1; --k) {
+      Sb = mul_add(Sb, u, V::broadcast(kErfcSb[k]));
+    }
+    Sb = mul_add(Sb, u, one);
+    R = blend_v(m_rb, Rb, R);
+    S = blend_v(m_rb, Sb, S);
+  }
+  const V z = and_v(t, V::broadcast(kHiWordMask));
+  const V a1 = neg(z * z) - V::broadcast(0.5625);
+  const V a2 = (z - t) * (z + t) + R / S;
+  hi = a1 + a2;
+  lo = (a1 - hi) + a2;  // |a1| >= |a2|: exact two-sum residual
+}
+
+/// erfc on [1.25, 27.25): single exp on the exact-argument pair.
+template <class V>
+V erfc_tail(V t) {
+  V hi, lo;
+  erfc_tail_log(t, hi, lo);
+  return exp_dd(hi, lo) / t;
+}
+
+/// erfc(t) over the full double range with specials: NaN propagates,
+/// erfc(-inf) = 2, erfc(+inf) = 0.
+template <class V>
+V verfc(V t) {
+  const V nan_mask = cmp_nan(t);
+  const V a = abs_v(blend_v(nan_mask, V::zero(), t));
+  const V m_taylor = cmp_lt(a, V::broadcast(0.84375));
+  const V m_mid = andnot_v(m_taylor, cmp_lt(a, V::broadcast(1.25)));
+  const V m_tail = andnot_v(or_v(m_taylor, m_mid),
+                            cmp_lt(a, V::broadcast(27.25)));
+  V r = V::zero();
+  if (any(m_taylor)) r = blend_v(m_taylor, erfc_taylor(a), r);
+  if (any(m_mid)) r = blend_v(m_mid, erfc_mid(a), r);
+  if (any(m_tail)) {
+    // Clamp discarded lanes so exp_dd's reduction stays in range.
+    r = blend_v(m_tail, erfc_tail(min_v(a, V::broadcast(27.25))), r);
+  }
+  const V neg_mask = cmp_lt(t, V::zero());
+  r = blend_v(neg_mask, V::broadcast(2.0) - r, r);
+  return blend_v(nan_mask, t, r);
+}
+
+/// Phi(x) = erfc(-x/sqrt(2))/2. The division uses the same constant
+/// as stats::normal_cdf so both tiers square-up on identical erfc
+/// arguments.
+template <class V>
+V vnormal_cdf(V x) {
+  const V t = neg(x) / V::broadcast(1.41421356237309514547462185873883);
+  return V::broadcast(0.5) * verfc(t);
+}
+
+/// phi(x) = exp(-x^2/2)/sqrt(2 pi); same expression shape as
+/// stats::normal_pdf.
+template <class V>
+V vnormal_pdf(V x) {
+  const V arg = neg(V::broadcast(0.5) * x * x);
+  return vexp(arg) /
+         V::broadcast(2.506628274631000502415765284811045253);
+}
+
+/// h = R(u)/S(u) for one fixed half-band coefficient table.
+template <class V>
+V logphi_h(V u, const double (&rc)[10], const double (&sc)[9]) {
+  V R = V::broadcast(rc[9]);
+  for (int k = 8; k >= 0; --k) R = mul_add(R, u, V::broadcast(rc[k]));
+  V S = V::broadcast(sc[8]);
+  for (int k = 7; k >= 0; --k) S = mul_add(S, u, V::broadcast(sc[k]));
+  S = mul_add(S, u, V::broadcast(1.0));
+  return R / S;
+}
+
+/// log Phi on |x| <= 3.5: -exp(R(u)/S(u)), the h-transform band.
+/// Callers stream sorted grids, so whole blocks usually share a sign:
+/// those take a pure Horner pair with the half-band table as direct
+/// broadcast constants. Mixed-sign blocks (at most one per array)
+/// select coefficients per lane with blends off the critical chain.
+template <class V>
+V logphi_mid(V x) {
+  constexpr int kAllLanes = (1 << V::kLanes) - 1;
+  const V m_neg = cmp_lt(x, V::zero());
+  const int neg_bits = mask_bits(m_neg);
+  const V one = V::broadcast(1.0);
+  V h;
+  if (neg_bits == 0) {
+    h = logphi_h(mul_add(x, V::broadcast(kLogPhiScale), neg(one)),
+                 kLogPhiRp, kLogPhiSp);
+  } else if (neg_bits == kAllLanes) {
+    h = logphi_h(mul_add(x, V::broadcast(kLogPhiScale), one), kLogPhiRn,
+                 kLogPhiSn);
+  } else {
+    const V u = mul_add(x, V::broadcast(kLogPhiScale),
+                        blend_v(m_neg, one, neg(one)));
+    V R = blend_v(m_neg, V::broadcast(kLogPhiRn[9]),
+                  V::broadcast(kLogPhiRp[9]));
+    for (int k = 8; k >= 0; --k) {
+      R = mul_add(R, u,
+                  blend_v(m_neg, V::broadcast(kLogPhiRn[k]),
+                          V::broadcast(kLogPhiRp[k])));
+    }
+    V S = blend_v(m_neg, V::broadcast(kLogPhiSn[8]),
+                  V::broadcast(kLogPhiSp[8]));
+    for (int k = 7; k >= 0; --k) {
+      S = mul_add(S, u,
+                  blend_v(m_neg, V::broadcast(kLogPhiSn[k]),
+                          V::broadcast(kLogPhiSp[k])));
+    }
+    S = mul_add(S, u, one);
+    h = R / S;
+  }
+  // h in [-34.7, 3.1]: exp_dd's reduction range is safe by band.
+  return neg(exp_dd(h, V::zero()));
+}
+
+/// log Phi on [-36.5, -3.5): the erfc tail's log-domain pair summed
+/// directly, log Phi = ln(1/2) + (hi + lo) - log t — no exp and no
+/// log-of-small cancellation.
+template <class V>
+V logphi_lower(V x) {
+  const V t = neg(x) / V::broadcast(1.41421356237309514547462185873883);
+  const V tc = min_v(max_v(t, V::broadcast(1.25)), V::broadcast(27.25));
+  V hi, lo;
+  erfc_tail_log(tc, hi, lo);
+  return (hi - vlog(tc)) + (lo - V::broadcast(0.69314718055994530942));
+}
+
+/// log Phi on x > 3.5: log(1 - Q) = -Q (1 + Q/2 + ... + Q^5/6) with
+/// Q = Phi(-x) = erfc(x/sqrt(2))/2 <= 2.4e-4, so the truncated series
+/// is exact to well below one ulp and no vlog is needed.
+template <class V>
+V logphi_upper(V x) {
+  const V t = x / V::broadcast(1.41421356237309514547462185873883);
+  const V tc = min_v(max_v(t, V::broadcast(1.25)), V::broadcast(27.25));
+  V hi, lo;
+  erfc_tail_log(tc, hi, lo);
+  const V q = V::broadcast(0.5) * (exp_dd(hi, lo) / tc);
+  V p = V::broadcast(1.0 / 6.0);
+  p = mul_add(p, q, V::broadcast(0.2));
+  p = mul_add(p, q, V::broadcast(0.25));
+  p = mul_add(p, q, V::broadcast(1.0 / 3.0));
+  p = mul_add(p, q, V::broadcast(0.5));
+  p = mul_add(p, q, V::broadcast(1.0));
+  return neg(q * p);
+}
+
+/// log Phi(x), four bands with homogeneous-block fast paths. The
+/// banded-per-lane general path is latency-bound — serial Horner
+/// chains behind unpredictable if(any) branches — so blocks whose
+/// lanes all share a band (the common case: callers stream sorted
+/// grids, so band membership changes at most twice per array) take a
+/// single well-predicted branch into a branchless kernel:
+///  - |x| <= 3.5: the h-transform rational (no vlog, one exp);
+///  - [-36.5, -3.5): log-domain erfc tail summed directly;
+///  - x > 3.5: -Q series(Q), Q = Phi(-x) — no vlog;
+///  - x < -36.5: Mills asymptotic series, as stats::normal_log_cdf.
+template <class V>
+V vnormal_log_cdf(V x) {
+  constexpr int kAllLanes = (1 << V::kLanes) - 1;
+  const V nan_mask = cmp_nan(x);
+  const V xs = blend_v(nan_mask, V::zero(), x);
+  const V m_mid = cmp_le(abs_v(xs), V::broadcast(3.5));
+  if (mask_bits(m_mid) == kAllLanes) {
+    return blend_v(nan_mask, x, logphi_mid(xs));
+  }
+  // NaN lanes park at xs = 0, inside m_mid, so the homogeneous lower
+  // and upper paths below are NaN-free and skip the final blend.
+  const V m_lower = cmp_lt(xs, V::broadcast(-3.5));
+  const V m_series = cmp_lt(xs, V::broadcast(-36.5));
+  const V m_logtail = andnot_v(m_series, m_lower);
+  if (mask_bits(m_logtail) == kAllLanes) return logphi_lower(xs);
+  const V m_upper = cmp_lt(V::broadcast(3.5), xs);
+  if (mask_bits(m_upper) == kAllLanes) return logphi_upper(xs);
+  // Mixed block (band seams, deep tails): compute each band on
+  // range-clamped inputs and blend per lane.
+  const V lo_clamp = V::broadcast(-3.5);
+  const V hi_clamp = V::broadcast(3.5);
+  V r = logphi_mid(min_v(max_v(xs, lo_clamp), hi_clamp));
+  if (any(m_logtail)) {
+    r = blend_v(m_logtail, logphi_lower(min_v(xs, lo_clamp)), r);
+  }
+  if (any(m_upper)) {
+    r = blend_v(m_upper, logphi_upper(max_v(xs, hi_clamp)), r);
+  }
+  if (any(m_series)) {
+    const V x2 = xs * xs;
+    const V one = V::broadcast(1.0);
+    const V x4 = x2 * x2;
+    const V x6 = x4 * x2;
+    const V series = one - one / x2 + V::broadcast(3.0) / x4 -
+                     V::broadcast(15.0) / x6 +
+                     V::broadcast(105.0) / (x4 * x4);
+    const V sr =
+        neg(V::broadcast(0.5)) * x2 -
+        vlog(neg(xs) *
+             V::broadcast(2.506628274631000502415765284811045253)) +
+        vlog(series);
+    r = blend_v(m_series, sr, r);
+  }
+  return blend_v(nan_mask, x, r);
+}
+
+}  // namespace lvf2::simd

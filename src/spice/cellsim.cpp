@@ -154,6 +154,51 @@ StageTimes simulate_stage(const StageElectrical& stage,
   return out;
 }
 
+void simulate_stage_batch(const StageElectrical& stage,
+                          const ArcCondition& condition,
+                          const ProcessCorner& corner,
+                          std::span<const VariationSample> draws,
+                          std::span<double> delay_out,
+                          std::span<double> transition_out) {
+  // Hoisted per-(stage, condition, corner) invariants: none of these
+  // depend on the variation draw, and log/tanh dominate the scalar
+  // per-sample cost.
+  const double lrho = log_rho(stage, condition, corner);
+  const double theta =
+      lrho / stage.mechanism_width + stage.mechanism_offset;
+  const double c_total = condition.load_pf + stage.internal_cap_pf;
+  const double base_d = stage.mechanism_gain * stage.mechanism_base_scale *
+                        (0.34 + 0.08 * std::tanh(lrho));
+  const double base_t = stage.mechanism_gain_transition *
+                        stage.mechanism_base_scale *
+                        (0.30 + 0.07 * std::tanh(lrho));
+  for (std::size_t j = 0; j < draws.size(); ++j) {
+    const VariationSample& variation = draws[j];
+    const double r_eff =
+        effective_resistance_kohm(stage.pull, corner, variation);
+    const double t_drive = kLn2 * r_eff * c_total;
+    const double t_swing = kSwingFactor * r_eff * c_total;
+    const double vt =
+        effective_vth(stage.pull, corner, variation) / corner.vdd;
+    const double slope_term =
+        condition.slew_ns * (0.5 - (1.0 - vt) / (1.0 + corner.alpha));
+    const double a_delay = t_drive + slope_term;
+    const double a_transition = t_swing + 0.18 * condition.slew_ns;
+    const double vt_op = opposing_vt_fraction(stage, corner, variation);
+    const double vt_d =
+        stage.mechanism_gain * 1.5 * (vt_op - kVtNominal);
+    const double b_delay = a_delay + (base_d + vt_d) * t_drive;
+    const double vt_t = stage.mechanism_gain_transition * 1.2 *
+                        (vt_op - kVtNominal);
+    const double b_transition = a_transition + (base_t + vt_t) * t_swing;
+    const double u = confrontation_statistic(stage, corner, variation);
+    const double d = (u < theta) ? b_delay : a_delay;
+    const double t = (u < theta + 0.35) ? b_transition : a_transition;
+    delay_out[j] = std::max(d, 1e-6);
+    transition_out[j] = std::max(t, 1e-6);
+  }
+}
+
 double mechanism_b_probability(const StageElectrical& stage,
                                const ArcCondition& condition,
                                const ProcessCorner& corner) {

@@ -22,6 +22,8 @@
 // slew/load-dependent threshold; the induced mixture weight traces
 // the diagonal accuracy pattern of paper Fig. 4.
 
+#include <span>
+
 #include "spice/device.h"
 #include "spice/process.h"
 
@@ -72,6 +74,19 @@ StageTimes simulate_stage(const StageElectrical& stage,
                           const ArcCondition& condition,
                           const ProcessCorner& corner,
                           const VariationSample& variation);
+
+/// Batch variant over a draw block, writing structure-of-arrays
+/// outputs (delay_out[j] / transition_out[j] for draw j; both spans
+/// must hold >= draws.size() elements). The per-condition invariants
+/// (confrontation axis, regime threshold, mechanism-B base shifts)
+/// are hoisted out of the sample loop; the per-sample arithmetic is
+/// unchanged, so results match simulate_stage bitwise.
+void simulate_stage_batch(const StageElectrical& stage,
+                          const ArcCondition& condition,
+                          const ProcessCorner& corner,
+                          std::span<const VariationSample> draws,
+                          std::span<double> delay_out,
+                          std::span<double> transition_out);
 
 /// The analytic mixture weight lambda = P(mechanism B) at a
 /// condition; exposed for tests and the Fig. 4 pattern analysis.

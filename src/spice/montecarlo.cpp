@@ -1,6 +1,7 @@
 #include "spice/montecarlo.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/cancel.h"
 #include "exec/pool.h"
@@ -10,6 +11,28 @@
 namespace lvf2::spice {
 
 namespace {
+
+// Deadline-checkpoint block size (lvf2d): at most this many more
+// evaluations run after a request's budget expires.
+constexpr std::size_t kCheckpointBlock = 256;
+
+// Evaluates a draw set into SoA output slices, one batch call per
+// checkpoint block. Checkpoints fire at the same sample indices as
+// the old per-sample loop (j = 0, 256, 512, ...).
+void simulate_blocks(const StageElectrical& stage,
+                     const ArcCondition& condition,
+                     const ProcessCorner& corner,
+                     std::span<const VariationSample> draws,
+                     std::span<double> delay_out,
+                     std::span<double> transition_out) {
+  for (std::size_t j = 0; j < draws.size(); j += kCheckpointBlock) {
+    core::checkpoint_every(j, kCheckpointBlock);
+    const std::size_t n = std::min(kCheckpointBlock, draws.size() - j);
+    simulate_stage_batch(stage, condition, corner, draws.subspan(j, n),
+                         delay_out.subspan(j, n),
+                         transition_out.subspan(j, n));
+  }
+}
 
 // One shard of a sharded run: draws its own independently-seeded
 // variation set and writes results into the [begin, end) slice.
@@ -23,14 +46,10 @@ void run_shard(const StageElectrical& stage, const ArcCondition& condition,
   const std::vector<VariationSample> draws =
       config.use_lhs ? sampler.sample_lhs(count, rng)
                      : sampler.sample_mc(count, rng);
-  for (std::size_t j = 0; j < draws.size(); ++j) {
-    // Deadline checkpoint (lvf2d): at most 256 more evaluations run
-    // after a request's budget expires.
-    core::checkpoint_every(j, 256);
-    const StageTimes t = simulate_stage(stage, condition, corner, draws[j]);
-    result.delay_ns[begin + j] = t.delay_ns;
-    result.transition_ns[begin + j] = t.transition_ns;
-  }
+  simulate_blocks(stage, condition, corner, draws,
+                  std::span<double>(result.delay_ns).subspan(begin, count),
+                  std::span<double>(result.transition_ns)
+                      .subspan(begin, count));
 }
 
 }  // namespace
@@ -73,14 +92,10 @@ McResult run_monte_carlo(const StageElectrical& stage,
       config.use_lhs ? sampler.sample_lhs(config.samples, rng)
                      : sampler.sample_mc(config.samples, rng);
   McResult result;
-  result.delay_ns.reserve(draws.size());
-  result.transition_ns.reserve(draws.size());
-  for (std::size_t j = 0; j < draws.size(); ++j) {
-    core::checkpoint_every(j, 256);
-    const StageTimes t = simulate_stage(stage, condition, corner, draws[j]);
-    result.delay_ns.push_back(t.delay_ns);
-    result.transition_ns.push_back(t.transition_ns);
-  }
+  result.delay_ns.resize(draws.size());
+  result.transition_ns.resize(draws.size());
+  simulate_blocks(stage, condition, corner, draws, result.delay_ns,
+                  result.transition_ns);
   return result;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "simd/simd.h"
 #include "stats/optimize.h"
 #include "stats/special_functions.h"
 
@@ -75,16 +78,41 @@ double ExtendedSkewNormal::cdf(double x) const {
   const int panels =
       std::clamp(static_cast<int>((x - lo) / stddev() * 4.0) + 1, 4, 256);
   const double h = (x - lo) / panels;
-  double sum = 0.0;
+  // All panel nodes are laid out once and evaluated through the batch
+  // pdf kernel; the quadrature sum then runs in the same panel/node
+  // order as the original per-point loop.
+  std::vector<double> pts(static_cast<std::size_t>(panels) * 16);
+  std::size_t k = 0;
+  const double half = 0.5 * h;
   for (int p = 0; p < panels; ++p) {
     const double c = lo + (p + 0.5) * h;
-    const double half = 0.5 * h;
     for (int i = 0; i < 8; ++i) {
-      sum += kWeights[i] *
-             (pdf(c + half * kNodes[i]) + pdf(c - half * kNodes[i])) * half;
+      pts[k++] = c + half * kNodes[i];
+      pts[k++] = c - half * kNodes[i];
+    }
+  }
+  std::vector<double> f(pts.size());
+  simd::esn_pdf(xi_, omega_, alpha_, tau_, pts, f);
+  double sum = 0.0;
+  k = 0;
+  for (int p = 0; p < panels; ++p) {
+    for (int i = 0; i < 8; ++i) {
+      const double fp = f[k++];
+      const double fm = f[k++];
+      sum += kWeights[i] * (fp + fm) * half;
     }
   }
   return std::clamp(sum, 0.0, 1.0);
+}
+
+void ExtendedSkewNormal::pdf(std::span<const double> x,
+                             std::span<double> out) const {
+  simd::esn_pdf(xi_, omega_, alpha_, tau_, x, out);
+}
+
+void ExtendedSkewNormal::log_pdf(std::span<const double> x,
+                                 std::span<double> out) const {
+  simd::esn_log_pdf(xi_, omega_, alpha_, tau_, x, out);
 }
 
 double ExtendedSkewNormal::quantile(double p) const {

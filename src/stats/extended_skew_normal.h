@@ -33,8 +33,13 @@ class ExtendedSkewNormal {
 
   double pdf(double x) const;
   double log_pdf(double x) const;
+  /// Batch overloads through the dispatch-selected kernels (simd.h);
+  /// out.size() must be >= x.size(). In-place (out == x) is allowed.
+  void pdf(std::span<const double> x, std::span<double> out) const;
+  void log_pdf(std::span<const double> x, std::span<double> out) const;
   /// CDF by composite Gauss-Legendre integration of the density from
-  /// the effective lower tail; accurate to ~1e-10.
+  /// the effective lower tail (node batch through the pdf kernel);
+  /// accurate to ~1e-10.
   double cdf(double x) const;
   double quantile(double p) const;
   /// Sampling by hidden truncation: Z = delta T + sqrt(1-delta^2) U

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/special_functions.h"
 
@@ -248,13 +250,15 @@ GridPdf GridPdf::convolve(const GridPdf& a, const GridPdf& b,
   const GridPdf rb = resample_to_step(b);
   const std::size_t n = ra.size() + rb.size() - 1;
   std::vector<double> values(n, 0.0);
-  // Direct discrete convolution (densities; scale by step once).
+  // Direct discrete convolution (densities; scale by step once). The
+  // inner accumulation is the batch axpy kernel, which keeps an
+  // unfused multiply+add on every tier so the result is bitwise
+  // identical to the plain loop.
+  const std::span<const double> rbd(rb.density_);
   for (std::size_t i = 0; i < ra.size(); ++i) {
     const double da = ra.density_[i];
     if (da == 0.0) continue;
-    for (std::size_t j = 0; j < rb.size(); ++j) {
-      values[i + j] += da * rb.density_[j];
-    }
+    simd::axpy(da, rbd, std::span<double>(values).subspan(i, rb.size()));
   }
   for (double& v : values) v *= step;
   const double lo = ra.lo_ + rb.lo_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "simd/simd.h"
 #include "stats/special_functions.h"
 
 namespace lvf2::stats {
@@ -34,11 +35,11 @@ LhsDesign lhs_uniform(std::size_t samples, std::size_t dimensions, Rng& rng) {
 
 LhsDesign lhs_normal(std::size_t samples, std::size_t dimensions, Rng& rng) {
   LhsDesign design = lhs_uniform(samples, dimensions, rng);
-  // Keep probabilities strictly inside (0,1) so the quantile is finite.
+  // Keep probabilities strictly inside (0,1) so the quantile is finite,
+  // then map the whole design through the batch quantile kernel.
   constexpr double kEps = 1e-15;
-  for (double& v : design.values) {
-    v = normal_quantile(std::clamp(v, kEps, 1.0 - kEps));
-  }
+  for (double& v : design.values) v = std::clamp(v, kEps, 1.0 - kEps);
+  simd::normal_quantile(design.values, design.values);
   return design;
 }
 

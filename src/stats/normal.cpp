@@ -1,8 +1,10 @@
 #include "stats/normal.h"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/special_functions.h"
 
 namespace lvf2::stats {
@@ -29,5 +31,20 @@ double Normal::quantile(double p) const {
 }
 
 double Normal::sample(Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+void Normal::pdf(std::span<const double> x, std::span<double> out) const {
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mu_) / sigma_;
+  simd::normal_pdf(out.first(x.size()), out);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] /= sigma_;
+}
+
+void Normal::log_pdf(std::span<const double> x, std::span<double> out) const {
+  simd::normal_mu_sigma_log_pdf(mu_, sigma_, x, out);
+}
+
+void Normal::cdf(std::span<const double> x, std::span<double> out) const {
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mu_) / sigma_;
+  simd::normal_cdf(out.first(x.size()), out);
+}
 
 }  // namespace lvf2::stats

@@ -1,6 +1,8 @@
 #pragma once
 // Location-scale normal distribution N(mu, sigma^2).
 
+#include <span>
+
 #include "stats/rng.h"
 
 namespace lvf2::stats {
@@ -19,6 +21,12 @@ class Normal {
   double cdf(double x) const;
   double quantile(double p) const;
   double sample(Rng& rng) const;
+
+  /// Batch overloads through the dispatch-selected kernels (simd.h);
+  /// out.size() must be >= x.size(). In-place (out == x) is allowed.
+  void pdf(std::span<const double> x, std::span<double> out) const;
+  void log_pdf(std::span<const double> x, std::span<double> out) const;
+  void cdf(std::span<const double> x, std::span<double> out) const;
 
   double mean() const { return mu_; }
   double stddev() const { return sigma_; }

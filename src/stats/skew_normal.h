@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "stats/descriptive.h"
+#include "stats/optimize.h"
 #include "stats/rng.h"
 
 namespace lvf2::stats {
@@ -58,6 +59,11 @@ class SkewNormal {
   double pdf(double x) const;
   double log_pdf(double x) const;
   double cdf(double x) const;
+  /// Batch overloads through the dispatch-selected kernels (simd.h);
+  /// out.size() must be >= x.size(). In-place (out == x) is allowed.
+  void pdf(std::span<const double> x, std::span<double> out) const;
+  void log_pdf(std::span<const double> x, std::span<double> out) const;
+  void cdf(std::span<const double> x, std::span<double> out) const;
   /// Inverse CDF by bracketed bisection + Newton polish.
   double quantile(double p) const;
   /// Sampling via the convolution representation
@@ -79,6 +85,16 @@ class SkewNormal {
   static std::optional<SkewNormal> fit_weighted_mle(
       std::span<const double> samples, std::span<const double> weights,
       const SkewNormal* initial = nullptr, std::size_t max_evaluations = 400);
+
+  /// Same fit with full control of the Nelder-Mead schedule. EM-style
+  /// callers pass a shrinking `initial_step` as successive M-steps
+  /// move less, so a warm-started refinement converges in a fraction
+  /// of the cold-start budget. The returned fit is never worse (in
+  /// weighted NLL) than `initial`: the start point is a simplex
+  /// vertex.
+  static std::optional<SkewNormal> fit_weighted_mle(
+      std::span<const double> samples, std::span<const double> weights,
+      const SkewNormal* initial, const NelderMeadOptions& options);
 
   /// Method-of-moments fit from (possibly weighted) samples.
   static std::optional<SkewNormal> fit_moments(

@@ -12,7 +12,12 @@ double normal_pdf(double x) { return std::exp(-0.5 * x * x) / kSqrt2Pi; }
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
 double normal_log_cdf(double x) {
-  if (x > -10.0) {
+  // The erfc path is accurate until erfc(-x/sqrt 2) goes subnormal at
+  // x ~ -37.5; the Mills series truncation error (945/x^10) reaches
+  // ~2e-13 absolute (3e-16 relative to the result) at x = -36.5, so
+  // crossing over there keeps both sides at full precision. The old
+  // -10 crossover paid ~1e-7 series truncation across [-36.5, -10].
+  if (x > -36.5) {
     return std::log(normal_cdf(x));
   }
   // Asymptotic expansion of the Mills ratio for the deep lower tail:
@@ -107,6 +112,15 @@ constexpr std::array<double, 32> kGlWeights = {
 
 // Owen's T for |a| <= 1 by Gauss-Legendre quadrature on [0, a].
 double owens_t_quad(double h, double a) {
+  // Deep-tail domain clip: for h >= 8 the integrand
+  // exp(-h^2(1+x^2)/2)/(1+x^2) is concentrated in x = O(1/h); nodes
+  // beyond x = 10/h see values below e^-50 of the peak, so clipping
+  // the upper limit there keeps all 64 nodes inside the mass (the
+  // truncated tail is ~e^-50 relative). Without the clip, large h
+  // leaves only a couple of nodes on the peak and the quadrature
+  // loses most of its digits exactly where O2's high-sigma
+  // importance sampling needs them.
+  if (h >= 8.0) a = std::min(a, 10.0 / h);
   const double half = 0.5 * a;
   const double h2 = -0.5 * h * h;
   double sum = 0.0;
@@ -139,16 +153,26 @@ double owens_t(double h, double a) {
   if (a <= 1.0) {
     t = owens_t_quad(h, a);
   } else {
-    // T(h,a) = 1/2 [Phi(h) + Phi(ah)] - Phi(h) Phi(ah) - T(ah, 1/a).
-    const double ph = normal_cdf(h);
-    const double pah = normal_cdf(a * h);
-    t = 0.5 * (ph + pah) - ph * pah - owens_t_quad(a * h, 1.0 / a);
+    // T(h,a) = 1/2 [Phi(h) + Phi(ah)] - Phi(h) Phi(ah) - T(ah, 1/a),
+    // rewritten in the complementary form
+    //   T(h,a) = 1/2 (u + v) - u v - T(ah, 1/a),
+    // with u = Phi(-h), v = Phi(-ah). The textbook form subtracts
+    // Phi(h) Phi(ah) from 1/2 [Phi(h) + Phi(ah)]; for h in [6, 8]
+    // both operands approach the same value near 1/2 + tiny and the
+    // difference loses ~u digits to cancellation. The complementary
+    // form keeps every term proportional to the small tail masses.
+    const double u = normal_cdf(-h);
+    const double v = normal_cdf(-a * h);
+    t = 0.5 * (u + v) - u * v - owens_t_quad(a * h, 1.0 / a);
   }
   return sign * t;
 }
 
 double zeta1(double x) {
-  if (x > -10.0) {
+  // Crossover matched to normal_log_cdf: the pdf/cdf ratio is exact
+  // while both factors are normal-range (|x| < ~37.5); the series
+  // truncation only drops below double precision past -36.5.
+  if (x > -36.5) {
     return normal_pdf(x) / normal_cdf(x);
   }
   // phi / Phi = |x| / mills-series for the deep lower tail.
