@@ -1,0 +1,163 @@
+// bench_yield_sigma: sigma-level vs samples-to-converge for the
+// importance-sampling rare-event engine (src/yield/) against the
+// brute-force Monte-Carlo baseline.
+//
+// For one representative mixture scenario ("2 Peaks", the strongest
+// mechanism separation — the shape where normal-tail extrapolation is
+// most wrong), the bench:
+//   1. runs a plain MC pilot to place failure thresholds at
+//      mu + sigma * sd for sigma in {3.0, 3.5, 4.0, 4.5};
+//   2. estimates P(delay > threshold) per level with the IS engine
+//      (pilot shift + cross-entropy refinement, relative-error
+//      stopping at 10%);
+//   3. at 3.0 / 3.5 sigma — where brute force is still feasible —
+//      also measures the brute-force estimate directly; at every
+//      level it computes the brute-force-equivalent sample count
+//      (1-p)/(p*re^2) at the relative error IS actually achieved.
+//
+// Every estimate lands in the manifest `yield_hs` section (the
+// scripts/check.sh --yield golden diffs it at zero tolerance) and in
+// BENCH_yield_sigma.json (p/se for IS and brute force, ESS, samples,
+// equivalent-sample ratios — the >= 50x at >= 4 sigma acceptance
+// assert reads these).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/obs.h"
+#include "spice/montecarlo.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "yield/importance.h"
+
+namespace {
+
+using namespace lvf2;
+
+// Metric key suffix for one sigma level: 3.5 -> "s35".
+std::string sigma_key(double sigma) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "s%02d",
+                static_cast<int>(sigma * 10.0 + 0.5));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::PerfRecord record("yield_sigma");
+
+  const bench::Scenario scenario = bench::paper_scenarios()[0];  // 2 Peaks
+  const spice::ProcessCorner corner = spice::ProcessCorner::tt_global_local_mc();
+
+  // Threshold placement: a plain-MC pilot fixes mu and sd once, so
+  // every estimator answers the same question.
+  spice::McConfig mc;
+  mc.samples = args.pick_samples(20000, 50000);
+  mc.seed = args.seed;
+  const spice::McResult pilot = spice::run_monte_carlo(
+      scenario.stage, scenario.condition, corner, mc);
+  const stats::Moments moments = stats::compute_moments(pilot.delay_ns);
+  const double mu = moments.mean;
+  const double sd = moments.stddev;
+  record.set("pilot_samples", static_cast<double>(mc.samples));
+  record.set("pilot_mean_ns", mu);
+  record.set("pilot_stddev_ns", sd);
+  obs::with_manifest([&](obs::ManifestRecorder& m) {
+    m.set_config("yield.scenario", scenario.name);
+    m.set_config("yield.pilot_samples",
+                 static_cast<std::uint64_t>(mc.samples));
+    m.set_config("yield.seed", args.seed);
+  });
+
+  yield::IsConfig cfg;
+  cfg.batch_samples = 8192;
+  cfg.max_samples = args.pick_samples(131072, 262144);
+  cfg.target_rel_err = 0.10;
+  cfg.shards = 16;  // fixed: deterministic at any thread count
+  const yield::ImportanceSampler sampler(scenario.stage, scenario.condition,
+                                         corner, cfg);
+
+  const std::vector<double> sigma_levels{3.0, 3.5, 4.0, 4.5};
+  // Brute force stays feasible through 3.5 sigma; past that only the
+  // equivalent-sample yardstick is affordable.
+  const double brute_force_max_sigma = 3.5;
+  const std::size_t brute_force_samples = args.pick_samples(200000, 400000);
+
+  std::printf("High-sigma yield: importance sampling vs brute force\n");
+  std::printf("scenario %s  (mu %.6g ns, sd %.6g ns, %zu-sample pilot)\n\n",
+              scenario.name, mu, sd, mc.samples);
+  std::printf(
+      "%6s %7s %12s %12s %10s %9s %9s | %12s %12s | %12s %9s\n", "sigma",
+      "|shift|", "p_is", "se_is", "samples", "ess", "w_max", "p_bf", "se_bf",
+      "bf_equiv", "ratio");
+  bench::print_rule(132);
+
+  for (std::size_t i = 0; i < sigma_levels.size(); ++i) {
+    const double sigma = sigma_levels[i];
+    const double threshold = mu + sigma * sd;
+
+    yield::IsConfig level_cfg = cfg;
+    level_cfg.seed = stats::combine_seed(args.seed, 100 + i);
+    const yield::ImportanceSampler level_sampler(
+        scenario.stage, scenario.condition, corner, level_cfg);
+    yield::IsEstimate est = level_sampler.estimate(threshold);
+    est.sigma_level = sigma;
+    yield::record_yield_hs(scenario.name, est);
+
+    double shift_norm = 0.0;
+    for (const double s : est.shift) shift_norm += s * s;
+    shift_norm = std::sqrt(shift_norm);
+
+    const std::string key = sigma_key(sigma);
+    record.set("shift_norm_" + key, shift_norm);
+    record.set("p_is_" + key, est.p_fail);
+    record.set("se_is_" + key, est.std_err);
+    record.set("rel_err_is_" + key, est.rel_err);
+    record.set("samples_is_" + key, static_cast<double>(est.samples));
+    record.set("ess_" + key, est.ess);
+    record.set("max_weight_fraction_" + key, est.max_weight_fraction);
+    record.set("converged_is_" + key, est.converged ? 1.0 : 0.0);
+
+    // Brute-force-equivalent sample count at the relative error IS
+    // actually achieved — the honest apples-to-apples yardstick.
+    const double bf_equiv =
+        yield::brute_force_equivalent_samples(est.p_fail, est.rel_err);
+    const double ratio =
+        est.samples > 0 ? bf_equiv / static_cast<double>(est.samples) : 0.0;
+    record.set("bf_equiv_samples_" + key, bf_equiv);
+    record.set("bf_equiv_ratio_" + key, ratio);
+
+    double p_bf = 0.0;
+    double se_bf = 0.0;
+    if (sigma <= brute_force_max_sigma) {
+      const yield::BruteForceEstimate bf = level_sampler.brute_force(
+          threshold, brute_force_samples, /*target_rel_err=*/0.0);
+      p_bf = bf.p_fail;
+      se_bf = bf.std_err;
+      record.set("p_bf_" + key, bf.p_fail);
+      record.set("se_bf_" + key, bf.std_err);
+      record.set("samples_bf_" + key, static_cast<double>(bf.samples));
+      std::printf(
+          "%6.1f %7.2f %12.5g %12.5g %10zu %9.0f %9.2g | %12.5g %12.5g | "
+          "%12.5g %9.1fx\n",
+          sigma, shift_norm, est.p_fail, est.std_err, est.samples, est.ess,
+          est.max_weight_fraction, p_bf, se_bf, bf_equiv, ratio);
+    } else {
+      std::printf(
+          "%6.1f %7.2f %12.5g %12.5g %10zu %9.0f %9.2g | %12s %12s | "
+          "%12.5g %9.1fx\n",
+          sigma, shift_norm, est.p_fail, est.std_err, est.samples, est.ess,
+          est.max_weight_fraction, "-", "-", bf_equiv, ratio);
+    }
+  }
+
+  std::printf(
+      "\nbf_equiv = (1-p)/(p*re^2): plain-MC samples needed at the relative\n"
+      "error the IS run achieved; ratio = bf_equiv / IS samples.\n");
+  return 0;
+}

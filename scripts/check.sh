@@ -49,14 +49,27 @@
 # JSONL access log (LVF2_ACCESS_LOG) must parse line-for-line and
 # summarize cleanly under `lvf2_report serve`.
 #
-# Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf|--serve]
-#        [--update-golden] [--update-perf-golden] [build-dir]
+# Tier-1.5 (--yield): the high-sigma yield accuracy gate — a
+# scalar-tier bench_yield_sigma sigma sweep (3.0-4.5 sigma on the
+# "2 Peaks" scenario) whose manifest yield_hs section must reproduce
+# scripts/golden/yield_manifest.json at zero tolerance, plus accuracy
+# asserts from BENCH_yield_sigma.json: the IS estimate at 3.0/3.5
+# sigma must agree with the same-run brute-force estimate within 3
+# combined standard errors, every level must converge with sane
+# ESS/weight diagnostics, and at >= 4 sigma the brute-force-equivalent
+# sample count must be >= 50x the IS sample count.
+#
+# Usage: scripts/check.sh [--sanitize|--tsan|--cache|--perf|--serve|
+#        --yield] [--update-golden] [--update-perf-golden]
+#        [--update-yield-golden] [build-dir]
 #        (default build-dir: build, build-asan with --sanitize,
 #        build-tsan with --tsan)
 #        --update-golden: re-record scripts/golden/qor_manifest.json
 #        from the current build instead of diffing against it.
 #        --update-perf-golden: re-record scripts/golden/
 #        perf_manifest.json from the current --perf run.
+#        --update-yield-golden: re-record scripts/golden/
+#        yield_manifest.json from the current --yield run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,8 +79,10 @@ TSAN=0
 CACHE=0
 PERF=0
 SERVE=0
+YIELD=0
 UPDATE_GOLDEN=0
 UPDATE_PERF_GOLDEN=0
+UPDATE_YIELD_GOLDEN=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --sanitize) SANITIZE=1; shift ;;
@@ -75,8 +90,10 @@ while [ $# -gt 0 ]; do
     --cache) CACHE=1; shift ;;
     --perf) PERF=1; shift ;;
     --serve) SERVE=1; shift ;;
+    --yield) YIELD=1; shift ;;
     --update-golden) UPDATE_GOLDEN=1; shift ;;
     --update-perf-golden) UPDATE_PERF_GOLDEN=1; shift ;;
+    --update-yield-golden) UPDATE_YIELD_GOLDEN=1; shift ;;
     *) break ;;
   esac
 done
@@ -107,7 +124,7 @@ if [ "$TSAN" = 1 ]; then
 'ParseThreadCount.*:ThreadCount.*:ParallelFor.*:ParallelMap.*:Pool.*'\
 ':PoolTelemetry.*:ExecDeterminism.*:ExecStress.*:Manifest.*'\
 ':MetricsRegistry.*:EvaluateModels.*:CacheStore.*'\
-':CacheCharacterize.Concurrent*:Serve*'
+':CacheCharacterize.Concurrent*:Serve*:Yield.*'
   echo "check.sh: TSan gate green"
   exit 0
 fi
@@ -547,6 +564,97 @@ EOF
   "$BUILD_DIR/tools/lvf2_report" serve "$SOAK_DIR/access.log" \
     || { echo "FAIL: lvf2_report serve rejected the access log"; exit 1; }
   echo "check.sh: serve gate green"
+  exit 0
+fi
+
+if [ "$YIELD" = 1 ]; then
+  echo "== high-sigma yield accuracy gate =="
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+  cmake --build "$BUILD_DIR" -j"$JOBS" \
+    --target bench_yield_sigma lvf2_report
+  # LVF2_YIELD_GATE_DIR keeps the run's manifest + bench JSON around
+  # (CI uploads them as artifacts); default is a cleaned-up temp dir.
+  if [ -n "${LVF2_YIELD_GATE_DIR:-}" ]; then
+    YIELD_DIR="$LVF2_YIELD_GATE_DIR"
+    mkdir -p "$YIELD_DIR"
+  else
+    YIELD_DIR="$(mktemp -d)"
+    trap 'rm -rf "$YIELD_DIR"' EXIT
+  fi
+  REPORT="$BUILD_DIR/tools/lvf2_report"
+
+  # Scalar tier: the bitwise reference path the golden is recorded
+  # from (same rationale as the QoR gate — vector kernels are a few
+  # ULP off per call, which the IS accept/reject amplifies).
+  echo "-- scalar-tier sigma sweep (IS vs brute force)"
+  LVF2_SIMD=scalar \
+  LVF2_MANIFEST="$YIELD_DIR/yield_manifest.json" \
+  LVF2_BENCH_JSON="$YIELD_DIR" \
+    "$BUILD_DIR/bench/bench_yield_sigma" --full \
+    | tee "$YIELD_DIR/yield_sweep.txt"
+  [ -s "$YIELD_DIR/yield_manifest.json" ] \
+    || { echo "FAIL: sweep wrote no manifest"; exit 1; }
+  [ -s "$YIELD_DIR/BENCH_yield_sigma.json" ] \
+    || { echo "FAIL: BENCH_yield_sigma.json was not written"; exit 1; }
+
+  YIELD_GOLDEN=scripts/golden/yield_manifest.json
+  if [ "$UPDATE_YIELD_GOLDEN" = 1 ]; then
+    mkdir -p scripts/golden
+    "$REPORT" canon "$YIELD_DIR/yield_manifest.json" > "$YIELD_GOLDEN"
+    echo "re-recorded $YIELD_GOLDEN from the scalar-tier sweep"
+  elif [ -f "$YIELD_GOLDEN" ]; then
+    "$REPORT" diff "$YIELD_GOLDEN" "$YIELD_DIR/yield_manifest.json" \
+        --sections yield_hs --rtol 0 --atol 0 \
+      || { echo "FAIL: the scalar tier no longer reproduces" \
+                "$YIELD_GOLDEN bitwise (rerun with" \
+                "--update-yield-golden only if the IS numerics changed" \
+                "intentionally)"; exit 1; }
+  else
+    echo "WARN: $YIELD_GOLDEN missing; run scripts/check.sh --yield" \
+         "--update-yield-golden"
+  fi
+
+  if command -v python3 >/dev/null; then
+  python3 - "$YIELD_DIR/BENCH_yield_sigma.json" <<'EOF'
+import json, math, sys
+reg = json.load(open(sys.argv[1]))["metrics"]
+levels = ["s30", "s35", "s40", "s45"]
+# Every level must converge to the 10% relative-error target with
+# healthy self-normalized-weight diagnostics: ESS in (0, n] (and
+# above the defensive-mixture floor alpha*n = n/2 would be ideal, but
+# the gate only asserts the hard bound), max weight a vanishing
+# fraction of the total.
+for key in levels:
+    assert reg[f"converged_is_{key}"] == 1.0, \
+        f"{key}: IS did not converge (rel_err {reg[f'rel_err_is_{key}']:.3f})"
+    n = reg[f"samples_is_{key}"]
+    ess = reg[f"ess_{key}"]
+    assert 0.0 < ess <= n, f"{key}: ESS {ess} outside (0, {n}]"
+    wmax = reg[f"max_weight_fraction_{key}"]
+    assert 0.0 < wmax <= 0.05, f"{key}: max weight fraction {wmax}"
+# Accuracy anchor: at 3.0/3.5 sigma the IS estimate must agree with
+# the same-run brute-force estimate within 3 combined standard errors.
+for key in ("s30", "s35"):
+    p_is, se_is = reg[f"p_is_{key}"], reg[f"se_is_{key}"]
+    p_bf, se_bf = reg[f"p_bf_{key}"], reg[f"se_bf_{key}"]
+    se = math.hypot(se_is, se_bf)
+    pull = abs(p_is - p_bf) / se
+    assert pull <= 3.0, \
+        f"{key}: IS {p_is:.4g} vs brute force {p_bf:.4g} is {pull:.1f} SE apart"
+    print(f"ok: {key} IS agrees with brute force ({pull:.2f} SE)")
+# Efficiency: at >= 4 sigma the brute-force-equivalent sample count
+# (plain MC at the relative error IS achieved) must be >= 50x the
+# samples IS actually spent.
+for key in ("s40", "s45"):
+    ratio = reg[f"bf_equiv_ratio_{key}"]
+    assert ratio >= 50.0, f"{key}: IS only {ratio:.1f}x cheaper than MC"
+    print(f"ok: {key} IS {ratio:.0f}x cheaper than equal-error brute force")
+EOF
+  else
+    echo "python3 unavailable; cannot run the yield accuracy asserts"
+    exit 1
+  fi
+  echo "check.sh: yield gate green"
   exit 0
 fi
 

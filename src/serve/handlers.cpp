@@ -17,7 +17,9 @@
 #include "spice/montecarlo.h"
 #include "ssta/block_ssta.h"
 #include "stats/grid_pdf.h"
+#include "stats/rng.h"
 #include "stats/skew_normal.h"
+#include "yield/importance.h"
 
 namespace lvf2::serve {
 
@@ -444,6 +446,81 @@ HandlerResult op_path_ssta(HandlerContext& ctx, const ArcRef& ref,
   return out;
 }
 
+// The `yield_hs` op: high-sigma failure probability of one arc at one
+// grid condition, P(delay > mu + sigma*sd) with mu/sd taken from the
+// entry's LVF2 delay model. The full path runs the importance-sampling
+// engine (src/yield/) on the arc's stage — its sampling loops are
+// checkpointed like every other compute here, so an armed deadline
+// cancels mid-batch and handle_request re-enters at the floor. Shed
+// rungs skip the sampling entirely and answer from the (degraded)
+// model tail, honestly tagged via the degradation chain.
+HandlerResult op_yield_hs(HandlerContext& ctx, const ArcRef& ref,
+                          ExecMode mode, const obs::JsonValue& params) {
+  double sigma = params.number_or("sigma", 3.0);
+  if (sigma < 1.0) sigma = 1.0;
+  if (sigma > 6.0) sigma = 6.0;
+  double max_samples_raw = params.number_or("max_samples", 65536.0);
+  if (max_samples_raw < 1024.0) max_samples_raw = 1024.0;
+  if (max_samples_raw > 262144.0) max_samples_raw = 262144.0;
+
+  const EntryView view = acquire_entry(ctx, ref, mode);
+  const core::Lvf2Model model =
+      core::Lvf2Model::from_parameters(view.cc.lvf2_delay);
+  const double mu = model.mean();
+  const double sd = model.stddev();
+  const double threshold = mu + sigma * sd;
+
+  HandlerResult out;
+  out.degradation = view.degradation;
+  out.result = arc_header_json(ref, view);
+  out.result.object.emplace_back("sigma", json_number(sigma));
+  out.result.object.emplace_back("threshold_ns", json_number(threshold));
+  if (mode != ExecMode::kFull || !(sd > 0.0) || !std::isfinite(sd)) {
+    const double p =
+        (sd > 0.0 && std::isfinite(sd)) ? 1.0 - model.cdf(threshold) : 0.0;
+    out.result.object.emplace_back("p_fail", json_number(p));
+    out.result.object.emplace_back("method", json_string("model_tail"));
+    return out;
+  }
+
+  yield::IsConfig cfg;
+  cfg.batch_samples = 8192;
+  cfg.max_samples = static_cast<std::size_t>(max_samples_raw);
+  cfg.target_rel_err = 0.10;
+  cfg.shards = 8;  // fixed: deterministic at any thread count
+  const cells::Characterizer characterizer(ctx.corner, ctx.characterize);
+  cfg.seed = stats::combine_seed(
+      characterizer.condition_seed(ref.cell->name, ref.arc_label,
+                                   ref.load_idx, ref.slew_idx),
+      static_cast<std::uint64_t>(sigma * 100.0 + 0.5));
+  const spice::ArcCondition condition{
+      ctx.characterize.grid.slews_ns[ref.slew_idx],
+      ctx.characterize.grid.loads_pf[ref.load_idx]};
+  const yield::ImportanceSampler sampler(ref.arc->stage, condition,
+                                         ctx.corner, cfg);
+  const yield::IsEstimate est = sampler.estimate(threshold);
+  double shift_norm = 0.0;
+  for (const double s : est.shift) shift_norm += s * s;
+  shift_norm = std::sqrt(shift_norm);
+  out.result.object.emplace_back("p_fail", json_number(est.p_fail));
+  out.result.object.emplace_back("std_err", json_number(est.std_err));
+  out.result.object.emplace_back("rel_err", json_number(est.rel_err));
+  out.result.object.emplace_back(
+      "samples", json_number(static_cast<double>(est.samples)));
+  out.result.object.emplace_back(
+      "failures", json_number(static_cast<double>(est.failures)));
+  out.result.object.emplace_back("ess", json_number(est.ess));
+  out.result.object.emplace_back("max_weight_fraction",
+                                 json_number(est.max_weight_fraction));
+  out.result.object.emplace_back("shift_norm", json_number(shift_norm));
+  obs::JsonValue converged;
+  converged.type = obs::JsonValue::Type::kBool;
+  converged.boolean = est.converged;
+  out.result.object.emplace_back("converged", std::move(converged));
+  out.result.object.emplace_back("method", json_string("importance"));
+  return out;
+}
+
 HandlerResult op_stats(const HandlerContext& ctx) {
   HandlerResult out;
   out.result = json_object();
@@ -508,6 +585,9 @@ HandlerResult dispatch(HandlerContext& ctx, const Request& request,
   if (request.op == "arc_dist") return op_arc_dist(ctx, ref.value(), mode);
   if (request.op == "bin") return op_bin(ctx, ref.value(), mode);
   if (request.op == "yield3") return op_yield3(ctx, ref.value(), mode);
+  if (request.op == "yield_hs") {
+    return op_yield_hs(ctx, ref.value(), mode, request.params);
+  }
   if (request.op == "path_ssta") {
     return op_path_ssta(ctx, ref.value(), mode, request.params);
   }

@@ -9,7 +9,8 @@ namespace {
 // Known op surface. Everything else folds into "other" so a hostile
 // client spraying random op names cannot grow the stats map.
 constexpr std::string_view kKnownOps[] = {
-    "ping", "stats", "metrics", "arc_dist", "bin", "yield3", "path_ssta"};
+    "ping",   "stats",  "metrics",  "arc_dist",
+    "bin",    "yield3", "yield_hs", "path_ssta"};
 
 std::string_view fold_op(std::string_view name) {
   for (const std::string_view known : kKnownOps) {

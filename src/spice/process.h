@@ -73,6 +73,15 @@ class VariationSampler {
   std::vector<VariationSample> sample_mc(std::size_t count,
                                          stats::Rng& rng) const;
 
+  /// Maps one standard-normal point z (kDimensions values) to physical
+  /// variation units — the exact scaling applied to every LHS/MC draw.
+  /// Exposed so the importance-sampling engine (src/yield/) can shift
+  /// proposals in z-space while sharing this one z -> sample path: a
+  /// zero shift then reproduces the plain Monte-Carlo draws bitwise.
+  VariationSample from_standard_normal(const double* z) const {
+    return scale(z);
+  }
+
   const ProcessCorner& corner() const { return corner_; }
 
  private:

@@ -11,6 +11,8 @@
 #include "spice/montecarlo.h"
 #include "stats/descriptive.h"
 
+#include "test_util.h"
+
 namespace lvf2::spice {
 namespace {
 
@@ -103,7 +105,7 @@ TEST(CellSim, RealizedRegimeFractionMatchesAnalyticLambda) {
   const McResult mc = run_monte_carlo(stage, cond, corner, cfg);
   // With a large separation the two regimes split around a midpoint;
   // classify by 2-means and compare the upper-cluster weight.
-  stats::Rng rng(1);
+  stats::Rng rng(test::test_seed(1));
   std::vector<double> xs = mc.delay_ns;
   const stats::Moments m = stats::compute_moments(xs);
   // B adds a positive offset -> B samples are the upper cluster.

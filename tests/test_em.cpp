@@ -8,6 +8,8 @@
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
+#include "test_util.h"
+
 namespace lvf2::core {
 namespace {
 
@@ -31,7 +33,7 @@ TEST(WeightedData, SmallSamplesStayRawEvenWhenBinningRequested) {
 }
 
 TEST(WeightedData, BinnedModePreservesTotalWeight) {
-  stats::Rng rng(1);
+  stats::Rng rng(test::test_seed(1));
   const std::vector<double> xs = rng.normal_vector(50000);
   FitOptions options;
   options.likelihood_bins = 256;
@@ -47,7 +49,7 @@ TEST(WeightedData, BinnedModePreservesTotalWeight) {
 }
 
 TEST(WeightedData, BinnedMomentsMatchRawMoments) {
-  stats::Rng rng(2);
+  stats::Rng rng(test::test_seed(2));
   std::vector<double> xs(80000);
   for (auto& x : xs) x = rng.normal(3.0, 0.2);
   FitOptions options;

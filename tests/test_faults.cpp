@@ -32,6 +32,8 @@
 #include "stats/grid_pdf.h"
 #include "stats/rng.h"
 
+#include "test_util.h"
+
 namespace lvf2 {
 namespace {
 
@@ -70,7 +72,7 @@ void expect_pdf_sane(const stats::GridPdf& pdf) {
 
 // Stage 1: sample corruption + the Lvf2Model::fit degradation chain.
 void run_em_stage() {
-  stats::Rng rng(0x5eed);
+  stats::Rng rng(test::test_seed(0x5eed));
   std::vector<double> xs;
   xs.reserve(900);
   for (int i = 0; i < 600; ++i) xs.push_back(rng.normal(1.0, 0.05));
@@ -209,7 +211,7 @@ void run_liberty_stage() {
 // Stage 4: block-based SSTA operators, chain propagation, and the
 // timing-graph arrival analysis.
 void run_ssta_stage() {
-  stats::Rng rng(0x55aa);
+  stats::Rng rng(test::test_seed(0x55aa));
   std::vector<double> a(400), b(400);
   for (double& v : a) v = rng.normal(1.0, 0.05);
   for (double& v : b) v = rng.normal(1.3, 0.08);

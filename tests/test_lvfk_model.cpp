@@ -16,6 +16,8 @@
 #include "liberty/writer.h"
 #include "stats/descriptive.h"
 
+#include "test_util.h"
+
 namespace lvf2::core {
 namespace {
 
@@ -54,7 +56,7 @@ TEST(LvfKModel, RejectsInvalidInput) {
 }
 
 TEST(LvfKModel, KOneIsMomentFitLvf) {
-  stats::Rng rng(1);
+  stats::Rng rng(test::test_seed(1));
   std::vector<double> xs(20000);
   for (auto& x : xs) x = rng.normal(0.1, 0.01);
   const auto m = LvfKModel::fit(xs, 1);
@@ -67,7 +69,7 @@ TEST(LvfKModel, KOneIsMomentFitLvf) {
 }
 
 TEST(LvfKModel, KTwoMatchesLvf2Closely) {
-  stats::Rng rng(2);
+  stats::Rng rng(test::test_seed(2));
   std::vector<double> xs(20000);
   for (auto& x : xs) {
     x = (rng.uniform() < 0.35) ? rng.normal(1.3, 0.06)
@@ -125,7 +127,7 @@ TEST(LvfKModel, CdfQuantileRoundTripAndSampling) {
   for (double p : {0.01, 0.3, 0.5, 0.7, 0.99}) {
     EXPECT_NEAR(m.cdf(m.quantile(p)), p, 1e-9) << p;
   }
-  stats::Rng rng(5);
+  stats::Rng rng(test::test_seed(5));
   std::vector<double> xs(200000);
   for (auto& x : xs) x = m.sample(rng);
   const stats::Moments sm = stats::compute_moments(xs);

@@ -205,6 +205,78 @@ TEST(Manifest, DiffFlagsDegradationAndConvergenceFlips) {
   EXPECT_NE(diff.notes[0].find("iterations"), std::string::npos);
 }
 
+TEST(Manifest, DiffYieldHsSectionPresenceAndEmptyRows) {
+  const obs::JsonValue golden = *obs::json_parse(
+      R"({"arcs":[],"yield_hs":{"rows":[)"
+      R"({"label":"2 Peaks","sigma":3,"p_fail":0.00055,"ess":4100}]}})");
+  const obs::JsonValue without = *obs::json_parse(R"({"arcs":[]})");
+  tools::DiffOptions opts;
+  opts.sections.push_back("yield_hs");
+
+  // Losing the whole section is a regression, not a silent skip.
+  const tools::DiffResult missing =
+      tools::diff_manifests(golden, without, opts);
+  EXPECT_FALSE(missing.ok());
+  ASSERT_EQ(missing.regressions.size(), 1u);
+  EXPECT_NE(missing.regressions[0].find("disappeared"), std::string::npos);
+
+  // Absent from both sides is informational only.
+  const tools::DiffResult both_absent =
+      tools::diff_manifests(without, without, opts);
+  EXPECT_TRUE(both_absent.ok());
+  ASSERT_EQ(both_absent.notes.size(), 1u);
+  EXPECT_NE(both_absent.notes[0].find("absent"), std::string::npos);
+
+  // An emptied row array diffs as an explicit size change — and an
+  // empty `arcs` table on both sides must not trip anything.
+  const obs::JsonValue empty_rows =
+      *obs::json_parse(R"({"arcs":[],"yield_hs":{"rows":[]}})");
+  const tools::DiffResult rows =
+      tools::diff_manifests(golden, empty_rows, opts);
+  EXPECT_FALSE(rows.ok());
+  ASSERT_EQ(rows.regressions.size(), 1u);
+  EXPECT_NE(rows.regressions[0].find("array size"), std::string::npos);
+
+  // Identical sections agree even at zero tolerance.
+  tools::DiffOptions zero;
+  zero.rtol = 0.0;
+  zero.atol = 0.0;
+  zero.sections.push_back("yield_hs");
+  EXPECT_TRUE(tools::diff_manifests(golden, golden, zero).ok());
+}
+
+TEST(Manifest, DiffNanFieldsAreExplicitDriftNotSilentlyEqual) {
+  // Non-finite values render as JSON null (the precision-17 writer).
+  // In an arc row, null vs number must surface as drift — the old
+  // behavior read the unset `number` field of both sides and compared
+  // 0 == 0 — while null on both sides agrees (NaN == NaN in a golden
+  // is reproduced state, the same contract as within()).
+  const char* kNullRow =
+      R"({"arcs":[{"table":"t1","cell":"INV","arc":"a","metric":"delay",)"
+      R"("load_idx":0,"slew_idx":0,"status":"ok",)"
+      R"("models":{"lvf2":{"binning":null,"yield_3sigma":0.99}}}]})";
+  const char* kNumberRow =
+      R"({"arcs":[{"table":"t1","cell":"INV","arc":"a","metric":"delay",)"
+      R"("load_idx":0,"slew_idx":0,"status":"ok",)"
+      R"("models":{"lvf2":{"binning":0.012,"yield_3sigma":0.99}}}]})";
+  const obs::JsonValue with_null = *obs::json_parse(kNullRow);
+  const obs::JsonValue with_number = *obs::json_parse(kNumberRow);
+
+  const tools::DiffResult drift =
+      tools::diff_manifests(with_null, with_number);
+  EXPECT_FALSE(drift.ok());
+  ASSERT_EQ(drift.regressions.size(), 1u);
+  EXPECT_NE(drift.regressions[0].find("null"), std::string::npos);
+
+  const tools::DiffResult reverse =
+      tools::diff_manifests(with_number, with_null);
+  EXPECT_FALSE(reverse.ok());
+  ASSERT_EQ(reverse.regressions.size(), 1u);
+  EXPECT_NE(reverse.regressions[0].find("null"), std::string::npos);
+
+  EXPECT_TRUE(tools::diff_manifests(with_null, with_null).ok());
+}
+
 TEST(Manifest, AtomicWriteLeavesNoTmpFile) {
   const std::string path = temp_path("lvf2_manifest_atomic.json");
   ASSERT_TRUE(obs::write_file_atomic(path, "{\"ok\":true}\n"));

@@ -11,6 +11,8 @@
 #include "ssta/block_ssta.h"
 #include "stats/descriptive.h"
 
+#include "test_util.h"
+
 namespace lvf2::core {
 namespace {
 
@@ -111,7 +113,7 @@ TEST(ConvolveMixtures, AgainstMonteCarlo) {
                     stats::SkewNormal::from_moments(0.65, 0.05, 0.4));
   const LvfKModel sum = convolve_mixtures(to_lvfk(x), to_lvfk(y), 4);
 
-  stats::Rng rng(11);
+  stats::Rng rng(test::test_seed(11));
   std::vector<double> mc(200000);
   for (auto& v : mc) v = x.sample(rng) + y.sample(rng);
   const stats::EmpiricalCdf golden(mc);

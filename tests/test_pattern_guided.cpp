@@ -7,18 +7,20 @@
 #include "cells/pattern_guided.h"
 #include "stats/rng.h"
 
+#include "test_util.h"
+
 namespace lvf2::cells {
 namespace {
 
 TEST(MixtureStrength, NearZeroForUnimodalData) {
-  stats::Rng rng(1);
+  stats::Rng rng(test::test_seed(1));
   std::vector<double> xs(4000);
   for (auto& x : xs) x = rng.normal(0.1, 0.01);
   EXPECT_LT(estimate_mixture_strength(xs), 0.08);
 }
 
 TEST(MixtureStrength, LargeForBalancedSeparatedMixture) {
-  stats::Rng rng(2);
+  stats::Rng rng(test::test_seed(2));
   std::vector<double> xs(4000);
   for (auto& x : xs) {
     x = (rng.uniform() < 0.5) ? rng.normal(0.10, 0.005)
@@ -28,7 +30,7 @@ TEST(MixtureStrength, LargeForBalancedSeparatedMixture) {
 }
 
 TEST(MixtureStrength, SmallForLopsidedMixture) {
-  stats::Rng rng(3);
+  stats::Rng rng(test::test_seed(3));
   std::vector<double> xs(4000);
   for (auto& x : xs) {
     x = (rng.uniform() < 0.02) ? rng.normal(0.13, 0.005)

@@ -10,6 +10,8 @@
 #include "spice/process.h"
 #include "stats/descriptive.h"
 
+#include "test_util.h"
+
 namespace lvf2::spice {
 namespace {
 
@@ -25,7 +27,7 @@ TEST(ProcessCorner, PaperCornerDefaults) {
 TEST(VariationSampler, LhsMarginalsMatchSigmas) {
   const ProcessCorner corner;
   const VariationSampler sampler(corner);
-  stats::Rng rng(1);
+  stats::Rng rng(test::test_seed(1));
   const std::vector<VariationSample> draws = sampler.sample_lhs(20000, rng);
   std::vector<double> vth_n(draws.size()), len(draws.size());
   for (std::size_t i = 0; i < draws.size(); ++i) {

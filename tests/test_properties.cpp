@@ -22,6 +22,9 @@
 #include "obs/tdigest.h"
 #include "stats/rng.h"
 #include "stats/skew_normal.h"
+#include "yield/importance.h"
+
+#include "test_util.h"
 
 namespace lvf2 {
 namespace {
@@ -173,7 +176,7 @@ TEST(Properties, EmSeedSweepRecoversMixtureWithinBudget) {
 // Bitwise double round trip through the 17-digit writer and strtod —
 // the property the result cache's byte-identical replays rest on.
 TEST(Properties, JsonPrecision17RoundTripsDoublesBitwise) {
-  stats::Rng rng(0xCAFE17);
+  stats::Rng rng(test::test_seed(0xCAFE17));
   obs::JsonValue doc;
   doc.type = obs::JsonValue::Type::kObject;
   std::vector<double> values;
@@ -222,7 +225,7 @@ TEST(Properties, JsonFuzzLiteNeverCrashesAndRoundTrips) {
   })json";
   static constexpr char kInserts[] = {'{', '}', '[', ']', '"',
                                       ',', ':', '\\', 'e', '.'};
-  stats::Rng rng(0xF0221);
+  stats::Rng rng(test::test_seed(0xF0221));
   int rejected = 0;
   for (int iter = 0; iter < 500; ++iter) {
     std::string text = golden;
@@ -400,6 +403,74 @@ TEST(Properties, TDigestJsonRoundTripIsLossless) {
   EXPECT_FALSE(
       obs::TDigest::from_json(*obs::json_parse(R"({"counters":{}})"))
           .has_value());
+}
+
+
+// --- Importance-sampling weight algebra (src/yield/) ---------------
+
+TEST(Properties, AnalyzeWeightsEqualWeightsReduceToBinomial) {
+  // All-equal log-weights: the self-normalized estimator must equal
+  // the plain ratio and the delta-method SE must equal the binomial
+  // sqrt(p(1-p)/n) exactly — the brute-force baseline shares this
+  // code path.
+  const std::size_t n = 400;
+  std::vector<double> lw(n, 1.75);  // any shared constant
+  std::vector<unsigned char> fail(n, 0);
+  for (std::size_t i = 0; i < 37; ++i) fail[i * 10] = 1;
+  const yield::WeightStats s = yield::analyze_weights(lw, fail);
+  const double p = 37.0 / 400.0;
+  EXPECT_DOUBLE_EQ(s.p_fail, p);
+  EXPECT_DOUBLE_EQ(s.ess, 400.0);
+  EXPECT_DOUBLE_EQ(s.max_weight_fraction, 1.0 / 400.0);
+  EXPECT_NEAR(s.std_err, std::sqrt(p * (1.0 - p) / 400.0), 1e-15);
+  EXPECT_NEAR(s.normalized_sum, 1.0, 1e-12);
+}
+
+TEST(Properties, AnalyzeWeightsInvariantUnderConstantLogOffset) {
+  stats::Rng rng(test::test_seed(3104));
+  std::vector<double> lw(256);
+  std::vector<unsigned char> fail(256);
+  for (std::size_t i = 0; i < lw.size(); ++i) {
+    lw[i] = 2.0 * rng.normal();
+    fail[i] = rng.uniform() < 0.3 ? 1 : 0;
+  }
+  const yield::WeightStats base = yield::analyze_weights(lw, fail);
+  for (const double offset : {-700.0, -40.0, 3.0, 40.0, 700.0}) {
+    std::vector<double> shifted = lw;
+    for (double& v : shifted) v += offset;
+    const yield::WeightStats s = yield::analyze_weights(shifted, fail);
+    // Self-normalization cancels any constant log-weight offset —
+    // including ones far past exp()'s overflow range, thanks to the
+    // internal max-shift. The cancellation is exact in real
+    // arithmetic; in floats (lw + offset) - (max + offset) can differ
+    // from lw - max in the last bits, so compare relatively.
+    EXPECT_NEAR(s.p_fail, base.p_fail, 1e-9 * std::abs(base.p_fail))
+        << "offset=" << offset;
+    EXPECT_NEAR(s.ess, base.ess, 1e-9 * base.ess) << "offset=" << offset;
+    EXPECT_NEAR(s.std_err, base.std_err, 1e-9 * base.std_err)
+        << "offset=" << offset;
+  }
+}
+
+TEST(Properties, AnalyzeWeightsEssBounds) {
+  stats::Rng rng(test::test_seed(88));
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform() * 300);
+    std::vector<double> lw(n);
+    std::vector<unsigned char> fail(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lw[i] = 5.0 * rng.normal();
+      fail[i] = rng.uniform() < 0.5 ? 1 : 0;
+    }
+    const yield::WeightStats s = yield::analyze_weights(lw, fail);
+    EXPECT_GT(s.ess, 0.0);
+    EXPECT_LE(s.ess, static_cast<double>(n) * (1.0 + 1e-12));
+    EXPECT_GT(s.max_weight_fraction, 0.0);
+    EXPECT_LE(s.max_weight_fraction, 1.0);
+    EXPECT_NEAR(s.normalized_sum, 1.0, 1e-9);
+    EXPECT_GE(s.p_fail, 0.0);
+    EXPECT_LE(s.p_fail, 1.0);
+  }
 }
 
 }  // namespace

@@ -438,6 +438,72 @@ TEST(ServeHandlers, DegradedOpsStayFinite) {
   EXPECT_TRUE(std::isfinite(result_number(ssta, "yield_3sigma")));
 }
 
+TEST(ServeHandlers, YieldHsFullRunsImportanceSampling) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  serve::Request request = make_arc_request("yield_hs", "INV_X1");
+  request.params.object.emplace_back("sigma", [] {
+    obs::JsonValue v;
+    v.type = obs::JsonValue::Type::kNumber;
+    v.number = 2.0;
+    return v;
+  }());
+  request.params.object.emplace_back("max_samples", [] {
+    obs::JsonValue v;
+    v.type = obs::JsonValue::Type::kNumber;
+    v.number = 2048.0;
+    return v;
+  }());
+  const serve::HandlerResult result =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.degradation, "none");
+  const obs::JsonValue* method = result.result.find("method");
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(method->string, "importance");
+  const double p = result_number(result, "p_fail");
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  const double ess = result_number(result, "ess");
+  const double samples = result_number(result, "samples");
+  EXPECT_GT(ess, 0.0);
+  EXPECT_LE(ess, samples);
+  EXPECT_LE(samples, 2048.0);
+  EXPECT_TRUE(std::isfinite(result_number(result, "threshold_ns")));
+
+  // Determinism: the op derives its seed from the arc identity, so the
+  // same request answers with the same bits.
+  const serve::HandlerResult again =
+      serve::handle_request(ctx, request, serve::ExecMode::kFull);
+  ASSERT_TRUE(again.status.is_ok());
+  EXPECT_EQ(result_number(again, "p_fail"), p);
+}
+
+TEST(ServeHandlers, YieldHsShedAnswersFromModelTail) {
+  serve::HandlerContext ctx;
+  configure_context(ctx);
+  const serve::HandlerResult floor = serve::handle_request(
+      ctx, make_arc_request("yield_hs", "INV_X1"), serve::ExecMode::kShedFloor);
+  ASSERT_TRUE(floor.status.is_ok()) << floor.status.to_string();
+  EXPECT_EQ(floor.degradation, "point_mass");
+  const obs::JsonValue* method = floor.result.find("method");
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(method->string, "model_tail");
+  const double p = floor.result.find("p_fail")->number;
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+
+  // An expired deadline degrades mid-compute to the floor answer
+  // instead of erroring — the IS loops are checkpointed.
+  core::DeadlineGuard guard(0.0);
+  const serve::HandlerResult shed = serve::handle_request(
+      ctx, make_arc_request("yield_hs", "NAND2_X1"), serve::ExecMode::kFull);
+  ASSERT_TRUE(shed.status.is_ok()) << shed.status.to_string();
+  EXPECT_EQ(shed.degradation, "point_mass");
+}
+
 TEST(ServeHandlers, MetricsOpExposesSnapshotAndPrometheus) {
   serve::HandlerContext ctx;
   configure_context(ctx);

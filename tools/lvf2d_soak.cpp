@@ -146,12 +146,12 @@ struct RequestSpec {
 RequestSpec make_request(const SoakConfig& config,
                          const std::vector<std::string>& cells,
                          std::uint64_t id, std::uint64_t& rng) {
-  static const char* kOps[] = {"arc_dist", "bin",  "yield3",
+  static const char* kOps[] = {"arc_dist", "bin",  "yield3",  "yield_hs",
                                "path_ssta", "ping", "stats"};
   RequestSpec spec;
   spec.id = id;
   const std::uint64_t r = splitmix64(rng);
-  const char* op = kOps[r % 6];
+  const char* op = kOps[r % 7];
   const bool bogus = (r >> 8) % 10 == 0;
   const bool with_deadline = (r >> 16) % 10 < 4;
   std::string body = "{\"id\":" + std::to_string(id) + ",\"op\":\"" + op +
@@ -171,6 +171,11 @@ RequestSpec make_request(const SoakConfig& config,
     body += ",\"slew_idx\":" + std::to_string((r >> 40) % 8);
     if (std::strcmp(op, "path_ssta") == 0) {
       body += ",\"depth\":" + std::to_string(2 + (r >> 48) % 10);
+    }
+    if (std::strcmp(op, "yield_hs") == 0) {
+      // Small sample cap: the soak exercises the op surface and the
+      // deadline path, not IS convergence.
+      body += ",\"sigma\":3,\"max_samples\":2048";
     }
   }
   body += "}}";

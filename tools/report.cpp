@@ -80,6 +80,18 @@ void diff_number(const obs::JsonValue& ref, const obs::JsonValue& cur,
                               (r == nullptr ? " appeared" : " disappeared"));
     return;
   }
+  // Non-finite values render as JSON null. A null on both sides is
+  // agreement (within() treats NaN==NaN the same way); a null on one
+  // side is explicit drift, not a silent 0 == 0 comparison of the
+  // unset `number` fields.
+  const bool r_null = r->type == obs::JsonValue::Type::kNull;
+  const bool c_null = c->type == obs::JsonValue::Type::kNull;
+  if (r_null && c_null) return;
+  if (r_null != c_null) {
+    out.regressions.push_back(where + ": " + std::string(field) +
+                              (r_null ? " null -> number" : " number -> null"));
+    return;
+  }
   if (!within(r->number, c->number, o)) {
     char buf[160];
     std::snprintf(buf, sizeof(buf), "%s: %s %.9g -> %.9g (beyond %g%%+%g)",
@@ -376,7 +388,7 @@ obs::JsonValue canonicalize(const obs::JsonValue& manifest) {
   obs::JsonValue out;
   out.type = obs::JsonValue::Type::kObject;
   for (const char* key :
-       {"schema_version", "tool", "config", "arcs", "endpoints"}) {
+       {"schema_version", "tool", "config", "arcs", "endpoints", "yield_hs"}) {
     if (const obs::JsonValue* v = manifest.find(key)) {
       out.object.emplace_back(key, *v);
     }

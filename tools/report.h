@@ -67,7 +67,8 @@ std::optional<obs::JsonValue> load_manifest(const std::string& path,
 std::string render_manifest(const obs::JsonValue& manifest);
 
 /// Canonical form for committed goldens: schema_version, tool, config
-/// and the QoR tables only — the stages / metrics sections carry
+/// and the QoR tables (arcs, endpoints, yield_hs) only — the stages /
+/// metrics sections carry
 /// per-run timing noise and are dropped. Key order is preserved, so
 /// the output is byte-stable across identical-seed reruns.
 obs::JsonValue canonicalize(const obs::JsonValue& manifest);
